@@ -1,0 +1,83 @@
+"""Figure 12: sensitivity of k_s and h on the AIDS-like dataset.
+
+Paper: as k_s grows, the top-k sub-unit lists get longer, more graphs are
+pruned early, and both the access number and the response time fall to a
+knee, then flatten.  The same holds for h.  Axes here: x = parameter value,
+y = average access number / average response time over the query workload.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import SegosMethod
+from repro.bench import Series, format_table, run_queries
+from repro.datasets import sample_queries
+
+
+@pytest.fixture(scope="module")
+def workload(aids_dataset, grid):
+    data = aids_dataset.subset(grid.default_db_size)
+    queries = sample_queries(data, grid.query_count, seed=31)
+    return data, queries
+
+
+def test_fig12_k_sensitivity(benchmark, workload, grid, report):
+    data, queries = workload
+    tau = grid.default_tau
+    time_series = Series("SEGOS-k time (s)")
+    access_series = Series("SEGOS-k access#")
+    methods = {
+        k: SegosMethod(data.graphs, k=k, h=grid.default_h) for k in grid.k_values
+    }
+    for k, method in methods.items():
+        run = run_queries(method, queries, tau)
+        time_series.add(k, run.avg_time)
+        access_series.add(k, run.avg_accessed)
+    report(
+        "fig12a_k_sensitivity",
+        format_table(
+            "Fig 12 (k_s sensitivity, aids-like)",
+            "k_s",
+            list(grid.k_values),
+            [access_series, time_series],
+        ),
+    )
+    benchmark.pedantic(
+        lambda: run_queries(methods[grid.default_k], queries, tau),
+        rounds=1,
+        iterations=1,
+    )
+    # Shape check: large k must access no more graphs than the smallest k.
+    assert (
+        access_series.points[grid.k_values[-1]]
+        <= access_series.points[grid.k_values[0]]
+    )
+
+
+def test_fig12_h_sensitivity(benchmark, workload, grid, report):
+    data, queries = workload
+    tau = grid.default_tau
+    time_series = Series("SEGOS-h time (s)")
+    access_series = Series("SEGOS-h access#")
+    methods = {
+        h: SegosMethod(data.graphs, k=grid.default_k, h=h) for h in grid.h_values
+    }
+    for h, method in methods.items():
+        run = run_queries(method, queries, tau)
+        time_series.add(h, run.avg_time)
+        access_series.add(h, run.avg_accessed)
+    report(
+        "fig12b_h_sensitivity",
+        format_table(
+            "Fig 12 (h sensitivity, aids-like)",
+            "h",
+            list(grid.h_values),
+            [access_series, time_series],
+        ),
+    )
+    benchmark.pedantic(
+        lambda: run_queries(methods[grid.default_h], queries, tau),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,52 @@
+"""Figure 13: index size vs |D| for SEGOS, κ-AT and C-Tree (both datasets).
+
+Paper: SEGOS's two inverted indexes are the smallest at every |D|; C-Tree's
+closure hierarchy is the largest.  Our size metric is machine-independent:
+stored index entries (postings / closure entries), which dominate any
+realistic encoding.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import CTree, KappaAT, SegosMethod
+from repro.bench import Series, format_table
+
+
+def sweep_sizes(dataset, grid):
+    series = {
+        "SEGOS": Series("SEGOS"),
+        "κ-AT": Series("κ-AT"),
+        "C-Tree": Series("C-Tree"),
+    }
+    for size in grid.db_sizes:
+        graphs = dataset.subset(size).graphs
+        series["SEGOS"].add(size, SegosMethod(graphs).index_size())
+        series["κ-AT"].add(size, KappaAT(graphs, kappa=2).index_size())
+        series["C-Tree"].add(size, CTree(graphs).index_size())
+    return series
+
+
+@pytest.mark.parametrize("which", ["aids", "pdg"])
+def test_fig13_index_size(benchmark, which, aids_dataset, pdg_dataset, grid, report):
+    dataset = aids_dataset if which == "aids" else pdg_dataset
+    series = sweep_sizes(dataset, grid)
+    report(
+        f"fig13_index_size_{which}",
+        format_table(
+            f"Fig 13 (index size vs |D|, {dataset.name})",
+            "|D|",
+            list(grid.db_sizes),
+            list(series.values()),
+            fmt="{:.0f}",
+        ),
+    )
+    graphs = dataset.subset(grid.default_db_size).graphs
+    benchmark.pedantic(
+        lambda: SegosMethod(graphs).index_size(), rounds=1, iterations=1
+    )
+    # Shape: SEGOS index grows with |D| and every method's size is monotone.
+    for s in series.values():
+        values = [s.points[x] for x in grid.db_sizes]
+        assert values == sorted(values)

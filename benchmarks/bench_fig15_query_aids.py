@@ -1,0 +1,71 @@
+"""Figure 15: AIDS-like range queries vs τ — response time + candidate size.
+
+Paper: SEGOS returns the smallest candidate sets at every τ (up to two
+orders of magnitude below κ-AT) while keeping the best or near-best
+response time; the gap grows with τ.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import CStar, CTree, KappaAT, SegosMethod
+from repro.bench import Series, format_table, run_queries
+from repro.datasets import sample_queries
+
+
+@pytest.fixture(scope="module")
+def setup(aids_dataset, grid):
+    data = aids_dataset.subset(grid.default_db_size)
+    queries = sample_queries(data, grid.query_count, seed=41)
+    methods = [
+        SegosMethod(data.graphs, k=grid.default_k, h=grid.default_h),
+        CStar(data.graphs),
+        KappaAT(data.graphs, kappa=2),
+        CTree(data.graphs),
+    ]
+    return data, queries, methods
+
+
+def test_fig15_query_performance(benchmark, setup, grid, report):
+    data, queries, methods = setup
+    time_series = {m.name: Series(f"{m.name} time (s)") for m in methods}
+    cand_series = {m.name: Series(f"{m.name} cand#") for m in methods}
+    for tau in grid.tau_values:
+        for method in methods:
+            run = run_queries(method, queries, tau)
+            time_series[method.name].add(tau, run.avg_time)
+            cand_series[method.name].add(tau, run.avg_candidates)
+    report(
+        "fig15a_aids_time",
+        format_table(
+            "Fig 15(a) (response time vs τ, aids-like)",
+            "τ",
+            list(grid.tau_values),
+            list(time_series.values()),
+        ),
+    )
+    report(
+        "fig15b_aids_candidates",
+        format_table(
+            "Fig 15(b) (candidate size vs τ, aids-like)",
+            "τ",
+            list(grid.tau_values),
+            list(cand_series.values()),
+            fmt="{:.1f}",
+        ),
+    )
+    segos = methods[0]
+    benchmark.pedantic(
+        lambda: run_queries(segos, queries, grid.default_tau),
+        rounds=1,
+        iterations=1,
+    )
+    # Shape: SEGOS candidates ≤ κ-AT and ≤ C-Tree at the default τ.
+    tau = grid.default_tau
+    assert (
+        cand_series["SEGOS"].points[tau] <= cand_series["κ-AT"].points[tau]
+    )
+    assert (
+        cand_series["SEGOS"].points[tau] <= cand_series["C-Tree"].points[tau]
+    )

@@ -1,0 +1,65 @@
+"""Figure 16: Linux-like range queries vs τ — response time + candidate size.
+
+Paper: κ-AT is the fastest *filter* on this dataset but with by far the
+weakest filtering (800+ extra candidates even at τ = 6); SEGOS dominates
+C-Tree on both axes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import CStar, CTree, KappaAT, SegosMethod
+from repro.bench import Series, format_table, run_queries
+from repro.datasets import sample_queries
+
+
+@pytest.fixture(scope="module")
+def setup(pdg_dataset, grid):
+    data = pdg_dataset.subset(grid.default_db_size)
+    queries = sample_queries(data, grid.query_count, seed=42)
+    methods = [
+        SegosMethod(data.graphs, k=grid.default_k, h=grid.default_h),
+        CStar(data.graphs),
+        KappaAT(data.graphs, kappa=2),
+        CTree(data.graphs),
+    ]
+    return data, queries, methods
+
+
+def test_fig16_query_performance(benchmark, setup, grid, report):
+    data, queries, methods = setup
+    time_series = {m.name: Series(f"{m.name} time (s)") for m in methods}
+    cand_series = {m.name: Series(f"{m.name} cand#") for m in methods}
+    for tau in grid.tau_values:
+        for method in methods:
+            run = run_queries(method, queries, tau)
+            time_series[method.name].add(tau, run.avg_time)
+            cand_series[method.name].add(tau, run.avg_candidates)
+    report(
+        "fig16a_linux_time",
+        format_table(
+            "Fig 16(a) (response time vs τ, pdg-like)",
+            "τ",
+            list(grid.tau_values),
+            list(time_series.values()),
+        ),
+    )
+    report(
+        "fig16b_linux_candidates",
+        format_table(
+            "Fig 16(b) (candidate size vs τ, pdg-like)",
+            "τ",
+            list(grid.tau_values),
+            list(cand_series.values()),
+            fmt="{:.1f}",
+        ),
+    )
+    segos = methods[0]
+    benchmark.pedantic(
+        lambda: run_queries(segos, queries, grid.default_tau),
+        rounds=1,
+        iterations=1,
+    )
+    tau = grid.default_tau
+    assert cand_series["SEGOS"].points[tau] <= cand_series["κ-AT"].points[tau]

@@ -1,0 +1,61 @@
+"""Figure 17: AIDS-like scalability — time + candidates vs |D|.
+
+Paper (τ = 10, scaled here per DESIGN.md): SEGOS's response time grows only
+mildly with |D| (8 → 40 ms over 5K → 40K in the paper) and stays roughly
+0.1 % of C-Tree's and half of κ-AT's; candidate counts keep SEGOS lowest.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import CTree, KappaAT, SegosMethod
+from repro.bench import Series, format_table, run_queries
+from repro.datasets import sample_queries
+
+
+def test_fig17_scalability(benchmark, aids_dataset, grid, report):
+    tau = grid.scalability_tau_aids
+    time_series = {
+        name: Series(f"{name} time (s)") for name in ("SEGOS", "κ-AT", "C-Tree")
+    }
+    cand_series = {
+        name: Series(f"{name} cand#") for name in ("SEGOS", "κ-AT", "C-Tree")
+    }
+    for size in grid.db_sizes:
+        data = aids_dataset.subset(size)
+        queries = sample_queries(data, grid.query_count, seed=51)
+        for method in (
+            SegosMethod(data.graphs, k=grid.default_k, h=grid.default_h),
+            KappaAT(data.graphs, kappa=2),
+            CTree(data.graphs),
+        ):
+            run = run_queries(method, queries, tau)
+            time_series[method.name].add(size, run.avg_time)
+            cand_series[method.name].add(size, run.avg_candidates)
+    report(
+        "fig17a_aids_scalability_time",
+        format_table(
+            f"Fig 17(a) (time vs |D|, aids-like, τ={tau})",
+            "|D|",
+            list(grid.db_sizes),
+            list(time_series.values()),
+        ),
+    )
+    report(
+        "fig17b_aids_scalability_candidates",
+        format_table(
+            f"Fig 17(b) (candidates vs |D|, aids-like, τ={tau})",
+            "|D|",
+            list(grid.db_sizes),
+            list(cand_series.values()),
+            fmt="{:.1f}",
+        ),
+    )
+    data = aids_dataset.subset(grid.default_db_size)
+    queries = sample_queries(data, grid.query_count, seed=51)
+    segos = SegosMethod(data.graphs, k=grid.default_k, h=grid.default_h)
+    benchmark.pedantic(lambda: run_queries(segos, queries, tau), rounds=1, iterations=1)
+    # Shape: SEGOS filters at least as well as κ-AT at every size.
+    for size in grid.db_sizes:
+        assert cand_series["SEGOS"].points[size] <= cand_series["κ-AT"].points[size]

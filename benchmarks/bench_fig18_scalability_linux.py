@@ -1,0 +1,60 @@
+"""Figure 18: Linux-like scalability — time + candidates vs |D| (τ = 2 paper).
+
+Paper: on the PDG dataset SEGOS needs somewhat more time than κ-AT but
+filters out two orders of magnitude more candidates; C-Tree loses on both
+axes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import CTree, KappaAT, SegosMethod
+from repro.bench import Series, format_table, run_queries
+from repro.datasets import sample_queries
+
+
+def test_fig18_scalability(benchmark, pdg_dataset, grid, report):
+    tau = grid.scalability_tau_linux
+    time_series = {
+        name: Series(f"{name} time (s)") for name in ("SEGOS", "κ-AT", "C-Tree")
+    }
+    cand_series = {
+        name: Series(f"{name} cand#") for name in ("SEGOS", "κ-AT", "C-Tree")
+    }
+    for size in grid.db_sizes:
+        data = pdg_dataset.subset(size)
+        queries = sample_queries(data, grid.query_count, seed=52)
+        for method in (
+            SegosMethod(data.graphs, k=grid.default_k, h=grid.default_h),
+            KappaAT(data.graphs, kappa=2),
+            CTree(data.graphs),
+        ):
+            run = run_queries(method, queries, tau)
+            time_series[method.name].add(size, run.avg_time)
+            cand_series[method.name].add(size, run.avg_candidates)
+    report(
+        "fig18a_linux_scalability_time",
+        format_table(
+            f"Fig 18(a) (time vs |D|, pdg-like, τ={tau})",
+            "|D|",
+            list(grid.db_sizes),
+            list(time_series.values()),
+        ),
+    )
+    report(
+        "fig18b_linux_scalability_candidates",
+        format_table(
+            f"Fig 18(b) (candidates vs |D|, pdg-like, τ={tau})",
+            "|D|",
+            list(grid.db_sizes),
+            list(cand_series.values()),
+            fmt="{:.1f}",
+        ),
+    )
+    data = pdg_dataset.subset(grid.default_db_size)
+    queries = sample_queries(data, grid.query_count, seed=52)
+    segos = SegosMethod(data.graphs, k=grid.default_k, h=grid.default_h)
+    benchmark.pedantic(lambda: run_queries(segos, queries, tau), rounds=1, iterations=1)
+    for size in grid.db_sizes:
+        assert cand_series["SEGOS"].points[size] <= cand_series["κ-AT"].points[size]

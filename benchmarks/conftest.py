@@ -1,0 +1,49 @@
+"""Shared fixtures for the figure-reproduction benchmarks.
+
+Every benchmark regenerates one figure of the paper's Section VI at the
+scaled-down defaults of :data:`repro.bench.params.SCALED_DEFAULTS` (see
+DESIGN.md §3 for the scale mapping).  Each bench prints its series table and
+also writes it to ``benchmarks/results/<figure>.txt`` so the paper-shaped
+data survives without ``-s``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.bench import SCALED_DEFAULTS
+from repro.datasets import aids_like, pdg_like
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def grid():
+    return SCALED_DEFAULTS
+
+
+@pytest.fixture(scope="session")
+def aids_dataset(grid):
+    """AIDS stand-in sized for the largest |D| any sweep requests."""
+    return aids_like(max(grid.db_sizes), seed=2012, mean_order=grid.mean_order)
+
+
+@pytest.fixture(scope="session")
+def pdg_dataset(grid):
+    """Linux stand-in sized for the largest |D| any sweep requests."""
+    return pdg_like(max(grid.db_sizes), seed=2012, mean_order=grid.mean_order)
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Print a figure table and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _report(figure_id: str, table: str) -> None:
+        print()
+        print(table)
+        (RESULTS_DIR / f"{figure_id}.txt").write_text(table + "\n", encoding="utf-8")
+
+    return _report

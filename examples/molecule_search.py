@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Chemical-compound similarity search (the paper's AIDS scenario).
+
+Builds an AIDS-like corpus of molecule-shaped graphs, takes a few compounds,
+perturbs each by a couple of edits (a noisy re-measurement, say) and runs
+GED range queries to recover the originals — comparing SEGOS's access count
+against the index-free C-Star scan.
+
+Run with::
+
+    python examples/molecule_search.py [corpus_size]
+"""
+
+import sys
+
+from repro import SegosIndex
+from repro.baselines import CStar
+from repro.datasets import aids_like, sample_queries
+
+
+def main(corpus_size: int = 300) -> None:
+    data = aids_like(corpus_size, seed=7, mean_order=12.0)
+    print(
+        f"corpus: {len(data)} compounds, avg {data.average_order():.1f} atoms, "
+        f"{len(data.labels)} element labels"
+    )
+
+    db = SegosIndex(data.graphs, k=20, h=100)
+    cstar = CStar(data.graphs)
+    queries = sample_queries(data, 5, seed=13, edits=2)
+
+    tau = 3
+    print(f"\nrange queries with tau={tau} (queries are 2-edit mutations):")
+    print(f"{'query':>6} {'cands':>6} {'confirmed':>9} {'accessed':>9} {'cstar-accessed':>14}")
+    for i, query in enumerate(queries):
+        result = db.range_query(query, tau)
+        baseline = cstar.range_query(query, tau)
+        print(
+            f"{i:>6} {len(result.candidates):>6} {len(result.matches):>9} "
+            f"{result.stats.graphs_accessed:>9} {baseline.graphs_accessed:>14}"
+        )
+
+    print(
+        "\nSEGOS touches a fraction of the database per query; C-Star always "
+        "computes a mapping distance for every compound."
+    )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 300)

@@ -1,0 +1,34 @@
+#!/usr/bin/env python3
+"""EXPLAIN for graph queries: see what each SEGOS stage did — plus the
+edit script showing *how* a match differs from the query.
+
+Run with::
+
+    python examples/query_explain.py
+"""
+
+from repro import SegosIndex
+from repro.core.explain import explain_range_query
+from repro.datasets import aids_like, sample_queries
+from repro.graphs.editpath import extract_edit_script, render_edit_script
+
+
+def main() -> None:
+    data = aids_like(200, seed=31, mean_order=10.0)
+    engine = SegosIndex(data.graphs, k=30, h=100)
+    query = sample_queries(data, 1, seed=37, edits=2)[0]
+
+    explanation = explain_range_query(engine, query, tau=3)
+    print(explanation.render())
+
+    result = engine.range_query(query, 3, verify="exact")
+    if result.matches:
+        gid = sorted(result.matches)[0]
+        script = extract_edit_script(query, engine.graph(gid))
+        print(f"\nedit script from the query to match {gid} "
+              f"({len(script)} operations):")
+        print(render_edit_script(script) or "  (identical)")
+
+
+if __name__ == "__main__":
+    main()

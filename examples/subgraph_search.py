@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Subgraph similarity search — the paper's conclusion extension, live.
+
+Finds the database compounds that *contain* a functional-group-like query
+pattern (exactly, or within a few edits), using the same two-level SEGOS
+index with the adapted sub-star bounds.
+
+Run with::
+
+    python examples/subgraph_search.py
+"""
+
+from repro import Graph, SegosIndex
+from repro.core.subsearch import SubgraphSearch
+from repro.datasets import aids_like, summarize
+
+
+def main() -> None:
+    data = aids_like(120, seed=17, mean_order=10.0)
+    print("corpus:", summarize(data.graphs.values()).describe())
+
+    engine = SegosIndex(data.graphs)
+    search = SubgraphSearch(engine, k=25)
+
+    # A small "functional group": the three most common element labels of
+    # the chemical-like generator form a branching pattern.
+    pattern = Graph(["C00", "C00", "C01"], [(0, 1), (0, 2)])
+    print(f"\npattern: {pattern.order} vertices, {pattern.size} edges")
+
+    for tau in (0, 1):
+        result = search.range_query(pattern, tau, verify="exact")
+        print(
+            f"tau={tau}: {len(result.matches)} graphs contain the pattern "
+            f"(within {tau} edits); filter accessed "
+            f"{result.stats.graphs_accessed}/{len(engine)} graphs"
+        )
+
+    # Exact containment mirrors classic subgraph-isomorphism search.
+    exact = search.range_query(pattern, 0, verify="exact")
+    sample = sorted(exact.matches)[:5]
+    print(f"\nfirst containing graphs: {sample}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+"""SEGOS — graph similarity search by graph edit distance.
+
+A complete reproduction of *"An Efficient Graph Indexing Method"*
+(Wang, Ding, Tung, Ying, Jin; ICDE 2012): a two-level inverted index over
+star decompositions of graphs, searched with TA/CA-style algorithms, plus
+the baselines the paper compares against (C-Star, κ-AT, C-Tree).
+
+Quickstart
+----------
+>>> from repro import Graph, SegosIndex
+>>> db = SegosIndex()
+>>> db.add("caffeine-ish", Graph(["C", "N", "C"], [(0, 1), (1, 2)]))
+>>> db.add("other", Graph(["O", "O", "O"], [(0, 1), (1, 2)]))
+>>> hits = db.range_query(Graph(["C", "N", "C"], [(0, 1), (1, 2)]), tau=1)
+>>> "caffeine-ish" in hits.candidates
+True
+"""
+
+from .graphs.model import Graph
+from .graphs.star import Star, decompose, star_edit_distance
+from .graphs.edit_distance import ged_within, graph_edit_distance
+from .matching.mapping import mapping_distance
+from .core.engine import QueryResult, SegosIndex
+from .core.stats import QueryStats
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Graph",
+    "QueryResult",
+    "QueryStats",
+    "SegosIndex",
+    "Star",
+    "decompose",
+    "ged_within",
+    "graph_edit_distance",
+    "mapping_distance",
+    "star_edit_distance",
+    "__version__",
+]

@@ -1,0 +1,21 @@
+"""Comparison methods from the paper's evaluation plus the exact oracle."""
+
+from .base import FilterResult, RangeQueryMethod
+from .cstar import CStar
+from .ctree import Closure, CTree
+from .kat import KappaAT, adjacent_tree_signature, pattern_multiset
+from .linear import LinearScan
+from .segos_adapter import SegosMethod
+
+__all__ = [
+    "CStar",
+    "CTree",
+    "Closure",
+    "FilterResult",
+    "KappaAT",
+    "LinearScan",
+    "RangeQueryMethod",
+    "SegosMethod",
+    "adjacent_tree_signature",
+    "pattern_multiset",
+]

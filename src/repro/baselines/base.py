@@ -1,0 +1,59 @@
+"""Common interface for the range-query methods benchmarked in the paper.
+
+Every method — SEGOS itself (adapted in :mod:`repro.baselines.segos_adapter`)
+and the three comparison systems — exposes the same small surface so the
+benchmark harness can sweep them uniformly:
+
+* ``build(graphs)`` happens in the constructor (timed by the Figure 13/14
+  benches);
+* :meth:`range_query` returns a :class:`FilterResult` whose ``candidates``
+  must be a superset of the true answers (soundness is property-tested);
+* :meth:`index_size` reports a machine-independent footprint metric.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Set
+
+from ..graphs.model import Graph
+
+
+@dataclass
+class FilterResult:
+    """Outcome of one filtering run (before any exact verification)."""
+
+    candidates: List[object]
+    #: candidates confirmed as true matches by an upper bound (may be empty
+    #: for methods that do not produce upper bounds)
+    confirmed: Set[object] = field(default_factory=set)
+    #: graphs whose mapping distance (or equivalent heavy check) was computed
+    graphs_accessed: int = 0
+    elapsed: float = 0.0
+
+
+class RangeQueryMethod(abc.ABC):
+    """Abstract base for the filtering methods under comparison."""
+
+    #: short display name used by bench report tables
+    name: str = "method"
+
+    def __init__(self, graphs: Mapping[object, Graph]) -> None:
+        self.graphs: Dict[object, Graph] = dict(graphs)
+
+    @abc.abstractmethod
+    def range_query(self, query: Graph, tau: float) -> FilterResult:
+        """Return a sound candidate set for ``{g : λ(q, g) ≤ τ}``."""
+
+    @abc.abstractmethod
+    def index_size(self) -> int:
+        """Footprint metric: number of stored index entries."""
+
+    def timed_range_query(self, query: Graph, tau: float) -> FilterResult:
+        """Run :meth:`range_query` and stamp the elapsed wall-clock time."""
+        started = time.perf_counter()
+        result = self.range_query(query, tau)
+        result.elapsed = time.perf_counter() - started
+        return result

@@ -1,0 +1,49 @@
+"""C-Star: the full-scan star filter of Zeng et al. [9] (PVLDB 2009).
+
+C-Star is the method SEGOS builds on and the subject of Figure 19: for every
+database graph it computes the mapping distance ``µ(q, g)`` with one
+Hungarian run, prunes when the Lemma 2 lower bound ``L_m = µ/δ`` exceeds τ,
+and confirms when the Lemma 3 upper bound falls within τ.  It has excellent
+filtering power but, having no index, must touch *all* |D| graphs per query
+— the scalability wall SEGOS exists to remove.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Set
+
+from ..graphs.model import Graph, normalization_factor
+from ..matching.mapping import edit_cost_under_mapping, mapping_result
+from .base import FilterResult, RangeQueryMethod
+
+
+class CStar(RangeQueryMethod):
+    """Linear-scan star-based filter (no index)."""
+
+    name = "C-Star"
+
+    def range_query(self, query: Graph, tau: float) -> FilterResult:
+        if query.order == 0:
+            raise ValueError("query graph must not be empty")
+        if tau < 0:
+            raise ValueError("tau must be non-negative")
+        candidates: List[object] = []
+        confirmed: Set[object] = set()
+        accessed = 0
+        for gid, graph in self.graphs.items():
+            accessed += 1
+            result = mapping_result(query, graph)
+            delta = normalization_factor(query, graph)
+            if result.distance / delta > tau:
+                continue
+            candidates.append(gid)
+            upper = edit_cost_under_mapping(query, graph, result.vertex_mapping)
+            if upper <= tau:
+                confirmed.add(gid)
+        return FilterResult(
+            candidates=candidates, confirmed=confirmed, graphs_accessed=accessed
+        )
+
+    def index_size(self) -> int:
+        """C-Star keeps no index at all."""
+        return 0

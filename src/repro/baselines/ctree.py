@@ -1,0 +1,183 @@
+"""C-Tree: hierarchical closure-tree index (He & Singh [5], ICDE 2006).
+
+C-Tree organises graphs in an R-tree-like hierarchy whose internal nodes
+summarise their descendants by a *graph closure*; range queries descend the
+tree, pruning any subtree whose closure-based GED lower bound already
+exceeds τ.
+
+Substitution note (see DESIGN.md §3): the original closure is a structural
+union graph built by pairwise alignment.  We keep the hierarchical shape and
+the pruning contract but summarise each node with sound optimistic
+statistics — order range, edge-count range, and per-label maximum vertex
+counts over the descendants.  The node lower bound
+
+    LB(q, node) = [max(|q|, min_order) − Σ_ℓ min(c_q(ℓ), maxcount(ℓ))]⁺
+                  + [max(0, |E(q)| − max_edges, min_edges − |E(q)|)]
+
+under-estimates ``λ(q, g)`` for every descendant g (vertex edits and edge
+edits are disjoint operation classes, so the two terms add).  Leaves apply
+the same bound with the graph's exact statistics.  This keeps the C-Tree
+behaviour the paper reports: cheap-ish traversal, but filtering power well
+below the star-based methods.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..graphs.model import Graph
+from .base import FilterResult, RangeQueryMethod
+
+DEFAULT_FANOUT = 8
+
+
+@dataclass
+class Closure:
+    """Optimistic summary of a set of graphs."""
+
+    min_order: int
+    max_order: int
+    min_edges: int
+    max_edges: int
+    label_max: Dict[str, int]
+
+    @classmethod
+    def of_graph(cls, graph: Graph) -> "Closure":
+        return cls(
+            min_order=graph.order,
+            max_order=graph.order,
+            min_edges=graph.size,
+            max_edges=graph.size,
+            label_max=dict(Counter(graph.labels().values())),
+        )
+
+    @classmethod
+    def merge(cls, closures: Sequence["Closure"]) -> "Closure":
+        label_max: Dict[str, int] = {}
+        for closure in closures:
+            for label, count in closure.label_max.items():
+                if count > label_max.get(label, 0):
+                    label_max[label] = count
+        return cls(
+            min_order=min(c.min_order for c in closures),
+            max_order=max(c.max_order for c in closures),
+            min_edges=min(c.min_edges for c in closures),
+            max_edges=max(c.max_edges for c in closures),
+            label_max=label_max,
+        )
+
+    def lower_bound(self, query_labels: Counter, query_order: int, query_edges: int) -> int:
+        """Sound GED lower bound between the query and any summarised graph."""
+        matchable = sum(
+            min(count, self.label_max.get(label, 0))
+            for label, count in query_labels.items()
+        )
+        vertex_part = max(query_order, self.min_order) - matchable
+        edge_part = max(0, query_edges - self.max_edges, self.min_edges - query_edges)
+        return max(0, vertex_part) + edge_part
+
+    def entry_count(self) -> int:
+        """Stored entries: the scalar stats plus one per label."""
+        return 4 + len(self.label_max)
+
+
+@dataclass
+class _Node:
+    closure: Closure
+    children: List["_Node"] = field(default_factory=list)
+    gid: Optional[object] = None  # set on leaves
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.gid is not None
+
+
+class CTree(RangeQueryMethod):
+    """Closure-tree index with bulk loading and closure-bound pruning.
+
+    Graphs are bulk-loaded sorted by (order, edge count) so that closures
+    summarise graphs of similar shape — the tight-closure goal of the
+    original insertion heuristics, achieved the simple way.
+    """
+
+    name = "C-Tree"
+
+    def __init__(
+        self, graphs: Mapping[object, Graph], *, fanout: int = DEFAULT_FANOUT
+    ) -> None:
+        super().__init__(graphs)
+        if fanout < 2:
+            raise ValueError("fanout must be >= 2")
+        self.fanout = fanout
+        leaves = [
+            _Node(closure=Closure.of_graph(graph), gid=gid)
+            for gid, graph in sorted(
+                self.graphs.items(),
+                key=lambda item: (item[1].order, item[1].size, str(item[0])),
+            )
+        ]
+        self.root = self._build(leaves)
+
+    def _build(self, nodes: List[_Node]) -> Optional[_Node]:
+        if not nodes:
+            return None
+        while len(nodes) > 1:
+            grouped: List[_Node] = []
+            for start in range(0, len(nodes), self.fanout):
+                chunk = nodes[start : start + self.fanout]
+                grouped.append(
+                    _Node(
+                        closure=Closure.merge([n.closure for n in chunk]),
+                        children=chunk,
+                    )
+                )
+            nodes = grouped
+        return nodes[0]
+
+    def range_query(self, query: Graph, tau: float) -> FilterResult:
+        if query.order == 0:
+            raise ValueError("query graph must not be empty")
+        if tau < 0:
+            raise ValueError("tau must be non-negative")
+        if self.root is None:
+            return FilterResult(candidates=[])
+        query_labels = Counter(query.labels().values())
+        query_order, query_edges = query.order, query.size
+        candidates: List[object] = []
+        nodes_visited = 0
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            nodes_visited += 1
+            bound = node.closure.lower_bound(query_labels, query_order, query_edges)
+            if bound > tau:
+                continue
+            if node.is_leaf:
+                candidates.append(node.gid)
+            else:
+                stack.extend(node.children)
+        result = FilterResult(candidates=candidates, graphs_accessed=0)
+        result.nodes_visited = nodes_visited  # type: ignore[attr-defined]
+        return result
+
+    def index_size(self) -> int:
+        """Total closure entries over all tree nodes."""
+        if self.root is None:
+            return 0
+        total = 0
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            total += node.closure.entry_count()
+            stack.extend(node.children)
+        return total
+
+    def depth(self) -> int:
+        """Tree height (1 for a single leaf)."""
+        depth, node = 0, self.root
+        while node is not None:
+            depth += 1
+            node = node.children[0] if node.children else None
+        return depth

@@ -1,0 +1,24 @@
+"""Benchmark support: parameter grids, timers, and report tables."""
+
+from .charts import render_chart
+from .harness import (
+    MethodRun,
+    Series,
+    average_stats,
+    format_table,
+    run_queries,
+    time_build,
+)
+from .params import ParamGrid, SCALED_DEFAULTS
+
+__all__ = [
+    "MethodRun",
+    "ParamGrid",
+    "SCALED_DEFAULTS",
+    "Series",
+    "average_stats",
+    "format_table",
+    "render_chart",
+    "run_queries",
+    "time_build",
+]

@@ -1,0 +1,79 @@
+"""Plain-text charts for the benchmark reports.
+
+The paper presents its evaluation as line charts; offline and terminal-
+bound, we render the same series as ASCII charts under each table so the
+*shape* — knees, crossovers, orders-of-magnitude gaps — is visible at a
+glance in ``benchmarks/results/*.txt``.  Log scaling kicks in
+automatically when a chart spans more than two decades (most
+candidate-count figures do).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+from .harness import Series
+
+_BARS = "▏▎▍▌▋▊▉█"
+
+
+def _scale(value: float, low: float, high: float, log: bool) -> float:
+    if high <= low:
+        return 1.0
+    if log:
+        value, low, high = (math.log10(max(v, 1e-12)) for v in (value, low, high))
+        if high <= low:
+            return 1.0
+    return max(0.0, min(1.0, (value - low) / (high - low)))
+
+
+def render_chart(
+    title: str,
+    x_values: Sequence[object],
+    series: Sequence[Series],
+    *,
+    width: int = 40,
+) -> str:
+    """Render series as horizontal bar groups, one block per x-value.
+
+    Examples
+    --------
+    >>> s = Series("demo"); s.add(1, 1.0); s.add(2, 10.0)
+    >>> print(render_chart("t", [1, 2], [s]))  # doctest: +ELLIPSIS
+    -- t --
+    ...
+    """
+    values: List[float] = [
+        v
+        for s in series
+        for v in (s.points.get(x) for x in x_values)
+        if v is not None and v > 0 or v == 0
+    ]
+    positives = [v for v in values if v > 0]
+    if not positives:
+        return f"-- {title} --\n(no data)"
+    low, high = min(positives), max(values)
+    log = high / max(low, 1e-12) > 100.0
+    label_width = max(len(s.label) for s in series)
+    x_width = max(len(str(x)) for x in x_values)
+
+    lines = [f"-- {title}{' (log scale)' if log else ''} --"]
+    for x in x_values:
+        for s in series:
+            value = s.points.get(x)
+            if value is None:
+                continue
+            frac = _scale(value, low if log else 0.0, high, log)
+            cells = frac * width
+            full = int(cells)
+            frac_cell = cells - full
+            bar = "█" * full
+            if frac_cell > 1 / 16 and full < width:
+                bar += _BARS[int(frac_cell * 8)]
+            lines.append(
+                f"{str(x).rjust(x_width)} {s.label.ljust(label_width)} "
+                f"|{bar.ljust(width)}| {value:.4g}"
+            )
+        lines.append("")
+    return "\n".join(lines).rstrip()

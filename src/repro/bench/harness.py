@@ -1,0 +1,117 @@
+"""Workload runners and plain-text report tables for the benchmarks.
+
+Each benchmark file regenerates one of the paper's figures as a table of
+series (one row per x-value, one column group per method), printed to stdout
+so ``pytest benchmarks/ --benchmark-only -s`` shows the paper-shaped data
+alongside pytest-benchmark's timing output.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..baselines.base import FilterResult, RangeQueryMethod
+from ..graphs.model import Graph
+
+
+@dataclass
+class MethodRun:
+    """Averaged outcome of a method over a query workload."""
+
+    method: str
+    avg_time: float
+    avg_candidates: float
+    avg_accessed: float
+    avg_confirmed: float = 0.0
+
+
+@dataclass
+class Series:
+    """One line of a figure: y-values indexed by the sweep variable."""
+
+    label: str
+    points: Dict[object, float] = field(default_factory=dict)
+
+    def add(self, x: object, y: float) -> None:
+        self.points[x] = y
+
+
+def run_queries(
+    method: RangeQueryMethod, queries: Sequence[Graph], tau: float
+) -> MethodRun:
+    """Execute a query workload and average the interesting counters."""
+    if not queries:
+        raise ValueError("empty query workload")
+    total_time = 0.0
+    total_candidates = 0
+    total_accessed = 0
+    total_confirmed = 0
+    for query in queries:
+        result = method.timed_range_query(query, tau)
+        total_time += result.elapsed
+        total_candidates += len(result.candidates)
+        total_accessed += result.graphs_accessed
+        total_confirmed += len(result.confirmed)
+    n = len(queries)
+    return MethodRun(
+        method=method.name,
+        avg_time=total_time / n,
+        avg_candidates=total_candidates / n,
+        avg_accessed=total_accessed / n,
+        avg_confirmed=total_confirmed / n,
+    )
+
+
+def time_build(factory: Callable[[], RangeQueryMethod]) -> Tuple[RangeQueryMethod, float]:
+    """Construct a method (its index build) under a wall-clock timer."""
+    started = time.perf_counter()
+    method = factory()
+    return method, time.perf_counter() - started
+
+
+def average_stats(values: Sequence[float]) -> float:
+    """Mean of a non-empty sequence."""
+    if not values:
+        raise ValueError("no values to average")
+    return sum(values) / len(values)
+
+
+def format_table(
+    title: str,
+    x_label: str,
+    x_values: Sequence[object],
+    series: Sequence[Series],
+    *,
+    fmt: str = "{:.4g}",
+    chart: bool = True,
+) -> str:
+    """Render series as a fixed-width text table (one row per x-value).
+
+    With ``chart`` (the default) an ASCII bar chart of the same series is
+    appended, so the figure's *shape* is visible directly in the report.
+    """
+    headers = [x_label] + [s.label for s in series]
+    rows: List[List[str]] = []
+    for x in x_values:
+        row = [str(x)]
+        for s in series:
+            value = s.points.get(x)
+            row.append("-" if value is None else fmt.format(value))
+        rows.append(row)
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rows)) if rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [f"== {title} =="]
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    if chart and rows:
+        from .charts import render_chart  # local import to avoid a cycle
+
+        lines.append("")
+        lines.append(render_chart(title, x_values, series))
+    return "\n".join(lines)

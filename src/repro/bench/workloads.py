@@ -1,0 +1,80 @@
+"""Named query workloads used by the benchmarks and examples.
+
+Besides the paper's default workload (random database members, Section VI),
+two stress shapes matter:
+
+* **clone-mass** — the Section VI-E worst case: the database contains a
+  mass of graphs similar to the query, so almost nothing can be pruned and
+  SEGOS degrades towards C-Star's linear behaviour (the paper verifies the
+  TA overhead stays negligible even then);
+* **outlier** — the opposite extreme: the query shares almost nothing with
+  the database, so the CA threshold should halt both sides almost
+  immediately.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..datasets.corpora import Dataset
+from ..graphs.generators import erdos_renyi, make_label_alphabet, mutate
+from ..graphs.model import Graph
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A corpus plus the queries to run against it."""
+
+    name: str
+    graphs: Dict[str, Graph]
+    queries: List[Graph]
+
+
+def default_workload(dataset: Dataset, query_count: int, *, seed: int = 0) -> Workload:
+    """The paper's setting: queries drawn from the database itself."""
+    rng = random.Random(seed)
+    pool = list(dataset.graphs.values())
+    queries = [rng.choice(pool).copy() for _ in range(query_count)]
+    return Workload("default", dict(dataset.graphs), queries)
+
+
+def clone_mass_workload(
+    dataset: Dataset,
+    query_count: int,
+    *,
+    clones_per_query: int = 20,
+    clone_edits: int = 1,
+    seed: int = 0,
+) -> Workload:
+    """Section VI-E's worst case: many near-copies of each query planted.
+
+    Each query gets ``clones_per_query`` light mutations inserted into the
+    corpus, so a similarity search around it finds a mass of near-matches.
+    """
+    rng = random.Random(seed)
+    graphs = dict(dataset.graphs)
+    pool = list(dataset.graphs.values())
+    queries: List[Graph] = []
+    for qi in range(query_count):
+        source = rng.choice(pool)
+        queries.append(source.copy())
+        for ci in range(clones_per_query):
+            graphs[f"clone-{qi}-{ci}"] = mutate(
+                rng, source, clone_edits, dataset.labels
+            )
+    return Workload("clone-mass", graphs, queries)
+
+
+def outlier_workload(
+    dataset: Dataset, query_count: int, *, seed: int = 0
+) -> Workload:
+    """Queries over a label alphabet disjoint from the corpus."""
+    rng = random.Random(seed)
+    alien_labels = make_label_alphabet(8, prefix="ALIEN")
+    queries = [
+        erdos_renyi(rng, alien_labels, rng.randint(5, 10), 0.3)
+        for _ in range(query_count)
+    ]
+    return Workload("outlier", dict(dataset.graphs), queries)

@@ -1,0 +1,187 @@
+"""Command-line interface: build, inspect and query SEGOS databases.
+
+Installed as ``python -m repro`` (see ``__main__.py``).  Subcommands::
+
+    build   <graphs.txt> <db.segos>        build + persist a database
+    stats   <db.segos>                     index statistics
+    query   <db.segos> <query.txt> --tau N range query (first graph of file)
+    knn     <db.segos> <query.txt> -k N    k nearest neighbours
+    generate {aids,pdg} <out.txt> -n N     write a synthetic corpus
+
+The query file is the usual transaction format; its first graph is the
+query.  Everything prints plain text and exits non-zero on bad input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import __version__
+from .core.engine import SegosIndex
+from .core.join import similarity_self_join
+from .core.knn import knn_query
+from .core.persistence import load_index, save_index
+from .datasets import aids_like, pdg_like
+from .errors import ReproError
+from .graphs import io as gio
+
+
+def _load_query(path: str):
+    pairs = gio.load(path)
+    if not pairs:
+        raise ReproError(f"no graphs in query file {path!r}")
+    return pairs[0][1]
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    pairs = gio.load(args.graphs)
+    engine = SegosIndex(k=args.k, h=args.h)
+    for gid, graph in pairs:
+        engine.add(gid, graph)
+    save_index(engine, args.output)
+    print(
+        f"indexed {len(engine)} graphs "
+        f"({engine.distinct_star_count()} distinct stars, "
+        f"{engine.index_size()} index entries) -> {args.output}"
+    )
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    engine = load_index(args.database)
+    orders = [engine.graph(gid).order for gid in engine.gids()]
+    print(f"graphs:         {len(engine)}")
+    print(f"distinct stars: {engine.distinct_star_count()}")
+    print(f"index entries:  {engine.index_size()}")
+    if orders:
+        print(f"order range:    {min(orders)}..{max(orders)}")
+        print(f"avg order:      {sum(orders) / len(orders):.2f}")
+    print(f"max degree:     {engine.index.database_max_degree()}")
+    print(f"parameters:     k={engine.k} h={engine.h}")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    engine = load_index(args.database)
+    query = _load_query(args.query)
+    result = engine.range_query(
+        query, args.tau, verify="exact" if args.verify else "none"
+    )
+    kind = "matches" if args.verify else "candidates"
+    hits = sorted(result.matches) if args.verify else sorted(map(str, result.candidates))
+    print(f"{kind} (tau={args.tau}): {len(hits)}")
+    for gid in hits:
+        print(f"  {gid}")
+    print(
+        f"accessed {result.stats.graphs_accessed} graphs, "
+        f"pruned {dict(result.stats.pruned_by)}, "
+        f"{result.elapsed * 1000:.1f} ms"
+    )
+    return 0
+
+
+def _cmd_knn(args: argparse.Namespace) -> int:
+    engine = load_index(args.database)
+    query = _load_query(args.query)
+    result = knn_query(engine, query, args.k)
+    print(f"{args.k}-nearest neighbours ({result.rings} rings):")
+    for gid, distance in result.neighbours:
+        print(f"  {gid}  ged={distance}")
+    return 0
+
+
+def _cmd_join(args: argparse.Namespace) -> int:
+    engine = load_index(args.database)
+    result = similarity_self_join(
+        engine, args.tau, verify="exact" if args.verify else "none"
+    )
+    pairs = sorted(result.matches) if args.verify else sorted(
+        (str(a), str(b)) for a, b in result.pairs
+    )
+    kind = "matched pairs" if args.verify else "candidate pairs"
+    print(f"{kind} (tau={args.tau}): {len(pairs)}")
+    for a, b in pairs:
+        print(f"  {a} -- {b}")
+    print(
+        f"accessed {result.stats.graphs_accessed} graphs for mapping "
+        f"distances, {result.elapsed * 1000:.1f} ms"
+    )
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    maker = aids_like if args.kind == "aids" else pdg_like
+    data = maker(args.count, seed=args.seed)
+    gio.save(args.output, data.graphs.items())
+    print(
+        f"wrote {len(data)} {data.name} graphs "
+        f"(avg order {data.average_order():.1f}) -> {args.output}"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SEGOS graph similarity search (ICDE 2012 reproduction)",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    build = sub.add_parser("build", help="build and persist a database")
+    build.add_argument("graphs", help="transaction-format graph file")
+    build.add_argument("output", help="output .segos database file")
+    build.add_argument("-k", type=int, default=100, help="TA top-k (default 100)")
+    build.add_argument("--h", type=int, default=1000, help="CA checkpoint period")
+    build.set_defaults(func=_cmd_build)
+
+    stats = sub.add_parser("stats", help="print database statistics")
+    stats.add_argument("database")
+    stats.set_defaults(func=_cmd_stats)
+
+    query = sub.add_parser("query", help="GED range query")
+    query.add_argument("database")
+    query.add_argument("query", help="file whose first graph is the query")
+    query.add_argument("--tau", type=float, required=True, help="GED threshold")
+    query.add_argument(
+        "--verify", action="store_true", help="verify candidates with exact GED"
+    )
+    query.set_defaults(func=_cmd_query)
+
+    knn = sub.add_parser("knn", help="k nearest neighbours by exact GED")
+    knn.add_argument("database")
+    knn.add_argument("query")
+    knn.add_argument("-k", type=int, default=5)
+    knn.set_defaults(func=_cmd_knn)
+
+    join = sub.add_parser("join", help="similarity self-join of the database")
+    join.add_argument("database")
+    join.add_argument("--tau", type=float, required=True, help="GED threshold")
+    join.add_argument(
+        "--verify", action="store_true", help="verify pairs with exact GED"
+    )
+    join.set_defaults(func=_cmd_join)
+
+    generate = sub.add_parser("generate", help="write a synthetic corpus")
+    generate.add_argument("kind", choices=["aids", "pdg"])
+    generate.add_argument("output")
+    generate.add_argument("-n", "--count", type=int, default=100)
+    generate.add_argument("--seed", type=int, default=2012)
+    generate.set_defaults(func=_cmd_generate)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

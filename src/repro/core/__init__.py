@@ -1,0 +1,75 @@
+"""SEGOS core: two-level index, TA/CA search, engine facade, pipeline."""
+
+from .bounds import SeenGraph
+from .ca_search import CAResult, ca_range_query
+from .engine import DEFAULT_K, QueryResult, SegosIndex
+from .explain import QueryExplanation, StarTrace, explain_range_query
+from .join import JoinResult, similarity_join, similarity_self_join
+from .knn import KnnResult, knn_query
+from .verify import VerificationReport, verify_candidates
+from .persistence import load_index, save_index
+from .pipeline import PIPELINE_K, PipelinedSegos
+from .subsearch import (
+    SubgraphQueryResult,
+    SubgraphSearch,
+    sub_lower_bound,
+    sub_mapping_distance,
+    sub_star_distance,
+)
+from .graph_lists import GraphListEntry, QueryStarLists, build_all_lists
+from .index import (
+    GraphMeta,
+    LowerEntry,
+    LowerLevelIndex,
+    StarCatalog,
+    TwoLevelIndex,
+    UpperEntry,
+    UpperLevelIndex,
+)
+from .merge import merge_groups, merge_groups_eager
+from .stats import QueryStats
+from .ta_search import TopKResult, brute_force_top_k, top_k_stars
+
+__all__ = [
+    "CAResult",
+    "DEFAULT_K",
+    "JoinResult",
+    "KnnResult",
+    "PIPELINE_K",
+    "PipelinedSegos",
+    "SubgraphQueryResult",
+    "StarTrace",
+    "SubgraphSearch",
+    "VerificationReport",
+    "GraphListEntry",
+    "GraphMeta",
+    "LowerEntry",
+    "LowerLevelIndex",
+    "QueryExplanation",
+    "QueryResult",
+    "QueryStarLists",
+    "QueryStats",
+    "SeenGraph",
+    "SegosIndex",
+    "StarCatalog",
+    "TopKResult",
+    "TwoLevelIndex",
+    "UpperEntry",
+    "UpperLevelIndex",
+    "brute_force_top_k",
+    "build_all_lists",
+    "ca_range_query",
+    "explain_range_query",
+    "knn_query",
+    "load_index",
+    "merge_groups",
+    "merge_groups_eager",
+    "save_index",
+    "similarity_join",
+    "similarity_self_join",
+    "sub_lower_bound",
+    "sub_mapping_distance",
+    "sub_star_distance",
+    "top_k_stars",
+    "verify_candidates",
+]

@@ -1,0 +1,120 @@
+"""Aggregation bounds for seen graphs (Section V-C, Theorem 2).
+
+While the CA scan walks the graph score lists it accumulates, per seen data
+graph ``g``, everything needed to evaluate the bound chain
+
+    ζ(q, g)  ≤  L_µ(q, g)  ≤  µ(q, g)  ≤  U_µ(q, g)
+
+in constant-ish time per checkpoint:
+
+* ``ζ`` — sum over lists of the minimum SED of g's entries seen under each
+  list (missing lists contribute 0);
+* ``L_µ`` — ζ with every missing list's term replaced by
+  ``min(χ̄_j, λ(s_j, ε))``, where ``χ̄_j`` is that list's last-seen SED (or
+  its exhausted floor);
+* ``U_µ`` — the cost of a greedy *valid* partial alignment built from the
+  seen entries, plus ``χ̄ = max_{s ∈ S(q) ∪ S(g)} λ(s, ε)`` for every
+  remaining pair.  Any completion of a valid partial alignment costs at most
+  χ̄ per pair because ``λ(s_i, s_j) ≤ 1 + 2·max(|L_i|, |L_j|) ≤ χ̄``, so the
+  result upper-bounds µ.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass
+class SeenGraph:
+    """Accumulator for one data graph encountered during the CA scan."""
+
+    gid: object
+    order: int
+    max_degree: int
+    small_side: bool
+    #: list index -> minimum SED of this graph's entries seen under it
+    chi: Dict[int, int] = field(default_factory=dict)
+    #: sid -> occurrences of that star in the graph (from posting freq)
+    star_freq: Dict[int, int] = field(default_factory=dict)
+    #: (list index, sid, sed) for every distinct (list, sid) pair seen
+    seen_pairs: List[Tuple[int, int, int]] = field(default_factory=list)
+    _pair_keys: set = field(default_factory=set)
+    #: filtering outcome once decided: "pruned", "candidate" or "match"
+    resolution: Optional[str] = None
+    pruned_by: Optional[str] = None
+
+    def observe(self, list_index: int, sid: int, sed: int, freq: int) -> None:
+        """Fold one scanned entry into the accumulator."""
+        best = self.chi.get(list_index)
+        if best is None or sed < best:
+            self.chi[list_index] = sed
+        if sid not in self.star_freq:
+            self.star_freq[sid] = freq
+        key = (list_index, sid)
+        if key not in self._pair_keys:
+            self._pair_keys.add(key)
+            self.seen_pairs.append((list_index, sid, sed))
+
+    # ------------------------------------------------------------------
+    # Bounds
+    # ------------------------------------------------------------------
+    def zeta(self) -> float:
+        """``ζ(q, g)``: overall score from the seen lists only."""
+        return float(sum(self.chi.values()))
+
+    def aggregation_lower_bound(
+        self,
+        list_bounds: Sequence[float],
+        epsilons: Sequence[int],
+        *,
+        use_epsilon_cap: Optional[bool] = None,
+    ) -> float:
+        """``L_µ(q, g)``: ζ plus floors for the lists g has not shown up in.
+
+        ``list_bounds[j]`` must be the current SED floor of list j on this
+        graph's size side (last seen SED, or the exhausted floor);
+        ``epsilons[j]`` is ``λ(s_j, ε)``.
+
+        The ε cap on missing-list floors exists because a *smaller* graph
+        may align some query stars with ε; when ``|g| > |q|`` every query
+        star maps to a real star of g, so the cap would only weaken the
+        bound and is skipped (Appendix B's case split).  Defaults to the
+        graph's own size side.
+        """
+        if use_epsilon_cap is None:
+            use_epsilon_cap = self.small_side
+        total = float(sum(self.chi.values()))
+        for j, floor in enumerate(list_bounds):
+            if j not in self.chi:
+                if use_epsilon_cap:
+                    total += min(floor, float(epsilons[j]))
+                else:
+                    total += floor
+        return total
+
+    def aggregation_upper_bound(self, query_order: int, query_max_degree: int) -> float:
+        """``U_µ(q, g)`` from a greedy valid partial alignment.
+
+        Validity: each query star occurrence (list index) used at most once
+        and each seen star of g used at most its multiplicity, so the
+        partial alignment extends to a real bijection.
+        """
+        chi_bar = 1 + 2 * max(query_max_degree, self.max_degree)
+        pairs = sorted(self.seen_pairs, key=lambda p: p[2])
+        remaining = dict(self.star_freq)
+        used_lists: set = set()
+        matched_cost = 0
+        matched = 0
+        for list_index, sid, sed in pairs:
+            if list_index in used_lists or remaining.get(sid, 0) <= 0:
+                continue
+            used_lists.add(list_index)
+            remaining[sid] -= 1
+            matched_cost += sed
+            matched += 1
+        return matched_cost + chi_bar * (max(query_order, self.order) - matched)
+
+    def seen_star_multiset(self) -> Dict[int, int]:
+        """``S'(g)``: the star occurrences revealed so far (sid → count)."""
+        return dict(self.star_freq)

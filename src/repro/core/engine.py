@@ -1,0 +1,348 @@
+"""The SEGOS engine: public facade over index, TA, CA and DC stages.
+
+:class:`SegosIndex` is the class downstream users interact with: build it
+over a graph database, mutate graphs in place through the seven update kinds
+of Section IV-C, and ask GED range queries.
+
+Range-query semantics mirror the paper's filter-and-verify contract:
+
+* ``range_query(q, tau)`` returns a :class:`QueryResult` whose
+  ``candidates`` are guaranteed to be a superset of the true answer set
+  ``{g : λ(q, g) ≤ τ}`` and whose ``matches`` are the candidates already
+  *confirmed* by an upper bound (no exact GED needed);
+* ``verify="exact"`` additionally runs the A* GED over the unconfirmed
+  candidates so ``matches`` becomes the exact answer set — practical only
+  for small graphs, exactly as in the paper, where verification cost is the
+  reason filtering power matters.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..errors import GraphAlreadyIndexed, GraphNotIndexed
+from ..graphs.edit_distance import ged_within
+from ..graphs.model import Graph
+from ..graphs.star import Star, decompose, star_at
+from .ca_search import (
+    DEFAULT_H,
+    DEFAULT_PARTIAL_FRACTION,
+    CAResult,
+    ca_range_query,
+)
+from .graph_lists import build_all_lists
+from .index import GraphMeta, TwoLevelIndex
+from .stats import QueryStats
+from .ta_search import TopKResult, top_k_stars
+
+#: Default k for the TA stage (Table II's default).
+DEFAULT_K = 100
+
+
+@dataclass
+class QueryResult:
+    """Everything a range query produces.
+
+    Attributes
+    ----------
+    candidates:
+        gids passing every filter; superset of the true answers.
+    matches:
+        gids *known* to satisfy ``λ(q, g) ≤ τ`` (upper-bound confirmed, plus
+        exact verification when requested).
+    stats:
+        filtering counters (see :class:`repro.core.stats.QueryStats`).
+    elapsed:
+        wall-clock seconds spent inside the engine.
+    verified:
+        True when ``matches`` is exactly the answer set.
+    """
+
+    candidates: List[object]
+    matches: Set[object]
+    stats: QueryStats
+    elapsed: float
+    verified: bool
+
+
+class SegosIndex:
+    """A SEGOS-indexed graph database supporting GED range queries.
+
+    Examples
+    --------
+    >>> from repro.graphs.model import Graph
+    >>> db = SegosIndex()
+    >>> db.add("g1", Graph(["a", "b", "c"], [(0, 1), (1, 2)]))
+    >>> db.add("g2", Graph(["a", "b", "d"], [(0, 1), (1, 2)]))
+    >>> result = db.range_query(Graph(["a", "b", "c"], [(0, 1), (1, 2)]), tau=1)
+    >>> sorted(result.candidates)
+    ['g1', 'g2']
+    """
+
+    def __init__(
+        self,
+        graphs: Optional[Mapping[object, Graph]] = None,
+        *,
+        k: int = DEFAULT_K,
+        h: int = DEFAULT_H,
+        partial_fraction: float = DEFAULT_PARTIAL_FRACTION,
+        backend: str = "memory",
+        sqlite_path: str = ":memory:",
+    ) -> None:
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        if h < 1:
+            raise ValueError("h must be >= 1")
+        self.k = k
+        self.h = h
+        self.partial_fraction = partial_fraction
+        if backend == "memory":
+            self.index = TwoLevelIndex()
+        elif backend == "sqlite":
+            # Section IV-C's relational-database option: both inverted
+            # levels live in B-tree-backed SQLite tables.
+            from .sqlite_index import SqliteTwoLevelIndex
+
+            self.index = SqliteTwoLevelIndex(sqlite_path)
+        else:
+            raise ValueError(f"unknown backend {backend!r} (memory or sqlite)")
+        self.backend = backend
+        self._graphs: Dict[object, Graph] = {}
+        if graphs:
+            for gid, graph in graphs.items():
+                self.add(gid, graph)
+
+    # ------------------------------------------------------------------
+    # Database accessors
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._graphs)
+
+    def __contains__(self, gid: object) -> bool:
+        return gid in self._graphs
+
+    def gids(self) -> Iterable[object]:
+        return self._graphs.keys()
+
+    def graph(self, gid: object) -> Graph:
+        """Return the indexed graph for *gid* (the live object; do not
+        mutate it directly — use the update methods so the index follows)."""
+        try:
+            return self._graphs[gid]
+        except KeyError:
+            raise GraphNotIndexed(gid) from None
+
+    # ------------------------------------------------------------------
+    # Update kinds 1–2: whole graphs
+    # ------------------------------------------------------------------
+    def add(self, gid: object, graph: Graph) -> None:
+        """Insert a graph (decompose into stars, update both levels)."""
+        if gid in self._graphs:
+            raise GraphAlreadyIndexed(gid)
+        if graph.order == 0:
+            raise ValueError("cannot index an empty graph")
+        if self.backend == "sqlite" and not isinstance(gid, str):
+            raise TypeError(
+                f"the sqlite backend stores gids as TEXT; got {type(gid).__name__} "
+                f"(use string ids)"
+            )
+        stored = graph.copy()
+        self.index.add_graph(gid, stored, decompose(stored))
+        self._graphs[gid] = stored
+
+    def remove(self, gid: object) -> None:
+        """Delete a graph from the index."""
+        self.index.remove_graph(gid)
+        del self._graphs[gid]
+
+    # ------------------------------------------------------------------
+    # Update kinds 3–7: in-place mutations (Section IV-C)
+    # ------------------------------------------------------------------
+    def _affected_stars(self, graph: Graph, vertices: Iterable[int]) -> List[Star]:
+        return [star_at(graph, v) for v in vertices if graph.has_vertex(v)]
+
+    def _apply_mutation(self, gid: object, touched: Sequence[int], mutate) -> None:
+        """Swap the stars of *touched* vertices around a mutation callback."""
+        graph = self.graph(gid)
+        before = self._affected_stars(graph, touched)
+        mutate(graph)
+        after = self._affected_stars(graph, touched)
+        self.index.apply_star_delta(
+            gid, before, after, GraphMeta(graph.order, graph.max_degree())
+        )
+
+    def add_edge(self, gid: object, u: int, v: int) -> None:
+        """Insert an edge: refreshes the two endpoint stars."""
+        self._apply_mutation(gid, (u, v), lambda g: g.add_edge(u, v))
+
+    def remove_edge(self, gid: object, u: int, v: int) -> None:
+        """Delete an edge: refreshes the two endpoint stars."""
+        self._apply_mutation(gid, (u, v), lambda g: g.remove_edge(u, v))
+
+    def add_vertex(self, gid: object, vertex: int, label: str) -> None:
+        """Insert an isolated vertex: adds exactly one star."""
+        self._apply_mutation(gid, (vertex,), lambda g: g.add_vertex(vertex, label))
+
+    def remove_vertex(self, gid: object, vertex: int) -> None:
+        """Delete a vertex (and incident edges): refreshes it + neighbours."""
+        graph = self.graph(gid)
+        touched = [vertex, *graph.neighbors(vertex)]
+        self._apply_mutation(gid, touched, lambda g: g.remove_vertex(vertex))
+
+    def relabel_vertex(self, gid: object, vertex: int, label: str) -> None:
+        """Relabel a vertex: refreshes its star and all neighbour stars."""
+        graph = self.graph(gid)
+        touched = [vertex, *graph.neighbors(vertex)]
+        self._apply_mutation(gid, touched, lambda g: g.relabel_vertex(vertex, label))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def top_k_sub_units(self, star: Star, k: Optional[int] = None) -> TopKResult:
+        """TA stage on its own: the k most SED-similar database stars."""
+        return top_k_stars(self.index, star, k or self.k)
+
+    def range_query(
+        self,
+        query: Graph,
+        tau: float,
+        *,
+        k: Optional[int] = None,
+        h: Optional[int] = None,
+        verify: str = "none",
+        partial_fraction: Optional[float] = None,
+    ) -> QueryResult:
+        """Answer ``{g : λ(query, g) ≤ tau}`` with filter(-and-verify).
+
+        ``verify``:
+
+        * ``"none"`` — return candidates + upper-bound-confirmed matches;
+        * ``"exact"`` — additionally run A* GED on unconfirmed candidates so
+          ``matches`` is the exact answer set.
+        """
+        if verify not in ("none", "exact"):
+            raise ValueError(f"unknown verify mode {verify!r}")
+        return self._range_query_with_cache(
+            query,
+            tau,
+            k=k,
+            h=h,
+            verify=verify,
+            topk_cache={},
+            partial_fraction=partial_fraction,
+        )
+
+    def batch_range_query(
+        self,
+        queries: Sequence[Graph],
+        tau: float,
+        *,
+        k: Optional[int] = None,
+        h: Optional[int] = None,
+        verify: str = "none",
+    ) -> List[QueryResult]:
+        """Answer a batch of range queries with a shared TA cache.
+
+        Figure 11 feeds query *streams* through the pipeline; the top-k
+        sub-unit results depend only on the star (not on the query graph),
+        so queries in a batch reuse each other's TA searches.  On workloads
+        with overlapping star vocabularies this removes most TA work after
+        the first few queries.
+        """
+        if verify not in ("none", "exact"):
+            raise ValueError(f"unknown verify mode {verify!r}")
+        shared_cache: Dict[str, TopKResult] = {}
+        results: List[QueryResult] = []
+        for query in queries:
+            results.append(
+                self._range_query_with_cache(
+                    query, tau, k=k, h=h, verify=verify, topk_cache=shared_cache
+                )
+            )
+        return results
+
+    def _range_query_with_cache(
+        self,
+        query: Graph,
+        tau: float,
+        *,
+        k: Optional[int],
+        h: Optional[int],
+        verify: str,
+        topk_cache: Dict[str, TopKResult],
+        partial_fraction: Optional[float] = None,
+    ) -> QueryResult:
+        if query.order == 0:
+            raise ValueError("query graph must not be empty")
+        if tau < 0:
+            raise ValueError("tau must be non-negative")
+        started = time.perf_counter()
+        stats = QueryStats()
+        query_stars = decompose(query)
+        ta_counts: List[int] = []
+        lists = build_all_lists(
+            self.index,
+            query_stars,
+            query.order,
+            k or self.k,
+            topk_cache=topk_cache,
+            ta_accesses=ta_counts,
+        )
+        stats.ta_searches = len(ta_counts)
+        stats.ta_accesses = sum(ta_counts)
+        result = ca_range_query(
+            self.index,
+            self._graphs,
+            query,
+            tau,
+            lists,
+            h=h or self.h,
+            partial_fraction=(
+                partial_fraction
+                if partial_fraction is not None
+                else self.partial_fraction
+            ),
+            stats=stats,
+        )
+        matches = set(result.confirmed)
+        verified = verify == "exact"
+        if verified:
+            for gid in result.candidates:
+                if gid not in matches and ged_within(
+                    query, self._graphs[gid], int(tau)
+                ):
+                    matches.add(gid)
+        return QueryResult(
+            candidates=result.candidates,
+            matches=matches,
+            stats=stats,
+            elapsed=time.perf_counter() - started,
+            verified=verified,
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def index_size(self) -> int:
+        """Total postings across both index levels (Figure 13's metric)."""
+        return self.index.size_estimate()
+
+    def distinct_star_count(self) -> int:
+        """Number of distinct sub-units currently indexed."""
+        return len(self.index.catalog)
+
+    def check_consistency(self) -> None:
+        """Validate internal index invariants (raises on corruption)."""
+        self.index.check_consistency()
+        for gid, graph in self._graphs.items():
+            from collections import Counter
+
+            expect = Counter(
+                self.index.catalog.sid(star) for star in decompose(graph)
+            )
+            if None in expect:
+                raise AssertionError(f"graph {gid!r} has an uncatalogued star")
+            if expect != self.index.graph_star_counts(gid):
+                raise AssertionError(f"star multiset mismatch for graph {gid!r}")

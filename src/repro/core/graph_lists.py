@@ -1,0 +1,112 @@
+"""Score-sorted graph list construction for the CA stage (Section V-B).
+
+For each query star ``s_q`` the TA stage returns its top-k similar database
+stars with their SEDs.  Fetching the upper-level posting list of each top-k
+star — already sorted by graph size — and splitting it at ``|q|`` yields,
+per query star, two *graph lists*:
+
+* a **small side** (graphs with ``|g| ≤ |q|``), where segments whose SED
+  exceeds ``λ(s_q, ε)`` are discarded (matching the query star to ε is
+  cheaper than to such a star, so those entries can never lower a bound);
+* a **large side** (``|g| > |q|``).
+
+Concatenating a star's posting segments in top-k (SED-ascending) order makes
+each side a SED-ascending list: exactly the monotone score lists the CA
+round-robin scan and its halting threshold require.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..graphs.star import Star, epsilon_distance
+from .index import TwoLevelIndex
+from .ta_search import TopKResult, top_k_stars
+
+
+@dataclass(frozen=True)
+class GraphListEntry:
+    """One posting in a CA graph list."""
+
+    gid: object
+    order: int  # graph size
+    sed: int  # SED between the owning query star and `sid`
+    sid: int
+    freq: int  # occurrences of `sid` in the graph
+
+
+@dataclass
+class QueryStarLists:
+    """Both size sides of the graph lists for one query star.
+
+    ``kth_sed`` and ``epsilon`` carry the two SED floors the CA bounds use
+    for stars outside the top-k and for ε alignment respectively.
+    """
+
+    star: Star
+    small: List[GraphListEntry]
+    large: List[GraphListEntry]
+    kth_sed: float
+    epsilon: int
+
+    def exhausted_small_bound(self) -> float:
+        """SED floor for small-side graphs invisible in this list."""
+        return min(self.kth_sed, float(self.epsilon))
+
+    def exhausted_large_bound(self) -> float:
+        """SED floor for large-side graphs invisible in this list."""
+        return self.kth_sed
+
+
+def build_query_star_lists(
+    index: TwoLevelIndex,
+    query_star: Star,
+    query_order: int,
+    topk: TopKResult,
+) -> QueryStarLists:
+    """Assemble the two graph lists for one query star from its top-k."""
+    eps = epsilon_distance(query_star)
+    small: List[GraphListEntry] = []
+    large: List[GraphListEntry] = []
+    for sid, sed in topk.entries:
+        small_segment, large_segment = index.upper.split_by_order(sid, query_order)
+        if sed <= eps:
+            small.extend(
+                GraphListEntry(e.gid, e.order, sed, sid, e.freq)
+                for e in small_segment
+            )
+        large.extend(
+            GraphListEntry(e.gid, e.order, sed, sid, e.freq) for e in large_segment
+        )
+    return QueryStarLists(
+        star=query_star, small=small, large=large, kth_sed=topk.kth_sed, epsilon=eps
+    )
+
+
+def build_all_lists(
+    index: TwoLevelIndex,
+    query_stars: Sequence[Star],
+    query_order: int,
+    k: int,
+    *,
+    topk_cache: Optional[Dict[str, TopKResult]] = None,
+    ta_accesses: Optional[List[int]] = None,
+) -> List[QueryStarLists]:
+    """Run TA for every query star (memoised by signature) and build lists.
+
+    Duplicate query stars (Figure 9 runs ``q: s5`` twice) share one TA
+    search but still get their own graph list, because the CA aggregation
+    sums one term per query star *occurrence*.
+    """
+    cache: Dict[str, TopKResult] = topk_cache if topk_cache is not None else {}
+    lists: List[QueryStarLists] = []
+    for star in query_stars:
+        result = cache.get(star.signature)
+        if result is None:
+            result = top_k_stars(index, star, k)
+            cache[star.signature] = result
+            if ta_accesses is not None:
+                ta_accesses.append(result.accesses)
+        lists.append(build_query_star_lists(index, star, query_order, result))
+    return lists

@@ -1,0 +1,465 @@
+"""The two-level inverted index of SEGOS (Section IV).
+
+**Upper level** (Figure 5): one inverted list per *distinct star signature*;
+each entry is ``(gid, freq)`` — frequency of that star in the graph — and
+lists are sorted by increasing graph size (then gid, for determinism).
+
+**Lower level** (Figure 6): one inverted list per *leaf label*; each entry
+is ``(sid, freq)`` — frequency of the label among the star's leaves.
+Entries are grouped by increasing leaf size and sorted by decreasing
+frequency inside a group; a per-label boundary array (the paper's ``AL``)
+marks where each size group starts.  An extra *size list* holds every star
+sorted by increasing leaf size.
+
+Both levels are plain inverted indexes, so the seven update kinds of
+Section IV-C reduce to the four primitive operations Op1–Op4 (posting
+insertion/removal, list creation/removal).  To keep updates O(1) the postings
+are stored as dictionaries and the sorted views are materialised lazily:
+every mutation flips a dirty flag and the next read rebuilds the affected
+sorted list.  This gives the same asymptotics as the B-tree-backed engine
+the paper assumes while staying honest about Python's strengths.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import GraphAlreadyIndexed, GraphNotIndexed, IndexCorruptionError
+from ..graphs.model import Graph
+from ..graphs.star import Star
+
+
+@dataclass(frozen=True)
+class GraphMeta:
+    """Per-graph metadata kept alongside the postings."""
+
+    order: int
+    max_degree: int
+
+
+@dataclass(frozen=True)
+class UpperEntry:
+    """Upper-level posting: graph id and star frequency within it."""
+
+    gid: object
+    freq: int
+    order: int  # graph size, the sort key of upper-level lists
+
+
+@dataclass(frozen=True)
+class LowerEntry:
+    """Lower-level posting: star id and label frequency among its leaves."""
+
+    sid: int
+    freq: int
+    leaf_size: int
+
+
+class StarCatalog:
+    """Registry of the distinct stars seen across the database.
+
+    Star ids are dense ints assigned on first sight and *retired* (pushed on
+    a free list) when their last occurrence disappears, so long-lived indexes
+    with churn do not leak ids.
+    """
+
+    def __init__(self) -> None:
+        self._stars: List[Optional[Star]] = []
+        self._sid_by_signature: Dict[str, int] = {}
+        self._refcount: List[int] = []
+        self._free: List[int] = []
+
+    def __len__(self) -> int:
+        return len(self._sid_by_signature)
+
+    def star(self, sid: int) -> Star:
+        """Return the star for *sid*."""
+        star = self._stars[sid] if 0 <= sid < len(self._stars) else None
+        if star is None:
+            raise IndexCorruptionError(f"star id {sid} is not live")
+        return star
+
+    def sid(self, star: Star) -> Optional[int]:
+        """Return the id of *star*, or None if it is not in the catalog."""
+        return self._sid_by_signature.get(star.signature)
+
+    def live_sids(self) -> List[int]:
+        """All currently live star ids."""
+        return list(self._sid_by_signature.values())
+
+    def acquire(self, star: Star, count: int = 1) -> Tuple[int, bool]:
+        """Add *count* references to *star*; return ``(sid, created)``."""
+        sid = self._sid_by_signature.get(star.signature)
+        if sid is not None:
+            self._refcount[sid] += count
+            return sid, False
+        if self._free:
+            sid = self._free.pop()
+            self._stars[sid] = star
+            self._refcount[sid] = count
+        else:
+            sid = len(self._stars)
+            self._stars.append(star)
+            self._refcount.append(count)
+        self._sid_by_signature[star.signature] = sid
+        return sid, True
+
+    def release(self, sid: int, count: int = 1) -> bool:
+        """Drop *count* references; return True when the star died."""
+        if self._refcount[sid] < count:
+            raise IndexCorruptionError(
+                f"releasing {count} refs from star {sid} holding {self._refcount[sid]}"
+            )
+        self._refcount[sid] -= count
+        if self._refcount[sid] == 0:
+            star = self._stars[sid]
+            assert star is not None
+            del self._sid_by_signature[star.signature]
+            self._stars[sid] = None
+            self._free.append(sid)
+            return True
+        return False
+
+
+class _LazySortedList:
+    """A dict of postings with a lazily rebuilt sorted materialisation."""
+
+    __slots__ = ("data", "_view", "_key")
+
+    def __init__(self, key) -> None:
+        self.data: Dict[object, object] = {}
+        self._view: Optional[List[object]] = None
+        self._key = key
+
+    def invalidate(self) -> None:
+        self._view = None
+
+    def view(self) -> List[object]:
+        if self._view is None:
+            self._view = sorted(self.data.values(), key=self._key)
+        return self._view
+
+
+class UpperLevelIndex:
+    """Star signature → graph postings, sorted by increasing graph size."""
+
+    def __init__(self) -> None:
+        self._lists: Dict[int, _LazySortedList] = {}
+
+    def __contains__(self, sid: int) -> bool:
+        return sid in self._lists
+
+    def sids(self) -> Iterable[int]:
+        return self._lists.keys()
+
+    def add(self, sid: int, gid: object, freq: int, order: int) -> None:
+        """Op1/Op3: insert a posting, creating the list if needed."""
+        postings = self._lists.get(sid)
+        if postings is None:
+            postings = self._lists[sid] = _LazySortedList(
+                key=lambda e: (e.order, str(e.gid))
+            )
+        if gid in postings.data:
+            raise IndexCorruptionError(f"duplicate upper posting ({sid}, {gid})")
+        postings.data[gid] = UpperEntry(gid, freq, order)
+        postings.invalidate()
+
+    def remove(self, sid: int, gid: object) -> None:
+        """Op1/Op3: remove a posting, dropping the list when it empties."""
+        postings = self._lists.get(sid)
+        if postings is None or gid not in postings.data:
+            raise IndexCorruptionError(f"missing upper posting ({sid}, {gid})")
+        del postings.data[gid]
+        if postings.data:
+            postings.invalidate()
+        else:
+            del self._lists[sid]
+
+    def postings(self, sid: int) -> List[UpperEntry]:
+        """Sorted postings for *sid* (empty list if unknown)."""
+        postings = self._lists.get(sid)
+        return list(postings.view()) if postings is not None else []
+
+    def split_by_order(
+        self, sid: int, order: int
+    ) -> Tuple[List[UpperEntry], List[UpperEntry]]:
+        """Split the list for *sid* into (size ≤ order, size > order).
+
+        Binary search over the size-sorted list, the O(log |GL|) step of
+        Section V-B.
+        """
+        view = self._lists.get(sid)
+        if view is None:
+            return [], []
+        entries = view.view()
+        keys = [e.order for e in entries]
+        cut = bisect_right(keys, order)
+        return list(entries[:cut]), list(entries[cut:])
+
+    def stats(self) -> Tuple[int, int]:
+        """Return ``(number of lists, total postings)``."""
+        total = sum(len(lst.data) for lst in self._lists.values())
+        return len(self._lists), total
+
+
+class LowerLevelIndex:
+    """Leaf label → star postings grouped by leaf size, plus the size list."""
+
+    def __init__(self, catalog: StarCatalog) -> None:
+        self._catalog = catalog
+        self._lists: Dict[str, _LazySortedList] = {}
+        # Size list: every live star ordered by leaf size.
+        self._size_list = _LazySortedList(key=lambda e: (e.leaf_size, e.sid))
+
+    def labels(self) -> Iterable[str]:
+        return self._lists.keys()
+
+    def add_star(self, sid: int, star: Star) -> None:
+        """Op2/Op4: index a newly created star under each of its leaf labels."""
+        for label, freq in sorted(Counter(star.leaves).items()):
+            postings = self._lists.get(label)
+            if postings is None:
+                postings = self._lists[label] = _LazySortedList(
+                    # Group by leaf size asc; inside a group frequency desc,
+                    # then sid asc for determinism (Figure 6's order).
+                    key=lambda e: (e.leaf_size, -e.freq, e.sid)
+                )
+            postings.data[sid] = LowerEntry(sid, freq, star.leaf_size)
+            postings.invalidate()
+        self._size_list.data[sid] = LowerEntry(sid, 0, star.leaf_size)
+        self._size_list.invalidate()
+
+    def remove_star(self, sid: int, star: Star) -> None:
+        """Op2/Op4: un-index a dead star from each of its leaf labels."""
+        for label in set(star.leaves):
+            postings = self._lists.get(label)
+            if postings is None or sid not in postings.data:
+                raise IndexCorruptionError(f"missing lower posting ({label}, {sid})")
+            del postings.data[sid]
+            if postings.data:
+                postings.invalidate()
+            else:
+                del self._lists[label]
+        if sid not in self._size_list.data:
+            raise IndexCorruptionError(f"star {sid} missing from the size list")
+        del self._size_list.data[sid]
+        self._size_list.invalidate()
+
+    def label_list(self, label: str) -> List[LowerEntry]:
+        """Full grouped list under *label* (empty if unknown)."""
+        postings = self._lists.get(label)
+        return list(postings.view()) if postings is not None else []
+
+    def split_label_list(
+        self, label: str, leaf_size: int
+    ) -> Tuple[List[List[LowerEntry]], List[List[LowerEntry]]]:
+        """Size-split groups under *label*: (groups ≤ leaf_size, groups >).
+
+        Each returned group is frequency-descending; the boundary lookup is
+        the O(log |AL|) step of Section V-A.
+        """
+        postings = self._lists.get(label)
+        if postings is None:
+            return [], []
+        entries = postings.view()
+        groups: List[List[LowerEntry]] = []
+        for entry in entries:
+            if groups and groups[-1][0].leaf_size == entry.leaf_size:
+                groups[-1].append(entry)
+            else:
+                groups.append([entry])
+        boundary = bisect_right([g[0].leaf_size for g in groups], leaf_size)
+        return groups[:boundary], groups[boundary:]
+
+    def split_size_list(
+        self, leaf_size: int
+    ) -> Tuple[List[LowerEntry], List[LowerEntry]]:
+        """Split the size list into (≤ leaf_size, > leaf_size).
+
+        The low side is returned in *decreasing* size order — the access
+        order Figure 8 prescribes (the closer |L_i| is to |L_q|, the lower
+        the SED contribution, so the low side must be read backwards).
+        """
+        entries = self._size_list.view()
+        cut = bisect_right([e.leaf_size for e in entries], leaf_size)
+        low = list(entries[:cut])
+        low.reverse()
+        return low, list(entries[cut:])
+
+    def stats(self) -> Tuple[int, int]:
+        """Return ``(number of label lists, total postings incl. size list)``."""
+        total = sum(len(lst.data) for lst in self._lists.values())
+        return len(self._lists), total + len(self._size_list.data)
+
+
+class TwoLevelIndex:
+    """The complete SEGOS index: catalog + upper level + lower level.
+
+    This class owns the *index* only; graph objects themselves are kept by
+    :class:`repro.core.engine.SegosIndex`, which also translates the seven
+    graph-update kinds into star deltas for :meth:`apply_star_delta`.
+    """
+
+    def __init__(self) -> None:
+        self.catalog = StarCatalog()
+        self.upper = UpperLevelIndex()
+        self.lower = LowerLevelIndex(self.catalog)
+        self._graph_stars: Dict[object, Counter] = {}  # gid -> Counter[sid]
+        self._meta: Dict[object, GraphMeta] = {}
+        self._max_degree_hist: Counter = Counter()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._graph_stars)
+
+    def __contains__(self, gid: object) -> bool:
+        return gid in self._graph_stars
+
+    def gids(self) -> Iterable[object]:
+        return self._graph_stars.keys()
+
+    def meta(self, gid: object) -> GraphMeta:
+        try:
+            return self._meta[gid]
+        except KeyError:
+            raise GraphNotIndexed(gid) from None
+
+    def graph_star_counts(self, gid: object) -> Counter:
+        """``S(g)`` as a Counter of star ids (a copy)."""
+        try:
+            return Counter(self._graph_stars[gid])
+        except KeyError:
+            raise GraphNotIndexed(gid) from None
+
+    def database_max_degree(self) -> int:
+        """δ(D) over the currently indexed graphs."""
+        return max(self._max_degree_hist) if self._max_degree_hist else 0
+
+    def size_estimate(self) -> int:
+        """Rough index footprint: total postings across both levels.
+
+        Used by the Figure 13 bench as a machine-independent "index size"
+        metric (postings dominate any realistic on-disk encoding).
+        """
+        _, upper_postings = self.upper.stats()
+        _, lower_postings = self.lower.stats()
+        return upper_postings + lower_postings + len(self.catalog)
+
+    # ------------------------------------------------------------------
+    # Graph-level updates
+    # ------------------------------------------------------------------
+    def add_graph(self, gid: object, graph: Graph, stars: Sequence[Star]) -> None:
+        """Index a decomposed graph (update kind 1 of Section IV-C)."""
+        if gid in self._graph_stars:
+            raise GraphAlreadyIndexed(gid)
+        self._graph_stars[gid] = Counter()
+        self._meta[gid] = GraphMeta(graph.order, graph.max_degree())
+        self._max_degree_hist[graph.max_degree()] += 1
+        self._apply_additions(gid, stars)
+
+    def remove_graph(self, gid: object) -> None:
+        """Un-index a graph (update kind 2)."""
+        counts = self._graph_stars.get(gid)
+        if counts is None:
+            raise GraphNotIndexed(gid)
+        for sid in list(counts):
+            self.upper.remove(sid, gid)
+            star = self.catalog.star(sid)
+            if self.catalog.release(sid, counts[sid]):
+                self.lower.remove_star(sid, star)
+        meta = self._meta.pop(gid)
+        self._max_degree_hist[meta.max_degree] -= 1
+        if self._max_degree_hist[meta.max_degree] == 0:
+            del self._max_degree_hist[meta.max_degree]
+        del self._graph_stars[gid]
+
+    def apply_star_delta(
+        self,
+        gid: object,
+        removed: Sequence[Star],
+        added: Sequence[Star],
+        new_meta: GraphMeta,
+    ) -> None:
+        """Apply a local update (kinds 3–7): swap some of a graph's stars.
+
+        The engine computes which stars an edge/vertex/label mutation
+        invalidates (the mutated vertex's own star plus its neighbours')
+        and calls this with the before/after stars.
+        """
+        counts = self._graph_stars.get(gid)
+        if counts is None:
+            raise GraphNotIndexed(gid)
+        old_meta = self._meta[gid]
+
+        for star in removed:
+            sid = self.catalog.sid(star)
+            if sid is None or counts[sid] <= 0:
+                raise IndexCorruptionError(
+                    f"graph {gid!r} does not contain star {star.signature!r}"
+                )
+            counts[sid] -= 1
+            self.upper.remove(sid, gid)
+            if counts[sid] == 0:
+                del counts[sid]
+            else:
+                self.upper.add(sid, gid, counts[sid], new_meta.order)
+            if self.catalog.release(sid):
+                self.lower.remove_star(sid, star)
+
+        self._apply_additions(gid, added)
+
+        # A size change re-keys *every* posting of this graph in the upper
+        # level (lists are sorted by graph size).
+        if new_meta.order != old_meta.order:
+            for sid, freq in counts.items():
+                self.upper.remove(sid, gid)
+                self.upper.add(sid, gid, freq, new_meta.order)
+        self._meta[gid] = new_meta
+        self._max_degree_hist[old_meta.max_degree] -= 1
+        if self._max_degree_hist[old_meta.max_degree] == 0:
+            del self._max_degree_hist[old_meta.max_degree]
+        self._max_degree_hist[new_meta.max_degree] += 1
+
+    def _apply_additions(self, gid: object, added: Sequence[Star]) -> None:
+        counts = self._graph_stars[gid]
+        order = self._meta[gid].order
+        for star in added:
+            sid, created = self.catalog.acquire(star)
+            if created:
+                self.lower.add_star(sid, star)
+            if counts[sid]:
+                self.upper.remove(sid, gid)
+            counts[sid] += 1
+            self.upper.add(sid, gid, counts[sid], order)
+
+    # ------------------------------------------------------------------
+    # Consistency check (used by tests and assertions)
+    # ------------------------------------------------------------------
+    def check_consistency(self) -> None:
+        """Raise :class:`IndexCorruptionError` on any violated invariant."""
+        for gid, counts in self._graph_stars.items():
+            for sid, freq in counts.items():
+                postings = {e.gid: e for e in self.upper.postings(sid)}
+                entry = postings.get(gid)
+                if entry is None or entry.freq != freq:
+                    raise IndexCorruptionError(
+                        f"upper posting mismatch for graph {gid!r}, star {sid}"
+                    )
+                if entry.order != self._meta[gid].order:
+                    raise IndexCorruptionError(
+                        f"stale order for graph {gid!r} under star {sid}"
+                    )
+        for sid in self.catalog.live_sids():
+            star = self.catalog.star(sid)
+            for label, freq in Counter(star.leaves).items():
+                entries = {e.sid: e for e in self.lower.label_list(label)}
+                entry = entries.get(sid)
+                if entry is None or entry.freq != freq:
+                    raise IndexCorruptionError(
+                        f"lower posting mismatch for star {sid}, label {label!r}"
+                    )

@@ -1,0 +1,44 @@
+"""Sorted-list construction for the TA stage (Algorithm 1, Section V-A).
+
+A lower-level label list is stored as size groups, each already sorted by
+decreasing frequency.  The TA stage needs a *single* frequency-descending
+list over all groups on one side of the query's leaf-size boundary.  Since
+every group is sorted, this is a k-way merge; ``|AL|`` (the number of
+groups) is small, so the paper treats the merge as effectively linear.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterator, List, Sequence
+
+from .index import LowerEntry
+
+
+def merge_groups(groups: Sequence[Sequence[LowerEntry]]) -> Iterator[LowerEntry]:
+    """Lazily merge frequency-descending groups into one such stream.
+
+    Ties broken by (leaf size, sid) so the output is deterministic.  Lazy
+    because TA usually halts long before the merged list is exhausted.
+    """
+    heap: List[tuple] = []
+    for group_index, group in enumerate(groups):
+        if group:
+            entry = group[0]
+            heap.append((-entry.freq, entry.leaf_size, entry.sid, group_index, 0))
+    heapq.heapify(heap)
+    while heap:
+        _, _, _, group_index, position = heapq.heappop(heap)
+        group = groups[group_index]
+        yield group[position]
+        position += 1
+        if position < len(group):
+            entry = group[position]
+            heapq.heappush(
+                heap, (-entry.freq, entry.leaf_size, entry.sid, group_index, position)
+            )
+
+
+def merge_groups_eager(groups: Sequence[Sequence[LowerEntry]]) -> List[LowerEntry]:
+    """Eager variant of :func:`merge_groups` (used by tests and benches)."""
+    return list(merge_groups(groups))

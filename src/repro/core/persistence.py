@@ -1,0 +1,79 @@
+"""Saving and loading a SEGOS database.
+
+The two-level index is a deterministic function of the graph set, and
+rebuilding it is a single linear scan (the paper's own construction cost
+argument, Figure 14).  Persistence therefore stores the *graphs* in the
+standard transaction text format plus a small header with the engine's
+tuning parameters, and rebuilds the index on load — simple, portable,
+diff-able, and immune to index-format drift.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from ..errors import ParseError
+from ..graphs import io as gio
+from .engine import SegosIndex
+
+PathLike = Union[str, Path]
+
+_HEADER_PREFIX = "#segos "
+_FORMAT_VERSION = 1
+
+
+def save_index(engine: SegosIndex, path: PathLike) -> None:
+    """Write *engine*'s database and parameters to *path*.
+
+    The file is a normal transaction-format graph database whose first
+    line is a ``#segos {...}`` JSON header (comment lines are ignored by
+    plain :func:`repro.graphs.io.load`, so the file stays interoperable).
+    """
+    header = {
+        "version": _FORMAT_VERSION,
+        "k": engine.k,
+        "h": engine.h,
+        "partial_fraction": engine.partial_fraction,
+        "graphs": len(engine),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(_HEADER_PREFIX + json.dumps(header, sort_keys=True) + "\n")
+        gio.write_graphs(
+            handle, ((gid, engine.graph(gid)) for gid in engine.gids())
+        )
+
+
+def load_index(path: PathLike) -> SegosIndex:
+    """Rebuild a :class:`SegosIndex` from a file written by :func:`save_index`.
+
+    Also accepts a plain transaction-format file (no header): default
+    engine parameters are used then.
+    """
+    params = {}
+    with open(path, "r", encoding="utf-8") as handle:
+        first = handle.readline()
+        if first.startswith(_HEADER_PREFIX):
+            try:
+                header = json.loads(first[len(_HEADER_PREFIX):])
+            except json.JSONDecodeError as exc:
+                raise ParseError(f"malformed #segos header: {exc}", 1) from exc
+            version = header.get("version")
+            if version != _FORMAT_VERSION:
+                raise ParseError(
+                    f"unsupported segos file version {version!r}", 1
+                )
+            params = {
+                "k": int(header["k"]),
+                "h": int(header["h"]),
+                "partial_fraction": float(header["partial_fraction"]),
+            }
+            pairs = list(gio.iter_graphs(handle))
+        else:
+            handle.seek(0)
+            pairs = list(gio.iter_graphs(handle))
+    engine = SegosIndex(**params)
+    for gid, graph in pairs:
+        engine.add(gid, graph)
+    return engine

@@ -1,0 +1,82 @@
+"""Query statistics shared by SEGOS and the baselines.
+
+The paper's evaluation reports, besides wall-clock time:
+
+* **access number** — how many graphs had a mapping distance computed
+  (Figure 12); this is the metric SEGOS's CA stage minimises;
+* **candidate size** — how many graphs survive filtering and would be sent
+  to exact-GED verification (Figures 15–18);
+* **TA overhead** — sorted accesses spent in the top-k sub-unit stage
+  (Figure 20).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class QueryStats:
+    """Counters filled in by one range-query execution."""
+
+    #: graphs whose (partial or full) mapping distance was computed
+    graphs_accessed: int = 0
+    #: graphs for which the full µ was computed (superset counter above)
+    full_mapping_computations: int = 0
+    #: graphs resolved purely by constant-time aggregation bounds
+    resolved_by_aggregation: int = 0
+    #: graphs pruned per bound name (zeta / l_mu / partial_mu / l_m / omega /
+    #: never_seen, ...)
+    pruned_by: Dict[str, int] = field(default_factory=dict)
+    #: entries scanned across all CA graph lists
+    list_entries_scanned: int = 0
+    #: sorted accesses performed by the TA top-k sub-unit searches
+    ta_accesses: int = 0
+    #: distinct TA searches executed (duplicate query stars share one)
+    ta_searches: int = 0
+    #: graphs that reached the candidate set (including confirmed matches)
+    candidates: int = 0
+    #: candidates confirmed as matches by an upper bound (no GED needed)
+    confirmed_matches: int = 0
+    #: graphs never seen in any list and filtered by the halting argument
+    filtered_unseen: int = 0
+    #: graphs processed by the linear fallback (lists exhausted, no halt)
+    linear_fallback: int = 0
+
+    def count_prune(self, bound: str) -> None:
+        self.pruned_by[bound] = self.pruned_by.get(bound, 0) + 1
+
+    def summary(self) -> str:
+        """One-line human-readable account of where the filtering work went.
+
+        Example: ``accessed 12 graphs (9 full µ) | pruned: l_mu=30 omega=55 |
+        candidates: 3 (1 confirmed)``.
+        """
+        pruned = " ".join(
+            f"{name}={count}" for name, count in sorted(self.pruned_by.items())
+        )
+        parts = [
+            f"accessed {self.graphs_accessed} graphs "
+            f"({self.full_mapping_computations} full µ)",
+            f"pruned: {pruned or 'nothing'}",
+            f"candidates: {self.candidates} ({self.confirmed_matches} confirmed)",
+        ]
+        if self.linear_fallback:
+            parts.append(f"linear fallback: {self.linear_fallback}")
+        return " | ".join(parts)
+
+    def merge(self, other: "QueryStats") -> None:
+        """Accumulate another run's counters into this one (for averaging)."""
+        self.graphs_accessed += other.graphs_accessed
+        self.full_mapping_computations += other.full_mapping_computations
+        self.resolved_by_aggregation += other.resolved_by_aggregation
+        self.list_entries_scanned += other.list_entries_scanned
+        self.ta_accesses += other.ta_accesses
+        self.ta_searches += other.ta_searches
+        self.candidates += other.candidates
+        self.confirmed_matches += other.confirmed_matches
+        self.filtered_unseen += other.filtered_unseen
+        self.linear_fallback += other.linear_fallback
+        for key, value in other.pruned_by.items():
+            self.pruned_by[key] = self.pruned_by.get(key, 0) + value

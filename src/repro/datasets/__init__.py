@@ -1,0 +1,20 @@
+"""Dataset harness: reproducible stand-ins for the paper's two corpora."""
+
+from .corpora import (
+    Dataset,
+    aids_like,
+    pdg_like,
+    sample_queries,
+)
+from .stats import CorpusSummary, label_histogram, order_histogram, summarize
+
+__all__ = [
+    "CorpusSummary",
+    "Dataset",
+    "aids_like",
+    "label_histogram",
+    "order_histogram",
+    "pdg_like",
+    "sample_queries",
+    "summarize",
+]

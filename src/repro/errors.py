@@ -1,0 +1,97 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-specific errors derive from :class:`ReproError` so that callers
+can catch everything raised by this package with a single ``except`` clause
+while still being able to distinguish the common failure classes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the :mod:`repro` package."""
+
+
+class GraphError(ReproError):
+    """Raised for invalid graph construction or mutation requests."""
+
+
+class VertexNotFound(GraphError, KeyError):
+    """Raised when an operation references a vertex id that does not exist."""
+
+    def __init__(self, vertex: int) -> None:
+        super().__init__(f"vertex {vertex!r} does not exist")
+        self.vertex = vertex
+
+
+class EdgeNotFound(GraphError, KeyError):
+    """Raised when an operation references an edge that does not exist."""
+
+    def __init__(self, u: int, v: int) -> None:
+        super().__init__(f"edge ({u!r}, {v!r}) does not exist")
+        self.edge = (u, v)
+
+
+class DuplicateVertex(GraphError, ValueError):
+    """Raised when adding a vertex id that is already present."""
+
+    def __init__(self, vertex: int) -> None:
+        super().__init__(f"vertex {vertex!r} already exists")
+        self.vertex = vertex
+
+
+class DuplicateEdge(GraphError, ValueError):
+    """Raised when adding an edge that is already present."""
+
+    def __init__(self, u: int, v: int) -> None:
+        super().__init__(f"edge ({u!r}, {v!r}) already exists")
+        self.edge = (u, v)
+
+
+class IndexCorruptionError(ReproError):
+    """Raised when an internal index invariant is violated.
+
+    This is a defensive error: user code should never be able to trigger it
+    through the public API.  Seeing it means a bug inside :mod:`repro.core`.
+    """
+
+
+class GraphNotIndexed(ReproError, KeyError):
+    """Raised when querying or removing a graph id unknown to an index."""
+
+    def __init__(self, gid: object) -> None:
+        super().__init__(f"graph {gid!r} is not present in the index")
+        self.gid = gid
+
+
+class GraphAlreadyIndexed(ReproError, ValueError):
+    """Raised when inserting a graph id that an index already holds."""
+
+    def __init__(self, gid: object) -> None:
+        super().__init__(f"graph {gid!r} is already present in the index")
+        self.gid = gid
+
+
+class ParseError(ReproError, ValueError):
+    """Raised when parsing a graph database file fails."""
+
+    def __init__(self, message: str, line_number: int | None = None) -> None:
+        location = f" (line {line_number})" if line_number is not None else ""
+        super().__init__(f"{message}{location}")
+        self.line_number = line_number
+
+
+class SearchBudgetExceeded(ReproError):
+    """Raised when an exact computation exceeds its configured budget.
+
+    Exact graph edit distance is NP-hard; :func:`repro.graphs.edit_distance`
+    refuses to expand more than a configurable number of search states so a
+    single pathological pair cannot hang a whole experiment.
+    """
+
+    def __init__(self, expanded: int, budget: int) -> None:
+        super().__init__(
+            f"A* search expanded {expanded} states, exceeding the budget of {budget}"
+        )
+        self.expanded = expanded
+        self.budget = budget

@@ -1,0 +1,68 @@
+"""Graph substrate: data model, star decomposition, GED, generators, I/O."""
+
+from .model import (
+    Graph,
+    database_max_degree,
+    degree_histogram,
+    normalization_factor,
+)
+from .star import (
+    Star,
+    decompose,
+    decompose_map,
+    epsilon_distance,
+    max_epsilon_distance,
+    multiset_intersection_size,
+    sed_via_common_leaves,
+    star_at,
+    star_edit_distance,
+)
+from .edit_distance import (
+    ged_within,
+    graph_edit_distance,
+    naive_upper_bound,
+    trivial_lower_bound,
+)
+from .editpath import (
+    apply_edit_script,
+    edit_script_from_mapping,
+    extract_edit_script,
+    render_edit_script,
+)
+from .isomorphism import are_isomorphic, find_isomorphism
+from .subgraph_distance import (
+    is_subgraph_isomorphic,
+    subgraph_edit_distance,
+    subgraph_label_lower_bound,
+    subgraph_within,
+)
+
+__all__ = [
+    "Graph",
+    "Star",
+    "apply_edit_script",
+    "are_isomorphic",
+    "edit_script_from_mapping",
+    "extract_edit_script",
+    "find_isomorphism",
+    "database_max_degree",
+    "decompose",
+    "decompose_map",
+    "degree_histogram",
+    "epsilon_distance",
+    "ged_within",
+    "graph_edit_distance",
+    "max_epsilon_distance",
+    "multiset_intersection_size",
+    "naive_upper_bound",
+    "normalization_factor",
+    "render_edit_script",
+    "sed_via_common_leaves",
+    "is_subgraph_isomorphic",
+    "star_at",
+    "star_edit_distance",
+    "subgraph_edit_distance",
+    "subgraph_label_lower_bound",
+    "subgraph_within",
+    "trivial_lower_bound",
+]

@@ -1,0 +1,231 @@
+"""Synthetic graph generators (dataset substitutes, see DESIGN.md §3).
+
+The paper evaluates on two corpora we cannot ship offline:
+
+* the NCI **AIDS** antiviral screen (chemical compounds: sparse, mostly
+  tree-like connected graphs, 63 vertex labels with a heavily skewed
+  frequency distribution, near-normal size distribution);
+* a **Linux** kernel PDG corpus from the proprietary CodeSurfer tool
+  (dependence graphs: layered/sequential structure, 36 role labels,
+  near-uniform size distribution).
+
+The generators here synthesise graphs with the same distributional knobs —
+size distribution, sparsity, label skew — because those are the only graph
+statistics SEGOS's behaviour depends on (star multiset overlap is a function
+of them).  Every generator takes an explicit :class:`random.Random` so
+corpora are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from .model import Graph
+
+#: Label alphabet sizes used by the paper's datasets.
+AIDS_LABEL_COUNT = 63
+PDG_LABEL_COUNT = 36
+
+
+def _zipf_weights(count: int, exponent: float) -> List[float]:
+    """Zipf-like weights ``1/rank^exponent`` for a label alphabet."""
+    return [1.0 / (rank ** exponent) for rank in range(1, count + 1)]
+
+
+def make_label_alphabet(count: int, prefix: str = "L") -> List[str]:
+    """Return ``count`` distinct, totally ordered label strings.
+
+    Zero-padding keeps lexicographic order equal to numeric order, which the
+    lower-level index relies on for its label ordering.
+    """
+    width = len(str(count - 1)) if count > 1 else 1
+    return [f"{prefix}{i:0{width}d}" for i in range(count)]
+
+
+def random_tree(
+    rng: random.Random, labels: Sequence[str], order: int, *, attach_power: float = 0.0
+) -> Graph:
+    """Random labelled tree on *order* vertices.
+
+    ``attach_power > 0`` biases attachment towards high-degree vertices
+    (preferential attachment), producing the hub-and-spoke shapes common in
+    molecules; 0 gives a uniform random recursive tree.
+    """
+    if order < 1:
+        raise ValueError("order must be >= 1")
+    g = Graph([rng.choice(labels) for _ in range(order)])
+    for v in range(1, order):
+        if attach_power > 0:
+            weights = [(g.degree(u) + 1) ** attach_power for u in range(v)]
+            parent = rng.choices(range(v), weights=weights)[0]
+        else:
+            parent = rng.randrange(v)
+        g.add_edge(parent, v)
+    return g
+
+
+def chemical_like(
+    rng: random.Random,
+    labels: Sequence[str],
+    order: int,
+    *,
+    extra_edge_rate: float = 0.12,
+    label_exponent: float = 1.1,
+) -> Graph:
+    """One AIDS-like compound graph: a tree plus a few rings.
+
+    Molecules are connected, sparse (|E| ≈ |V|), and dominated by a handful
+    of frequent atom labels; rings appear as a small number of extra edges
+    closing tree paths.
+    """
+    weights = _zipf_weights(len(labels), label_exponent)
+    g = Graph(rng.choices(labels, weights=weights, k=order))
+    for v in range(1, order):
+        parent = rng.randrange(v)
+        g.add_edge(parent, v)
+    extra = int(round(extra_edge_rate * order))
+    for _ in range(extra):
+        u, v = rng.randrange(order), rng.randrange(order)
+        if u != v and not g.has_edge(u, v):
+            g.add_edge(u, v)
+    return g
+
+
+def pdg_like(
+    rng: random.Random,
+    labels: Sequence[str],
+    order: int,
+    *,
+    layer_width: int = 4,
+    cross_rate: float = 0.25,
+) -> Graph:
+    """One PDG-like procedure graph: layered control/data dependencies.
+
+    Statements form a rough sequence (layers); each vertex depends on one
+    vertex in a previous layer (control) plus occasional cross dependencies
+    (data flow).  Labels are roles and nearly uniform, like the paper's 36
+    "declaration"/"expression"/"control-point" roles.
+    """
+    g = Graph([rng.choice(labels) for _ in range(order)])
+    for v in range(1, order):
+        lo = max(0, v - layer_width)
+        parent = rng.randrange(lo, v)
+        g.add_edge(parent, v)
+    extra = int(round(cross_rate * order))
+    for _ in range(extra):
+        v = rng.randrange(1, order) if order > 1 else 0
+        lo = max(0, v - 3 * layer_width)
+        u = rng.randrange(lo, v) if v > lo else None
+        if u is not None and not g.has_edge(u, v):
+            g.add_edge(u, v)
+    return g
+
+
+def erdos_renyi(
+    rng: random.Random, labels: Sequence[str], order: int, edge_prob: float
+) -> Graph:
+    """Plain G(n, p) with uniform labels (used by property tests)."""
+    g = Graph([rng.choice(labels) for _ in range(order)])
+    for u in range(order):
+        for v in range(u + 1, order):
+            if rng.random() < edge_prob:
+                g.add_edge(u, v)
+    return g
+
+
+def normal_order(rng: random.Random, mean: float, stddev: float, minimum: int = 1) -> int:
+    """Sample a graph order from a clamped normal distribution."""
+    return max(minimum, int(round(rng.gauss(mean, stddev))))
+
+
+def uniform_order(rng: random.Random, low: int, high: int) -> int:
+    """Sample a graph order uniformly from ``[low, high]``."""
+    return rng.randint(low, high)
+
+
+def mutate(
+    rng: random.Random,
+    graph: Graph,
+    edits: int,
+    labels: Sequence[str],
+    *,
+    keep_connected: bool = False,
+) -> Graph:
+    """Apply *edits* random unit edit operations; returns a new graph.
+
+    By construction ``λ(graph, result) ≤ edits`` (each step is one edit
+    operation), which makes mutated copies ideal range-query probes: a query
+    mutated by ``j ≤ τ`` edits *must* be answered by its source graph.
+    """
+    g = graph.copy()
+    for _ in range(edits):
+        ops = ["relabel"]
+        vertices = list(g.vertices())
+        # An inserted vertex starts isolated, so it is excluded when the
+        # caller needs connectivity preserved.
+        if vertices and not keep_connected:
+            ops.append("add_vertex")
+        if len(vertices) >= 2:
+            ops.append("toggle_edge")
+        removable = [v for v in vertices if g.degree(v) == 0]
+        if removable and g.order > 1 and not keep_connected:
+            ops.append("del_vertex")
+        op = rng.choice(ops)
+        if op == "relabel":
+            v = rng.choice(vertices)
+            g.relabel_vertex(v, rng.choice(labels))
+        elif op == "add_vertex":
+            new_id = max(vertices) + 1 if vertices else 0
+            g.add_vertex(new_id, rng.choice(labels))
+        elif op == "del_vertex":
+            g.remove_vertex(rng.choice(removable))
+        else:  # toggle_edge
+            u, v = rng.sample(vertices, 2)
+            if g.has_edge(u, v):
+                bridge_risk = keep_connected
+                if not bridge_risk:
+                    g.remove_edge(u, v)
+                else:
+                    g.remove_edge(u, v)
+                    if not g.is_connected():
+                        g.add_edge(u, v)
+            else:
+                g.add_edge(u, v)
+    return g
+
+
+def corpus(
+    rng: random.Random,
+    count: int,
+    *,
+    kind: str = "chemical",
+    mean_order: float = 12.0,
+    stddev: float = 3.0,
+    min_order: int = 3,
+    max_order: Optional[int] = None,
+    label_count: Optional[int] = None,
+) -> List[Graph]:
+    """Generate a corpus of *count* graphs of the given *kind*.
+
+    ``kind`` is ``"chemical"`` (AIDS stand-in, normal sizes, skewed labels)
+    or ``"pdg"`` (Linux stand-in, uniform sizes, uniform labels).
+    """
+    if kind == "chemical":
+        labels = make_label_alphabet(label_count or AIDS_LABEL_COUNT, prefix="C")
+        graphs = []
+        for _ in range(count):
+            order = normal_order(rng, mean_order, stddev, min_order)
+            if max_order is not None:
+                order = min(order, max_order)
+            graphs.append(chemical_like(rng, labels, order))
+        return graphs
+    if kind == "pdg":
+        labels = make_label_alphabet(label_count or PDG_LABEL_COUNT, prefix="P")
+        low = min_order
+        high = int(max_order if max_order is not None else round(2 * mean_order - low))
+        return [
+            pdg_like(rng, labels, uniform_order(rng, low, max(low, high)))
+            for _ in range(count)
+        ]
+    raise ValueError(f"unknown corpus kind {kind!r} (expected 'chemical' or 'pdg')")

@@ -1,0 +1,186 @@
+"""Star decomposition and the star edit distance (Section III-A).
+
+A *star* is a labelled, single-level, rooted tree ``s = (r, L, l)``: a root
+vertex plus the multiset of its neighbours' labels.  A graph with ``n``
+vertices decomposes into a multiset of exactly ``n`` stars, one rooted at
+each vertex.  Stars are the "sub-units" that SEGOS indexes.
+
+This module implements:
+
+* :class:`Star` — an immutable star with a canonical label-sequence
+  signature (the paper writes ``s0: abbcc`` for root ``a``, leaves
+  ``{b, b, c, c}``);
+* :func:`decompose` — the graph → star multiset transformation;
+* :func:`star_edit_distance` — Lemma 1, computed in Θ(n) on the sorted leaf
+  multisets;
+* :func:`sed_via_common_leaves` — Equation (1), the reformulation that TA
+  search aggregates over (``ψ`` = number of common leaf labels);
+* :func:`epsilon_distance` — the cost ``λ(s, ε)`` of matching a star against
+  the padding ε sub-unit, which Figure 3 fixes at ``1 + 2·|L|``.
+"""
+
+from __future__ import annotations
+
+from typing import Counter as CounterType
+from collections import Counter
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from .model import Graph, Label
+
+
+class Star:
+    """An immutable star sub-unit: a root label plus sorted leaf labels.
+
+    Examples
+    --------
+    >>> s = Star("a", ["c", "b", "b", "c"])
+    >>> s.signature
+    'a|b,b,c,c'
+    >>> s.leaf_size
+    4
+    """
+
+    __slots__ = ("root", "leaves", "_hash")
+
+    def __init__(self, root: Label, leaves: Iterable[Label] = ()) -> None:
+        self.root: Label = root
+        self.leaves: Tuple[Label, ...] = tuple(sorted(leaves))
+        self._hash = hash((self.root, self.leaves))
+
+    @property
+    def leaf_size(self) -> int:
+        """``|L|``: the number of leaves (equals the root's degree)."""
+        return len(self.leaves)
+
+    @property
+    def signature(self) -> str:
+        """Canonical string form used as the upper-level index key.
+
+        The separator characters keep multi-character labels unambiguous
+        (``("ab", "c")`` and ``("a", "bc")`` must not collide).
+        """
+        return f"{self.root}|{','.join(self.leaves)}"
+
+    def leaf_counter(self) -> CounterType[Label]:
+        """Return the leaf label multiset as a :class:`collections.Counter`."""
+        return Counter(self.leaves)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Star):
+            return NotImplemented
+        return self.root == other.root and self.leaves == other.leaves
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __lt__(self, other: "Star") -> bool:
+        """Alphabetical order on signatures (the upper-level index order)."""
+        return (self.root, self.leaves) < (other.root, other.leaves)
+
+    def __repr__(self) -> str:
+        return f"Star({self.signature!r})"
+
+
+def star_at(graph: Graph, vertex: int) -> Star:
+    """Build the star rooted at *vertex* of *graph*."""
+    return Star(graph.label(vertex), (graph.label(n) for n in graph.neighbors(vertex)))
+
+
+def decompose(graph: Graph) -> List[Star]:
+    """Decompose *graph* into its multiset of stars, one per vertex.
+
+    The result is ordered by vertex insertion order; callers that need a
+    canonical multiset should sort by :attr:`Star.signature`.
+    """
+    return [star_at(graph, v) for v in graph.vertices()]
+
+
+def decompose_map(graph: Graph) -> Dict[int, Star]:
+    """Like :func:`decompose` but keyed by vertex id.
+
+    The key → star association is what lets the Hungarian star alignment be
+    lifted back to a vertex mapping (needed for the Lemma 3 upper bound).
+    """
+    return {v: star_at(graph, v) for v in graph.vertices()}
+
+
+def multiset_intersection_size(
+    left: Sequence[Label], right: Sequence[Label]
+) -> int:
+    """``|Ψ₁ ∩ Ψ₂|`` — multiset intersection size of two *sorted* sequences.
+
+    Runs in Θ(|left| + |right|); both inputs must already be sorted, which
+    :class:`Star` guarantees for its ``leaves`` tuple.
+    """
+    i = j = common = 0
+    nl, nr = len(left), len(right)
+    while i < nl and j < nr:
+        a, b = left[i], right[j]
+        if a == b:
+            common += 1
+            i += 1
+            j += 1
+        elif a < b:
+            i += 1
+        else:
+            j += 1
+    return common
+
+
+def star_edit_distance(s1: Star, s2: Star) -> int:
+    """Lemma 1: ``λ(s1, s2) = T(r1, r2) + d(L1, L2)``.
+
+    ``T`` is 0/1 on root label equality and
+    ``d(L1, L2) = ||L1| − |L2|| + max(|Ψ1|, |Ψ2|) − |Ψ1 ∩ Ψ2|``.
+
+    Examples
+    --------
+    Figure 2's worked example (``s0 = abbcc`` vs ``s1 = abbccd``):
+
+    >>> star_edit_distance(Star("a", "bbcc"), Star("a", "bbccd"))
+    2
+    """
+    t = 0 if s1.root == s2.root else 1
+    n1, n2 = s1.leaf_size, s2.leaf_size
+    common = multiset_intersection_size(s1.leaves, s2.leaves)
+    return t + abs(n1 - n2) + max(n1, n2) - common
+
+
+def sed_via_common_leaves(
+    query: Star, other_root: Label, other_leaf_size: int, common: int
+) -> int:
+    """Equation (1): SED from ``ψ`` (common leaves) and ``|L_i]``.
+
+    This is the decomposition the TA stage's aggregation functions are built
+    on.  It must equal :func:`star_edit_distance` for the true ``ψ``; a
+    property test asserts that.
+    """
+    t = 0 if query.root == other_root else 1
+    lq = query.leaf_size
+    if other_leaf_size <= lq:
+        return t + 2 * lq - (common + other_leaf_size)
+    return t - lq - (common - 2 * other_leaf_size)
+
+
+def epsilon_distance(star: Star) -> int:
+    """``λ(s, ε)``: cost of aligning *star* with the padding ε sub-unit.
+
+    Figure 3's full cost matrix fixes this at ``1 + 2·|L|`` (delete the root
+    plus, per Lemma 1's ``d`` term against an empty leaf set, ``2·|L|`` for
+    the leaves), e.g. ``λ(abbccd, ε) = 11`` and ``λ(bab, ε) = 5``.
+    """
+    return 1 + 2 * star.leaf_size
+
+
+def max_epsilon_distance(stars: Iterable[Star]) -> int:
+    """``χ̄ = max_{s} λ(s, ε)`` over a collection of stars (Section V-C)."""
+    result = 0
+    for s in stars:
+        d = epsilon_distance(s)
+        if d > result:
+            result = d
+    return result
+
+
+EPSILON_SIGNATURE = "ε"
+"""Display name for the ε padding sub-unit (never a real signature)."""

@@ -1,0 +1,30 @@
+"""Assignment-problem substrate: Hungarian, dynamic Hungarian, mapping distance."""
+
+from .hungarian import HungarianSolver, hungarian
+from .mapping import (
+    DynamicMappingDistance,
+    MappingResult,
+    bounds,
+    edit_cost_under_mapping,
+    lower_bound,
+    mapping_distance,
+    mapping_result,
+    partial_mapping_distance,
+    star_cost_matrix,
+    upper_bound,
+)
+
+__all__ = [
+    "DynamicMappingDistance",
+    "HungarianSolver",
+    "MappingResult",
+    "bounds",
+    "edit_cost_under_mapping",
+    "hungarian",
+    "lower_bound",
+    "mapping_distance",
+    "mapping_result",
+    "partial_mapping_distance",
+    "star_cost_matrix",
+    "upper_bound",
+]

@@ -1,0 +1,63 @@
+"""Shared fixtures: the paper's worked-example graphs and small corpora."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.datasets import aids_like, pdg_like
+from repro.graphs.model import Graph
+
+
+def make_paper_g1() -> Graph:
+    """Figure 2's g1: star representation {abbcc, bab, babcc, cab, cab}."""
+    return Graph(
+        ["a", "b", "b", "c", "c"],
+        [(0, 1), (0, 2), (0, 3), (0, 4), (1, 2), (2, 3), (2, 4)],
+    )
+
+
+def make_paper_g2() -> Graph:
+    """Figure 2's g2: stars {abbccd, bab, babccd, cab, cab, dab}."""
+    return Graph(
+        ["a", "b", "b", "c", "c", "d"],
+        [
+            (0, 1),
+            (0, 2),
+            (0, 3),
+            (0, 4),
+            (0, 5),
+            (1, 2),
+            (2, 3),
+            (2, 4),
+            (2, 5),
+        ],
+    )
+
+
+@pytest.fixture
+def paper_g1() -> Graph:
+    return make_paper_g1()
+
+
+@pytest.fixture
+def paper_g2() -> Graph:
+    return make_paper_g2()
+
+
+@pytest.fixture(scope="session")
+def small_aids():
+    """60 chemical-like graphs, ~8 vertices (fast enough for exact GED)."""
+    return aids_like(60, seed=101, mean_order=8.0, stddev=2.0, min_order=3)
+
+
+@pytest.fixture(scope="session")
+def small_pdg():
+    """60 PDG-like graphs, uniform sizes 5..11."""
+    return pdg_like(60, seed=202, mean_order=8.0, min_order=5, max_order=11)
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(0xC0FFEE)

@@ -1,0 +1,65 @@
+"""Every ablated bound-chain variant must stay sound (no false negatives)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.ca_search import ca_range_query
+from repro.core.graph_lists import build_all_lists
+from repro.core.index import TwoLevelIndex
+from repro.core.stats import QueryStats
+from repro.graphs.edit_distance import graph_edit_distance
+from repro.graphs.generators import corpus, make_label_alphabet, mutate
+from repro.graphs.star import decompose
+
+VARIANTS = [
+    frozenset(),
+    frozenset({"zeta"}),
+    frozenset({"l_mu"}),
+    frozenset({"u_mu"}),
+    frozenset({"partial_mu"}),
+    frozenset({"zeta", "l_mu", "u_mu", "partial_mu"}),
+]
+
+
+@pytest.fixture(scope="module")
+def ablation_setup():
+    rng = random.Random(505)
+    graphs = {
+        f"g{i}": g
+        for i, g in enumerate(
+            corpus(rng, 20, kind="chemical", mean_order=6, stddev=1)
+        )
+    }
+    index = TwoLevelIndex()
+    for gid, g in graphs.items():
+        index.add_graph(gid, g, decompose(g))
+    labels = make_label_alphabet(63, prefix="C")
+    query = mutate(rng, rng.choice(list(graphs.values())), 1, labels)
+    tau = 2
+    truth = {
+        gid
+        for gid, g in graphs.items()
+        if graph_edit_distance(query, g, threshold=tau) is not None
+    }
+    return graphs, index, query, tau, truth
+
+
+@pytest.mark.parametrize("disabled", VARIANTS, ids=lambda v: "+".join(sorted(v)) or "none")
+def test_ablated_chain_is_sound(ablation_setup, disabled):
+    graphs, index, query, tau, truth = ablation_setup
+    lists = build_all_lists(index, decompose(query), query.order, 8)
+    result = ca_range_query(
+        index,
+        graphs,
+        query,
+        tau,
+        lists,
+        h=10,
+        stats=QueryStats(),
+        disabled_bounds=disabled,
+    )
+    assert truth <= set(result.candidates), disabled
+    assert result.confirmed <= truth, disabled

@@ -1,0 +1,64 @@
+"""Tests for the batch range-query API (shared TA cache, Figure 11)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import SegosIndex
+from repro.datasets import aids_like, sample_queries
+from repro.graphs.model import Graph
+
+
+@pytest.fixture(scope="module")
+def batch_setup():
+    data = aids_like(40, seed=5, mean_order=8, stddev=2)
+    engine = SegosIndex(data.graphs, k=15, h=40)
+    return data, engine
+
+
+class TestBatchRangeQuery:
+    def test_same_answers_as_individual_queries(self, batch_setup):
+        data, engine = batch_setup
+        queries = sample_queries(data, 4, seed=9)
+        batch = engine.batch_range_query(queries, 2)
+        for query, result in zip(queries, batch):
+            solo = engine.range_query(query, 2)
+            assert set(result.candidates) == set(solo.candidates)
+            assert result.matches == solo.matches
+
+    def test_shared_cache_saves_ta_searches(self, batch_setup):
+        data, engine = batch_setup
+        query = sample_queries(data, 1, seed=9)[0]
+        repeats = [query, query.copy(), query.copy()]
+        batch = engine.batch_range_query(repeats, 2)
+        solo = [engine.range_query(q, 2) for q in repeats]
+        assert sum(r.stats.ta_searches for r in batch) < sum(
+            r.stats.ta_searches for r in solo
+        )
+        # Answers are unaffected by the cache.
+        assert all(
+            set(b.candidates) == set(s.candidates) for b, s in zip(batch, solo)
+        )
+
+    def test_verified_batch(self, batch_setup):
+        data, engine = batch_setup
+        queries = sample_queries(data, 2, seed=10)
+        batch = engine.batch_range_query(queries, 1, verify="exact")
+        for query, result in zip(queries, batch):
+            assert result.verified
+            assert result.matches == engine.range_query(
+                query, 1, verify="exact"
+            ).matches
+
+    def test_empty_batch(self, batch_setup):
+        _, engine = batch_setup
+        assert engine.batch_range_query([], 1) == []
+
+    def test_validation(self, batch_setup):
+        _, engine = batch_setup
+        with pytest.raises(ValueError):
+            engine.batch_range_query([Graph(["a"])], 1, verify="bogus")
+        with pytest.raises(ValueError):
+            engine.batch_range_query([Graph()], 1)
+        with pytest.raises(ValueError):
+            engine.batch_range_query([Graph(["a"])], -1)

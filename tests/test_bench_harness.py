@@ -1,0 +1,64 @@
+"""Tests for the benchmark support layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import LinearScan
+from repro.bench import (
+    MethodRun,
+    ParamGrid,
+    SCALED_DEFAULTS,
+    Series,
+    average_stats,
+    format_table,
+    run_queries,
+    time_build,
+)
+from repro.datasets import aids_like, sample_queries
+
+
+class TestHarness:
+    def test_run_queries_averages(self):
+        data = aids_like(8, seed=1, mean_order=5, stddev=1)
+        queries = sample_queries(data, 2, seed=3)
+        run = run_queries(LinearScan(data.graphs), queries, tau=1)
+        assert run.method == "Linear-Exact"
+        assert run.avg_time > 0
+        assert run.avg_accessed == len(data.graphs)
+
+    def test_run_queries_empty_workload(self):
+        data = aids_like(3, seed=1, mean_order=4, stddev=1)
+        with pytest.raises(ValueError):
+            run_queries(LinearScan(data.graphs), [], tau=1)
+
+    def test_time_build(self):
+        data = aids_like(5, seed=2, mean_order=4, stddev=1)
+        method, elapsed = time_build(lambda: LinearScan(data.graphs))
+        assert isinstance(method, LinearScan)
+        assert elapsed >= 0
+
+    def test_average_stats(self):
+        assert average_stats([1.0, 2.0, 3.0]) == 2.0
+        with pytest.raises(ValueError):
+            average_stats([])
+
+    def test_series_and_table(self):
+        s1 = Series("SEGOS")
+        s1.add(1, 0.5)
+        s1.add(2, 0.25)
+        s2 = Series("C-Star")
+        s2.add(1, 1.0)
+        table = format_table("Fig X", "tau", [1, 2], [s1, s2])
+        assert "Fig X" in table
+        assert "SEGOS" in table
+        assert "C-Star" in table
+        assert "-" in table  # missing point for s2 at x=2
+
+    def test_param_grid_defaults(self):
+        grid = SCALED_DEFAULTS
+        assert isinstance(grid, ParamGrid)
+        assert grid.default_k in grid.k_values
+        assert grid.default_h in grid.h_values
+        assert grid.default_db_size in grid.db_sizes
+        assert grid.default_tau in grid.tau_values

@@ -1,0 +1,128 @@
+"""Tests for the aggregation bounds (Theorem 2): ζ ≤ L_µ ≤ µ ≤ U_µ."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.bounds import SeenGraph
+from repro.core.graph_lists import build_all_lists
+from repro.core.index import TwoLevelIndex
+from repro.graphs.generators import corpus
+from repro.graphs.star import decompose
+from repro.matching.mapping import mapping_distance
+
+
+class TestSeenGraphAccumulator:
+    def make(self, **kwargs):
+        defaults = dict(gid="g", order=4, max_degree=2, small_side=True)
+        defaults.update(kwargs)
+        return SeenGraph(**defaults)
+
+    def test_zeta_sums_list_minimums(self):
+        sg = self.make()
+        sg.observe(0, sid=7, sed=3, freq=1)
+        sg.observe(0, sid=8, sed=1, freq=1)
+        sg.observe(2, sid=9, sed=5, freq=1)
+        assert sg.zeta() == 1 + 5
+
+    def test_observe_keeps_minimum_per_list(self):
+        sg = self.make()
+        sg.observe(1, sid=7, sed=4, freq=1)
+        sg.observe(1, sid=8, sed=2, freq=1)
+        assert sg.chi[1] == 2
+
+    def test_duplicate_pairs_not_double_counted(self):
+        sg = self.make()
+        sg.observe(0, sid=7, sed=3, freq=2)
+        sg.observe(0, sid=7, sed=3, freq=2)
+        assert len(sg.seen_pairs) == 1
+
+    def test_lower_bound_fills_missing_lists(self):
+        sg = self.make()
+        sg.observe(0, sid=7, sed=2, freq=1)
+        # Lists 1 and 2 missing: floors 5 and 9, epsilons 3 and 20.
+        value = sg.aggregation_lower_bound([0.0, 5.0, 9.0], [99, 3, 20])
+        assert value == 2 + min(5, 3) + min(9, 20)
+
+    def test_lower_bound_at_least_zeta(self):
+        sg = self.make()
+        sg.observe(0, sid=7, sed=2, freq=1)
+        assert sg.aggregation_lower_bound([0.0, 0.0, 0.0], [9, 9, 9]) >= sg.zeta()
+
+    def test_upper_bound_greedy_alignment(self):
+        sg = self.make(order=3, max_degree=1)
+        sg.observe(0, sid=7, sed=1, freq=1)
+        sg.observe(1, sid=8, sed=2, freq=1)
+        # χ̄ = 1 + 2*max(q_deg=1, 1) = 3; matched = 2 of max(3, 3).
+        value = sg.aggregation_upper_bound(query_order=3, query_max_degree=1)
+        assert value == 1 + 2 + 3 * (3 - 2)
+
+    def test_upper_bound_respects_multiplicity(self):
+        sg = self.make(order=2, max_degree=1)
+        # Same star seen under two lists, but it occurs only once in g:
+        # the greedy alignment may use it once.
+        sg.observe(0, sid=7, sed=0, freq=1)
+        sg.observe(1, sid=7, sed=0, freq=1)
+        value = sg.aggregation_upper_bound(query_order=2, query_max_degree=1)
+        assert value == 0 + 3 * (2 - 1)
+
+    def test_seen_star_multiset(self):
+        sg = self.make()
+        sg.observe(0, sid=7, sed=0, freq=2)
+        assert sg.seen_star_multiset() == {7: 2}
+
+
+class TestTheoremTwoEndToEnd:
+    """Simulate full scans and check ζ ≤ L_µ ≤ µ ≤ U_µ against the real µ."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_sandwich_on_random_corpora(self, seed):
+        rng = random.Random(seed)
+        graphs = {
+            f"g{i}": g
+            for i, g in enumerate(
+                corpus(rng, 12, kind="chemical", mean_order=7, stddev=2)
+            )
+        }
+        index = TwoLevelIndex()
+        for gid, g in graphs.items():
+            index.add_graph(gid, g, decompose(g))
+        query = corpus(rng, 1, kind="chemical", mean_order=7, stddev=2)[0]
+        query_stars = decompose(query)
+        lists = build_all_lists(index, query_stars, query.order, k=10)
+
+        # Drive a complete scan: observe every entry of every list.
+        seen = {}
+        for j, ql in enumerate(lists):
+            for entry in ql.small + ql.large:
+                sg = seen.get(entry.gid)
+                if sg is None:
+                    meta = index.meta(entry.gid)
+                    sg = SeenGraph(
+                        gid=entry.gid,
+                        order=meta.order,
+                        max_degree=meta.max_degree,
+                        small_side=entry.order <= query.order,
+                    )
+                    seen[entry.gid] = sg
+                sg.observe(j, entry.sid, entry.sed, entry.freq)
+
+        epsilons = [1 + 2 * s.leaf_size for s in query_stars]
+        for gid, sg in seen.items():
+            mu = mapping_distance(query, graphs[gid])
+            zeta = sg.zeta()
+            floors = [
+                (
+                    ql.exhausted_small_bound()
+                    if sg.small_side
+                    else ql.exhausted_large_bound()
+                )
+                for ql in lists
+            ]
+            l_mu = sg.aggregation_lower_bound(floors, epsilons)
+            u_mu = sg.aggregation_upper_bound(query.order, query.max_degree())
+            assert zeta <= l_mu + 1e-9
+            assert l_mu <= mu + 1e-9, (gid, l_mu, mu)
+            assert mu <= u_mu + 1e-9, (gid, mu, u_mu)

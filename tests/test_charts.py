@@ -1,0 +1,54 @@
+"""Tests for the ASCII chart renderer."""
+
+from __future__ import annotations
+
+from repro.bench.charts import render_chart
+from repro.bench.harness import Series
+
+
+def make_series(label, points):
+    s = Series(label)
+    for x, y in points.items():
+        s.add(x, y)
+    return s
+
+
+class TestRenderChart:
+    def test_contains_every_series_and_value(self):
+        a = make_series("alpha", {1: 2.0, 2: 4.0})
+        b = make_series("beta", {1: 1.0, 2: 8.0})
+        out = render_chart("demo", [1, 2], [a, b])
+        assert "demo" in out
+        assert "alpha" in out and "beta" in out
+        assert "8" in out
+
+    def test_bar_lengths_are_monotone(self):
+        s = make_series("m", {1: 1.0, 2: 2.0, 3: 4.0})
+        out = render_chart("t", [1, 2, 3], [s])
+        bars = [line.split("|")[1] for line in out.splitlines() if "|" in line]
+        lengths = [bar.count("█") for bar in bars]
+        assert lengths == sorted(lengths)
+
+    def test_log_scale_engages_on_wide_ranges(self):
+        s = make_series("wide", {1: 1.0, 2: 100000.0})
+        out = render_chart("t", [1, 2], [s])
+        assert "log scale" in out
+
+    def test_linear_scale_for_narrow_ranges(self):
+        s = make_series("narrow", {1: 1.0, 2: 3.0})
+        out = render_chart("t", [1, 2], [s])
+        assert "log scale" not in out
+
+    def test_missing_points_skipped(self):
+        s = make_series("gappy", {1: 1.0})
+        out = render_chart("t", [1, 2], [s])
+        assert out.count("gappy") == 1
+
+    def test_no_data(self):
+        out = render_chart("t", [1], [Series("empty")])
+        assert "(no data)" in out
+
+    def test_zero_values_render(self):
+        s = make_series("z", {1: 0.0, 2: 5.0})
+        out = render_chart("t", [1, 2], [s])
+        assert "0" in out

@@ -1,0 +1,120 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.graphs import io as gio
+from repro.graphs.model import Graph
+
+
+@pytest.fixture
+def corpus_file(tmp_path, paper_g1, paper_g2):
+    path = tmp_path / "corpus.txt"
+    gio.save(path, [("g1", paper_g1), ("g2", paper_g2)])
+    return path
+
+
+@pytest.fixture
+def db_file(tmp_path, corpus_file):
+    path = tmp_path / "db.segos"
+    assert main(["build", str(corpus_file), str(path)]) == 0
+    return path
+
+
+@pytest.fixture
+def query_file(tmp_path, paper_g1):
+    path = tmp_path / "query.txt"
+    gio.save(path, [("q", paper_g1)])
+    return path
+
+
+class TestBuildAndStats:
+    def test_build(self, corpus_file, tmp_path, capsys):
+        out = tmp_path / "db.segos"
+        assert main(["build", str(corpus_file), str(out)]) == 0
+        assert out.exists()
+        assert "indexed 2 graphs" in capsys.readouterr().out
+
+    def test_stats(self, db_file, capsys):
+        assert main(["stats", str(db_file)]) == 0
+        out = capsys.readouterr().out
+        assert "graphs:         2" in out
+        assert "distinct stars: 7" in out
+
+    def test_build_missing_file(self, tmp_path, capsys):
+        assert main(["build", str(tmp_path / "missing.txt"), "x"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestQuery:
+    def test_range_query(self, db_file, query_file, capsys):
+        assert main(["query", str(db_file), str(query_file), "--tau", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "candidates (tau=3.0): 2" in out
+
+    def test_range_query_verified(self, db_file, query_file, capsys):
+        assert main(
+            ["query", str(db_file), str(query_file), "--tau", "3", "--verify"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "matches (tau=3.0): 2" in out
+        assert "g1" in out and "g2" in out
+
+    def test_empty_query_file(self, db_file, tmp_path, capsys):
+        empty = tmp_path / "empty.txt"
+        empty.write_text("")
+        assert main(["query", str(db_file), str(empty), "--tau", "1"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestKnn:
+    def test_knn(self, db_file, query_file, capsys):
+        assert main(["knn", str(db_file), str(query_file), "-k", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "g1  ged=0" in out
+        assert "g2  ged=3" in out
+
+
+class TestGenerate:
+    @pytest.mark.parametrize("kind", ["aids", "pdg"])
+    def test_generate(self, kind, tmp_path, capsys):
+        out = tmp_path / "corpus.txt"
+        assert main(["generate", kind, str(out), "-n", "5", "--seed", "3"]) == 0
+        pairs = gio.load(out)
+        assert len(pairs) == 5
+
+    def test_generated_corpus_is_buildable(self, tmp_path):
+        corpus = tmp_path / "c.txt"
+        db = tmp_path / "c.segos"
+        assert main(["generate", "aids", str(corpus), "-n", "4"]) == 0
+        assert main(["build", str(corpus), str(db)]) == 0
+
+
+class TestParser:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+
+    def test_missing_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestJoin:
+    def test_join_finds_close_pair(self, db_file, capsys):
+        # g1 and g2 are 3 edits apart: tau=3 joins them.
+        assert main(["join", str(db_file), "--tau", "3", "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "matched pairs (tau=3.0): 1" in out
+        assert "g1 -- g2" in out
+
+    def test_join_tau_zero_empty(self, db_file, capsys):
+        assert main(["join", str(db_file), "--tau", "0", "--verify"]) == 0
+        assert "matched pairs (tau=0.0): 0" in capsys.readouterr().out
+
+    def test_join_candidates_mode(self, db_file, capsys):
+        assert main(["join", str(db_file), "--tau", "3"]) == 0
+        assert "candidate pairs" in capsys.readouterr().out

@@ -1,0 +1,69 @@
+"""Tests for the corpus-statistics helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import (
+    aids_like,
+    label_histogram,
+    order_histogram,
+    pdg_like,
+    summarize,
+)
+from repro.graphs.model import Graph
+
+
+class TestSummarize:
+    def test_basic_fields(self):
+        graphs = [
+            Graph(["a", "b"], [(0, 1)]),
+            Graph(["a", "b", "c"], [(0, 1), (1, 2)]),
+        ]
+        summary = summarize(graphs)
+        assert summary.count == 2
+        assert summary.avg_order == 2.5
+        assert summary.min_order == 2
+        assert summary.max_order == 3
+        assert summary.distinct_labels == 3
+        assert summary.max_degree == 2
+        assert summary.avg_size == 1.5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_describe_card(self):
+        summary = summarize([Graph(["a"])])
+        text = summary.describe()
+        assert "1 graphs" in text
+        assert "1 labels" in text
+
+    def test_constant_order_within_is_one(self):
+        graphs = [Graph(["a", "b"]) for _ in range(3)]
+        assert summarize(graphs).within_one_stddev == 1.0
+
+    def test_paper_shape_claims(self):
+        """AIDS-like sizes concentrate near the mean more than PDG-like."""
+        aids = aids_like(400, seed=9, mean_order=12, stddev=3)
+        pdg = pdg_like(400, seed=9, mean_order=12, min_order=6)
+        a = summarize(aids.graphs.values())
+        p = summarize(pdg.graphs.values())
+        # Normal ≈ 0.68 within 1σ; uniform ≈ 0.58.
+        assert a.within_one_stddev > p.within_one_stddev
+
+
+class TestHistograms:
+    def test_label_histogram(self):
+        graphs = [Graph(["a", "a", "b"])]
+        assert label_histogram(graphs) == {"a": 2, "b": 1}
+
+    def test_order_histogram(self):
+        graphs = [Graph(["a"]), Graph(["a"]), Graph(["a", "b"])]
+        assert order_histogram(graphs) == {1: 2, 2: 1}
+
+    def test_aids_label_skew(self):
+        """Chemical corpora must show Zipf-ish label skew (paper's datasets)."""
+        data = aids_like(200, seed=10, mean_order=12, stddev=3)
+        hist = sorted(label_histogram(data.graphs.values()).values(), reverse=True)
+        assert hist[0] > 3 * hist[len(hist) // 2]

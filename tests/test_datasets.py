@@ -1,0 +1,87 @@
+"""Tests for the dataset harness."""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+
+from repro.datasets import Dataset, aids_like, pdg_like, sample_queries
+from repro.graphs.edit_distance import graph_edit_distance
+
+
+class TestCorpora:
+    def test_aids_like_shape(self):
+        data = aids_like(50, seed=1, mean_order=10, stddev=2)
+        assert len(data) == 50
+        assert data.name == "aids-like"
+        assert len(data.labels) == 63
+        assert 8 <= data.average_order() <= 12
+
+    def test_pdg_like_shape(self):
+        data = pdg_like(50, seed=1, mean_order=10, min_order=6)
+        assert len(data) == 50
+        assert len(data.labels) == 36
+        assert all(g.order >= 6 for g in data.graphs.values())
+
+    def test_deterministic_by_seed(self):
+        a = aids_like(10, seed=42)
+        b = aids_like(10, seed=42)
+        assert list(a.graphs) == list(b.graphs)
+        assert all(a.graphs[k] == b.graphs[k] for k in a.graphs)
+
+    def test_different_seeds_differ(self):
+        a = aids_like(10, seed=1)
+        b = aids_like(10, seed=2)
+        assert any(a.graphs[k] != b.graphs[k] for k in a.graphs)
+
+    def test_size_distribution_kinds(self):
+        """AIDS-like is normal-ish (non-trivial spread around the mean);
+        PDG-like is uniform over its range."""
+        aids = aids_like(300, seed=3, mean_order=12, stddev=3)
+        pdg = pdg_like(300, seed=3, mean_order=12, min_order=6)
+        aids_orders = [g.order for g in aids.graphs.values()]
+        pdg_orders = [g.order for g in pdg.graphs.values()]
+        assert statistics.stdev(aids_orders) > 1.5
+        # Uniform over [6, ~18]: every size bucket populated.
+        assert len(set(pdg_orders)) >= 8
+
+
+class TestSubset:
+    def test_subset_is_stable_prefix(self):
+        data = aids_like(20, seed=5)
+        sub = data.subset(7)
+        assert len(sub) == 7
+        assert list(sub.graphs) == list(data.graphs)[:7]
+
+    def test_subset_too_large(self):
+        with pytest.raises(ValueError):
+            aids_like(5, seed=5).subset(6)
+
+
+class TestQueries:
+    def test_sample_queries_count(self):
+        data = aids_like(20, seed=6)
+        queries = sample_queries(data, 4, seed=1)
+        assert len(queries) == 4
+
+    def test_queries_are_copies(self):
+        data = aids_like(5, seed=7)
+        queries = sample_queries(data, 1, seed=1)
+        queries[0].relabel_vertex(next(iter(queries[0].vertices())), "XX")
+        assert all("XX" not in g.labels().values() for g in data.graphs.values())
+
+    def test_mutated_queries_within_edit_budget(self):
+        data = aids_like(10, seed=8, mean_order=6, stddev=1)
+        queries = sample_queries(data, 3, seed=2, edits=2)
+        for query in queries:
+            best = min(
+                graph_edit_distance(query, g, threshold=2) or 99
+                for g in data.graphs.values()
+            )
+            assert best <= 2
+
+    def test_empty_dataset_rejected(self):
+        empty = Dataset(name="x", graphs={}, labels=[], seed=0)
+        with pytest.raises(ValueError):
+            sample_queries(empty, 1)

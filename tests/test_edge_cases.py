@@ -1,0 +1,128 @@
+"""Edge-case tests across the stack: degenerate graphs, odd labels, extremes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import SegosIndex
+from repro.core.pipeline import PipelinedSegos
+from repro.graphs.edit_distance import graph_edit_distance
+from repro.graphs.model import Graph
+from repro.graphs.star import Star, decompose, star_edit_distance
+from repro.matching.mapping import mapping_distance
+
+
+class TestSingleVertexWorlds:
+    def test_single_vertex_database_and_query(self):
+        engine = SegosIndex({"dot": Graph(["x"])})
+        result = engine.range_query(Graph(["x"]), 0, verify="exact")
+        assert result.matches == {"dot"}
+        result = engine.range_query(Graph(["y"]), 0, verify="exact")
+        assert result.matches == set()
+        result = engine.range_query(Graph(["y"]), 1, verify="exact")
+        assert result.matches == {"dot"}
+
+    def test_single_vertex_vs_large_graph(self, paper_g2):
+        engine = SegosIndex({"big": paper_g2})
+        result = engine.range_query(Graph(["a"]), 2, verify="exact")
+        assert result.matches == set()  # λ = 14 edits away
+
+    def test_mapping_distance_single_vertices(self):
+        assert mapping_distance(Graph(["a"]), Graph(["a"])) == 0
+        assert mapping_distance(Graph(["a"]), Graph(["b"])) == 1
+
+    def test_star_of_isolated_vertex(self):
+        g = Graph(["z"])
+        assert decompose(g) == [Star("z")]
+
+
+class TestDisconnectedGraphs:
+    def test_engine_accepts_disconnected(self):
+        g = Graph(["a", "b", "c", "d"], [(0, 1), (2, 3)])
+        engine = SegosIndex({"dis": g})
+        result = engine.range_query(g.copy(), 0, verify="exact")
+        assert result.matches == {"dis"}
+
+    def test_ged_between_components(self):
+        joined = Graph(["a", "b"], [(0, 1)])
+        split = Graph(["a", "b"])
+        assert graph_edit_distance(joined, split) == 1
+
+
+class TestUnusualLabels:
+    def test_unicode_labels(self):
+        g = Graph(["ä", "β", "中"], [(0, 1), (1, 2)])
+        engine = SegosIndex({"u": g})
+        assert engine.range_query(g.copy(), 0, verify="exact").matches == {"u"}
+
+    def test_labels_with_spaces_in_model(self):
+        # The in-memory model is agnostic; only io/sqlite constrain labels.
+        g = Graph(["label one", "label two"], [(0, 1)])
+        assert star_edit_distance(*decompose(g)) >= 0
+
+    def test_pipe_character_labels_do_not_collide(self):
+        s1 = Star("a|b", ["c"])
+        s2 = Star("a", ["b|c"])
+        assert s1 != s2
+
+
+class TestExtremes:
+    def test_huge_tau_returns_all(self, small_aids):
+        items = dict(list(small_aids.graphs.items())[:10])
+        engine = SegosIndex(items)
+        query = next(iter(items.values())).copy()
+        result = engine.range_query(query, 10_000)
+        assert set(result.candidates) == set(items)
+
+    def test_star_with_many_repeated_leaves(self):
+        big = Star("a", ["b"] * 50)
+        small = Star("a", ["b"])
+        assert star_edit_distance(big, small) == 49 + 49
+
+    def test_dense_graph_star_decomposition(self):
+        n = 8
+        g = Graph(["x"] * n, [(i, j) for i in range(n) for j in range(i + 1, n)])
+        stars = decompose(g)
+        assert all(s.leaf_size == n - 1 for s in stars)
+        engine = SegosIndex({"k8": g})
+        assert engine.range_query(g.copy(), 0).candidates == ["k8"]
+
+    def test_query_much_larger_than_database(self, small_aids):
+        items = dict(list(small_aids.graphs.items())[:5])
+        engine = SegosIndex(items)
+        big_query = Graph(
+            {i: "C00" for i in range(40)}, [(i, i + 1) for i in range(39)]
+        )
+        result = engine.range_query(big_query, 1)
+        assert result.candidates == []
+
+    def test_pipeline_on_tiny_database(self):
+        engine = SegosIndex({"only": Graph(["a", "b"], [(0, 1)])})
+        pipe = PipelinedSegos(engine)
+        for tau in (0, 1, 5):
+            result = pipe.range_query(Graph(["a", "b"], [(0, 1)]), tau)
+            assert result.candidates == ["only"]
+
+
+class TestEngineParameterInteractions:
+    def test_partial_fraction_override_per_query(self, small_aids):
+        items = dict(list(small_aids.graphs.items())[:15])
+        engine = SegosIndex(items, partial_fraction=0.5)
+        query = next(iter(items.values())).copy()
+        eager = engine.range_query(query, 2, partial_fraction=0.0)
+        lazy = engine.range_query(query, 2, partial_fraction=2.0)
+        # Same answers regardless of when the partial check runs.
+        assert set(eager.candidates) == set(lazy.candidates)
+
+    def test_k_and_h_overrides(self, small_aids):
+        items = dict(list(small_aids.graphs.items())[:15])
+        engine = SegosIndex(items, k=5, h=10)
+        query = next(iter(items.values())).copy()
+        a = engine.range_query(query, 1, k=50, h=500)
+        b = engine.range_query(query, 1)
+        assert set(a.candidates) >= set(b.candidates) or set(
+            a.candidates
+        ) <= set(b.candidates)  # both sound; sizes may differ
+        truth_probe = engine.range_query(query, 1, verify="exact").matches
+        assert truth_probe <= set(a.candidates)
+        assert truth_probe <= set(b.candidates)

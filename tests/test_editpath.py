@@ -1,0 +1,91 @@
+"""Tests for edit-script extraction and replay."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.graphs.editpath import (
+    DeleteEdge,
+    DeleteVertex,
+    InsertEdge,
+    InsertVertex,
+    RelabelVertex,
+    apply_edit_script,
+    edit_script_from_mapping,
+    extract_edit_script,
+    render_edit_script,
+)
+from repro.graphs.generators import erdos_renyi
+from repro.graphs.isomorphism import are_isomorphic
+from repro.graphs.model import Graph
+from repro.matching.mapping import edit_cost_under_mapping, mapping_result
+
+
+class TestScriptExtraction:
+    def test_identity_script_is_empty(self, paper_g1):
+        assert extract_edit_script(paper_g1, paper_g1) == []
+
+    def test_single_relabel(self):
+        a = Graph(["a", "b"], [(0, 1)])
+        b = Graph(["a", "c"], [(0, 1)])
+        script = edit_script_from_mapping(a, b, {0: 0, 1: 1})
+        assert script == [RelabelVertex(1, "b", "c")]
+
+    def test_vertex_deletion_includes_edges(self):
+        a = Graph(["a", "b"], [(0, 1)])
+        b = Graph(["a"])
+        script = edit_script_from_mapping(a, b, {0: 0, 1: None})
+        assert DeleteEdge(0, 1) in script
+        assert DeleteVertex(1) in script
+        assert len(script) == 2
+
+    def test_insertion_gets_fresh_ids(self):
+        a = Graph(["a"])
+        b = Graph(["a", "b"], [(0, 1)])
+        script = edit_script_from_mapping(a, b, {0: 0})
+        inserts = [op for op in script if isinstance(op, InsertVertex)]
+        assert len(inserts) == 1
+        assert inserts[0].vertex not in a
+        assert any(isinstance(op, InsertEdge) for op in script)
+
+    def test_length_equals_lemma3_cost(self, rng):
+        for _ in range(15):
+            g1 = erdos_renyi(rng, "abc", rng.randint(1, 6), 0.4)
+            g2 = erdos_renyi(rng, "abc", rng.randint(1, 6), 0.4)
+            result = mapping_result(g1, g2)
+            script = extract_edit_script(g1, g2, result)
+            assert len(script) == edit_cost_under_mapping(
+                g1, g2, result.vertex_mapping
+            )
+
+
+class TestReplay:
+    def test_replay_reaches_target(self, rng):
+        for _ in range(15):
+            g1 = erdos_renyi(rng, "ab", rng.randint(1, 6), 0.4)
+            g2 = erdos_renyi(rng, "ab", rng.randint(1, 6), 0.4)
+            script = extract_edit_script(g1, g2)
+            rebuilt = apply_edit_script(g1, script)
+            assert are_isomorphic(rebuilt, g2), render_edit_script(script)
+
+    def test_replay_does_not_mutate_source(self, paper_g1, paper_g2):
+        snapshot = paper_g1.copy()
+        apply_edit_script(paper_g1, extract_edit_script(paper_g1, paper_g2))
+        assert paper_g1 == snapshot
+
+    def test_paper_graphs_round_trip(self, paper_g1, paper_g2):
+        script = extract_edit_script(paper_g1, paper_g2)
+        assert are_isomorphic(apply_edit_script(paper_g1, script), paper_g2)
+        back = extract_edit_script(paper_g2, paper_g1)
+        assert are_isomorphic(apply_edit_script(paper_g2, back), paper_g1)
+
+
+class TestRender:
+    def test_render_mentions_each_op_kind(self):
+        a = Graph(["a", "b"], [(0, 1)])
+        b = Graph(["c", "c", "c"], [(0, 1), (1, 2)])
+        text = render_edit_script(extract_edit_script(a, b))
+        assert "relabel" in text or "insert vertex" in text
+        assert text.count("\n") + 1 == len(extract_edit_script(a, b))

@@ -1,0 +1,238 @@
+"""End-to-end tests for the SegosIndex engine incl. index maintenance."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import GraphAlreadyIndexed, GraphNotIndexed
+from repro.core.engine import SegosIndex
+from repro.core.index import TwoLevelIndex
+from repro.graphs.edit_distance import graph_edit_distance
+from repro.graphs.generators import corpus, make_label_alphabet, mutate
+from repro.graphs.model import Graph
+from repro.graphs.star import Star, decompose
+
+
+@pytest.fixture
+def small_engine(small_aids):
+    items = dict(list(small_aids.graphs.items())[:30])
+    return SegosIndex(items, k=15, h=40), items
+
+
+class TestLifecycle:
+    def test_build_from_mapping(self, small_engine):
+        engine, items = small_engine
+        assert len(engine) == len(items)
+        engine.check_consistency()
+
+    def test_add_and_remove(self, paper_g1):
+        engine = SegosIndex()
+        engine.add("g", paper_g1)
+        assert "g" in engine
+        engine.remove("g")
+        assert "g" not in engine
+        assert len(engine) == 0
+
+    def test_added_graph_is_copied(self, paper_g1):
+        engine = SegosIndex()
+        engine.add("g", paper_g1)
+        paper_g1.relabel_vertex(0, "z")
+        assert engine.graph("g").label(0) == "a"
+
+    def test_duplicate_gid_rejected(self, paper_g1):
+        engine = SegosIndex()
+        engine.add("g", paper_g1)
+        with pytest.raises(GraphAlreadyIndexed):
+            engine.add("g", paper_g1)
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ValueError):
+            SegosIndex().add("g", Graph())
+
+    def test_remove_unknown(self):
+        with pytest.raises(GraphNotIndexed):
+            SegosIndex().remove("nope")
+
+    def test_graph_unknown(self):
+        with pytest.raises(GraphNotIndexed):
+            SegosIndex().graph("nope")
+
+    def test_invalid_construction_params(self):
+        with pytest.raises(ValueError):
+            SegosIndex(k=0)
+        with pytest.raises(ValueError):
+            SegosIndex(h=0)
+
+
+class TestMaintenance:
+    """The seven update kinds must leave the index identical to a rebuild."""
+
+    def assert_matches_rebuild(self, engine: SegosIndex):
+        engine.check_consistency()
+        fresh = TwoLevelIndex()
+        for gid in engine.gids():
+            g = engine.graph(gid)
+            fresh.add_graph(gid, g, decompose(g))
+        for gid in engine.gids():
+            got = {
+                engine.index.catalog.star(sid).signature: cnt
+                for sid, cnt in engine.index.graph_star_counts(gid).items()
+            }
+            expect = {
+                fresh.catalog.star(sid).signature: cnt
+                for sid, cnt in fresh.graph_star_counts(gid).items()
+            }
+            assert got == expect, gid
+        assert engine.index.size_estimate() == fresh.size_estimate()
+
+    def test_add_edge(self, paper_g1):
+        engine = SegosIndex()
+        engine.add("g", paper_g1)
+        engine.add_edge("g", 1, 3)
+        assert engine.graph("g").has_edge(1, 3)
+        self.assert_matches_rebuild(engine)
+
+    def test_remove_edge(self, paper_g1):
+        engine = SegosIndex()
+        engine.add("g", paper_g1)
+        engine.remove_edge("g", 0, 1)
+        assert not engine.graph("g").has_edge(0, 1)
+        self.assert_matches_rebuild(engine)
+
+    def test_add_vertex(self, paper_g1):
+        engine = SegosIndex()
+        engine.add("g", paper_g1)
+        engine.add_vertex("g", 10, "e")
+        assert engine.graph("g").order == 6
+        self.assert_matches_rebuild(engine)
+
+    def test_remove_vertex(self, paper_g1):
+        engine = SegosIndex()
+        engine.add("g", paper_g1)
+        engine.remove_vertex("g", 1)
+        assert engine.graph("g").order == 4
+        self.assert_matches_rebuild(engine)
+
+    def test_relabel_vertex(self, paper_g1):
+        engine = SegosIndex()
+        engine.add("g", paper_g1)
+        engine.relabel_vertex("g", 0, "q")
+        assert engine.graph("g").label(0) == "q"
+        self.assert_matches_rebuild(engine)
+
+    def test_random_update_storm(self, rng):
+        """Long random update sequences keep the index rebuild-equal."""
+        labels = make_label_alphabet(10)
+        graphs = corpus(rng, 6, kind="chemical", mean_order=6, stddev=1)
+        engine = SegosIndex({f"g{i}": g for i, g in enumerate(graphs)})
+        next_gid = len(graphs)
+        for step in range(60):
+            gids = list(engine.gids())
+            op = rng.randrange(7)
+            if op == 0 and len(gids) < 10:
+                engine.add(f"g{next_gid}", corpus(rng, 1, kind="chemical", mean_order=5, stddev=1)[0])
+                next_gid += 1
+            elif op == 1 and len(gids) > 2:
+                engine.remove(rng.choice(gids))
+            else:
+                gid = rng.choice(gids)
+                g = engine.graph(gid)
+                vertices = list(g.vertices())
+                if op == 2 and len(vertices) >= 2:
+                    u, v = rng.sample(vertices, 2)
+                    if not g.has_edge(u, v):
+                        engine.add_edge(gid, u, v)
+                elif op == 3 and g.size > 0:
+                    u, v = next(iter(g.edges()))
+                    engine.remove_edge(gid, u, v)
+                elif op == 4:
+                    engine.add_vertex(gid, max(vertices) + 1, rng.choice(labels))
+                elif op == 5:
+                    isolated = [v for v in vertices if g.degree(v) == 0]
+                    if isolated and g.order > 1:
+                        engine.remove_vertex(gid, rng.choice(isolated))
+                elif op == 6:
+                    engine.relabel_vertex(gid, rng.choice(vertices), rng.choice(labels))
+            if step % 15 == 0:
+                self.assert_matches_rebuild(engine)
+        self.assert_matches_rebuild(engine)
+
+
+class TestRangeQuery:
+    def test_self_query_tau_zero(self, small_engine):
+        engine, items = small_engine
+        gid, graph = next(iter(items.items()))
+        result = engine.range_query(graph, 0)
+        assert gid in result.candidates
+        # With exact verification the self-match is confirmed.
+        verified = engine.range_query(graph, 0, verify="exact")
+        assert gid in verified.matches
+
+    def test_no_false_negatives(self, small_engine, rng):
+        engine, items = small_engine
+        labels = make_label_alphabet(63, prefix="C")
+        for _ in range(3):
+            query = mutate(rng, rng.choice(list(items.values())), 1, labels)
+            tau = 2
+            truth = {
+                gid
+                for gid, g in items.items()
+                if graph_edit_distance(query, g, threshold=tau) is not None
+            }
+            result = engine.range_query(query, tau)
+            assert truth <= set(result.candidates)
+            assert result.matches <= truth
+
+    def test_exact_verification(self, small_engine, rng):
+        engine, items = small_engine
+        labels = make_label_alphabet(63, prefix="C")
+        query = mutate(rng, rng.choice(list(items.values())), 1, labels)
+        tau = 2
+        result = engine.range_query(query, tau, verify="exact")
+        truth = {
+            gid
+            for gid, g in items.items()
+            if graph_edit_distance(query, g, threshold=tau) is not None
+        }
+        assert result.matches == truth
+        assert result.verified
+
+    def test_query_after_updates(self, small_engine, rng):
+        engine, items = small_engine
+        gid = next(iter(items))
+        engine.relabel_vertex(gid, next(iter(engine.graph(gid).vertices())), "C00")
+        query = engine.graph(gid).copy()
+        result = engine.range_query(query, 0, verify="exact")
+        assert gid in result.matches
+
+    def test_query_validation(self, small_engine):
+        engine, _ = small_engine
+        query = Graph(["a"])
+        with pytest.raises(ValueError):
+            engine.range_query(Graph(), 1)
+        with pytest.raises(ValueError):
+            engine.range_query(query, -1)
+        with pytest.raises(ValueError):
+            engine.range_query(query, 1, verify="maybe")
+
+    def test_result_metadata(self, small_engine):
+        engine, items = small_engine
+        query = next(iter(items.values())).copy()
+        result = engine.range_query(query, 1)
+        assert result.elapsed >= 0
+        assert result.stats.ta_searches >= 1
+        assert not result.verified
+
+    def test_top_k_sub_units_facade(self, small_engine):
+        engine, items = small_engine
+        star = decompose(next(iter(items.values())))[0]
+        result = engine.top_k_sub_units(star, 5)
+        assert len(result.entries) <= 5
+        assert result.entries[0][1] == 0  # the star itself is indexed
+
+    def test_index_size_and_star_count(self, small_engine):
+        engine, _ = small_engine
+        assert engine.index_size() > 0
+        assert engine.distinct_star_count() > 0

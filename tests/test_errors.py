@@ -1,0 +1,52 @@
+"""Tests for the exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc_class",
+        [
+            errors.GraphError,
+            errors.IndexCorruptionError,
+            errors.ParseError,
+            errors.SearchBudgetExceeded,
+            errors.GraphNotIndexed,
+            errors.GraphAlreadyIndexed,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc_class):
+        assert issubclass(exc_class, errors.ReproError)
+
+    def test_lookup_errors_are_key_errors(self):
+        assert issubclass(errors.VertexNotFound, KeyError)
+        assert issubclass(errors.EdgeNotFound, KeyError)
+        assert issubclass(errors.GraphNotIndexed, KeyError)
+
+    def test_duplicate_errors_are_value_errors(self):
+        assert issubclass(errors.DuplicateVertex, ValueError)
+        assert issubclass(errors.DuplicateEdge, ValueError)
+        assert issubclass(errors.GraphAlreadyIndexed, ValueError)
+
+    def test_parse_error_carries_line(self):
+        err = errors.ParseError("bad record", 17)
+        assert err.line_number == 17
+        assert "line 17" in str(err)
+
+    def test_parse_error_without_line(self):
+        assert errors.ParseError("bad").line_number is None
+
+    def test_vertex_not_found_payload(self):
+        assert errors.VertexNotFound(5).vertex == 5
+
+    def test_edge_not_found_payload(self):
+        assert errors.EdgeNotFound(1, 2).edge == (1, 2)
+
+    def test_budget_payload(self):
+        err = errors.SearchBudgetExceeded(150, 100)
+        assert err.expanded == 150
+        assert err.budget == 100

@@ -1,0 +1,69 @@
+"""Smoke tests: every example script must run to completion.
+
+Each example is executed in-process (imported as a module and ``main()``
+called) with stdout captured; slow corpus sizes are tolerable because the
+examples were sized to finish in seconds.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart",
+    "dynamic_maintenance",
+    "clone_detection",
+    "knn_search",
+    "query_explain",
+]
+SLOW_EXAMPLES = [
+    "molecule_search",
+    "subgraph_search",
+    "similarity_join",
+]
+
+
+def run_example(name: str, capsys) -> str:
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        del sys.modules[spec.name]
+    return capsys.readouterr().out
+
+
+@pytest.mark.parametrize("name", FAST_EXAMPLES)
+def test_fast_example_runs(name, capsys):
+    out = run_example(name, capsys)
+    assert out.strip(), name
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("name", SLOW_EXAMPLES)
+def test_slow_example_runs(name, capsys):
+    out = run_example(name, capsys)
+    assert out.strip(), name
+
+
+class TestExampleOutcomes:
+    def test_quickstart_finds_both_matches(self, capsys):
+        out = run_example("quickstart", capsys)
+        assert "['g1', 'g2']" in out
+
+    def test_clone_detection_recovers_all(self, capsys):
+        out = run_example("clone_detection", capsys)
+        assert "recovered 12/12 planted clones" in out
+
+    def test_knn_search_recovers_source(self, capsys):
+        out = run_example("knn_search", capsys)
+        assert "<- source" in out

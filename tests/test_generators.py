@@ -1,0 +1,140 @@
+"""Tests for the synthetic corpus generators."""
+
+from __future__ import annotations
+
+import random
+import statistics
+
+import pytest
+
+from repro.graphs.edit_distance import graph_edit_distance
+from repro.graphs.generators import (
+    AIDS_LABEL_COUNT,
+    PDG_LABEL_COUNT,
+    chemical_like,
+    corpus,
+    erdos_renyi,
+    make_label_alphabet,
+    mutate,
+    normal_order,
+    pdg_like,
+    random_tree,
+    uniform_order,
+)
+
+
+class TestAlphabet:
+    def test_count_and_uniqueness(self):
+        labels = make_label_alphabet(63)
+        assert len(labels) == 63
+        assert len(set(labels)) == 63
+
+    def test_lexicographic_equals_numeric_order(self):
+        labels = make_label_alphabet(120)
+        assert labels == sorted(labels)
+
+    def test_prefix(self):
+        assert make_label_alphabet(3, prefix="Q") == ["Q0", "Q1", "Q2"]
+
+
+class TestGenerators:
+    def test_random_tree_is_connected_tree(self, rng):
+        g = random_tree(rng, "abc", 12)
+        assert g.order == 12
+        assert g.size == 11
+        assert g.is_connected()
+
+    def test_random_tree_preferential(self, rng):
+        g = random_tree(rng, "abc", 30, attach_power=2.0)
+        assert g.is_connected()
+
+    def test_random_tree_order_one(self, rng):
+        assert random_tree(rng, "ab", 1).order == 1
+
+    def test_random_tree_invalid_order(self, rng):
+        with pytest.raises(ValueError):
+            random_tree(rng, "ab", 0)
+
+    def test_chemical_like_connected_and_sparse(self, rng):
+        for _ in range(5):
+            g = chemical_like(rng, make_label_alphabet(63), 20)
+            assert g.is_connected()
+            assert g.size <= 2 * g.order  # sparse
+
+    def test_pdg_like_connected(self, rng):
+        g = pdg_like(rng, make_label_alphabet(36), 25)
+        assert g.is_connected()
+        assert g.order == 25
+
+    def test_erdos_renyi_edge_probability_extremes(self, rng):
+        empty = erdos_renyi(rng, "ab", 6, 0.0)
+        full = erdos_renyi(rng, "ab", 6, 1.0)
+        assert empty.size == 0
+        assert full.size == 15
+
+    def test_order_samplers(self, rng):
+        assert normal_order(rng, 10, 0, minimum=1) == 10
+        assert normal_order(rng, -5, 0, minimum=3) == 3
+        assert 2 <= uniform_order(rng, 2, 4) <= 4
+
+
+class TestCorpus:
+    def test_chemical_corpus_shape(self):
+        rng = random.Random(1)
+        graphs = corpus(rng, 40, kind="chemical", mean_order=12, stddev=3)
+        assert len(graphs) == 40
+        mean = statistics.mean(g.order for g in graphs)
+        assert 9 <= mean <= 15
+
+    def test_pdg_corpus_uniform_sizes(self):
+        rng = random.Random(2)
+        graphs = corpus(rng, 40, kind="pdg", mean_order=10, min_order=5)
+        orders = [g.order for g in graphs]
+        assert min(orders) >= 5
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            corpus(random.Random(0), 1, kind="nope")
+
+    def test_label_counts_default_to_paper_values(self):
+        rng = random.Random(3)
+        chem = corpus(rng, 20, kind="chemical")
+        labels = {lbl for g in chem for lbl in g.labels().values()}
+        alphabet = set(make_label_alphabet(AIDS_LABEL_COUNT, prefix="C"))
+        assert labels <= alphabet
+        pdg = corpus(rng, 20, kind="pdg")
+        labels = {lbl for g in pdg for lbl in g.labels().values()}
+        assert labels <= set(make_label_alphabet(PDG_LABEL_COUNT, prefix="P"))
+
+    def test_deterministic_given_seed(self):
+        a = corpus(random.Random(7), 5, kind="chemical")
+        b = corpus(random.Random(7), 5, kind="chemical")
+        assert a == b
+
+
+class TestMutate:
+    def test_zero_edits_is_copy(self, rng):
+        g = chemical_like(rng, "abc", 8)
+        m = mutate(rng, g, 0, "abc")
+        assert m == g
+        assert m is not g
+
+    def test_edit_distance_bounded_by_edits(self, rng):
+        """λ(g, mutate(g, j)) ≤ j — the recall-probe guarantee."""
+        for _ in range(10):
+            g = erdos_renyi(rng, "abc", rng.randint(2, 5), 0.4)
+            edits = rng.randint(0, 3)
+            m = mutate(rng, g, edits, "abc")
+            assert graph_edit_distance(g, m) <= edits
+
+    def test_original_untouched(self, rng):
+        g = chemical_like(rng, "abc", 8)
+        snapshot = g.copy()
+        mutate(rng, g, 5, "abc")
+        assert g == snapshot
+
+    def test_keep_connected(self, rng):
+        g = random_tree(rng, "abc", 10)
+        for _ in range(5):
+            m = mutate(rng, g, 4, "abc", keep_connected=True)
+            assert m.is_connected()

@@ -1,0 +1,241 @@
+"""Unit tests for the labelled-graph data model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    DuplicateEdge,
+    DuplicateVertex,
+    EdgeNotFound,
+    GraphError,
+    VertexNotFound,
+)
+from repro.graphs.model import (
+    Graph,
+    database_max_degree,
+    degree_histogram,
+    normalization_factor,
+)
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        g = Graph()
+        assert g.order == 0
+        assert g.size == 0
+        assert list(g.vertices()) == []
+        assert list(g.edges()) == []
+
+    def test_from_label_list(self):
+        g = Graph(["a", "b", "c"])
+        assert g.order == 3
+        assert g.label(0) == "a"
+        assert g.label(2) == "c"
+
+    def test_from_mapping(self):
+        g = Graph({5: "x", 9: "y"}, [(5, 9)])
+        assert g.order == 2
+        assert g.has_edge(5, 9)
+        assert g.label(9) == "y"
+
+    def test_edges_are_undirected(self):
+        g = Graph(["a", "b"], [(1, 0)])
+        assert g.has_edge(0, 1)
+        assert g.has_edge(1, 0)
+        assert list(g.edges()) == [(0, 1)]
+
+    def test_single_vertex_constructor(self):
+        g = Graph.single_vertex("z")
+        assert g.order == 1
+        assert g.label(0) == "z"
+
+    def test_from_edge_list_constructor(self):
+        g = Graph.from_edge_list("abc", [(0, 2)])
+        assert g.size == 1
+        assert g.label(1) == "b"
+
+
+class TestValidation:
+    def test_self_loop_rejected(self):
+        g = Graph(["a"])
+        with pytest.raises(GraphError):
+            g.add_edge(0, 0)
+
+    def test_duplicate_edge_rejected(self):
+        g = Graph(["a", "b"], [(0, 1)])
+        with pytest.raises(DuplicateEdge):
+            g.add_edge(1, 0)
+
+    def test_duplicate_vertex_rejected(self):
+        g = Graph(["a"])
+        with pytest.raises(DuplicateVertex):
+            g.add_vertex(0, "b")
+
+    def test_negative_vertex_id_rejected(self):
+        g = Graph()
+        with pytest.raises(GraphError):
+            g.add_vertex(-1, "a")
+
+    def test_edge_to_missing_vertex(self):
+        g = Graph(["a"])
+        with pytest.raises(VertexNotFound):
+            g.add_edge(0, 7)
+
+    def test_label_of_missing_vertex(self):
+        with pytest.raises(VertexNotFound):
+            Graph(["a"]).label(3)
+
+    def test_remove_missing_edge(self):
+        g = Graph(["a", "b"])
+        with pytest.raises(EdgeNotFound):
+            g.remove_edge(0, 1)
+
+    def test_remove_missing_vertex(self):
+        with pytest.raises(VertexNotFound):
+            Graph(["a"]).remove_vertex(4)
+
+    def test_degree_of_missing_vertex(self):
+        with pytest.raises(VertexNotFound):
+            Graph(["a"]).degree(2)
+
+    def test_neighbors_of_missing_vertex(self):
+        with pytest.raises(VertexNotFound):
+            Graph(["a"]).neighbors(2)
+
+    def test_relabel_missing_vertex(self):
+        with pytest.raises(VertexNotFound):
+            Graph(["a"]).relabel_vertex(3, "b")
+
+
+class TestMutations:
+    def test_add_remove_edge(self):
+        g = Graph(["a", "b"])
+        g.add_edge(0, 1)
+        assert g.size == 1
+        g.remove_edge(0, 1)
+        assert g.size == 0
+        assert not g.has_edge(0, 1)
+
+    def test_remove_vertex_drops_incident_edges(self):
+        g = Graph(["a", "b", "c"], [(0, 1), (1, 2), (0, 2)])
+        g.remove_vertex(1)
+        assert g.order == 2
+        assert g.size == 1
+        assert g.has_edge(0, 2)
+
+    def test_relabel(self):
+        g = Graph(["a", "b"])
+        g.relabel_vertex(0, "q")
+        assert g.label(0) == "q"
+
+    def test_vertex_ids_stable_after_removal(self):
+        g = Graph(["a", "b", "c"], [(0, 1)])
+        g.remove_vertex(1)
+        assert set(g.vertices()) == {0, 2}
+        g.add_vertex(7, "d")
+        assert g.has_vertex(7)
+
+
+class TestAccessors:
+    def test_degree(self):
+        g = Graph(["a", "b", "c"], [(0, 1), (0, 2)])
+        assert g.degree(0) == 2
+        assert g.degree(1) == 1
+
+    def test_max_degree(self):
+        g = Graph(["a", "b", "c"], [(0, 1), (0, 2)])
+        assert g.max_degree() == 2
+        assert Graph().max_degree() == 0
+
+    def test_label_multiset_sorted(self):
+        g = Graph(["c", "a", "b", "a"])
+        assert g.label_multiset() == ["a", "a", "b", "c"]
+
+    def test_neighbors_returns_copy(self):
+        g = Graph(["a", "b"], [(0, 1)])
+        nbrs = g.neighbors(0)
+        nbrs.add(99)
+        assert g.neighbors(0) == {1}
+
+    def test_labels_returns_copy(self):
+        g = Graph(["a"])
+        labels = g.labels()
+        labels[0] = "mutated"
+        assert g.label(0) == "a"
+
+    def test_len_and_contains(self):
+        g = Graph(["a", "b"])
+        assert len(g) == 2
+        assert 1 in g
+        assert 5 not in g
+
+
+class TestDerivedViews:
+    def test_copy_is_deep(self):
+        g = Graph(["a", "b"], [(0, 1)])
+        clone = g.copy()
+        clone.remove_edge(0, 1)
+        clone.relabel_vertex(0, "z")
+        assert g.has_edge(0, 1)
+        assert g.label(0) == "a"
+
+    def test_equality_is_structural(self):
+        g1 = Graph(["a", "b"], [(0, 1)])
+        g2 = Graph(["a", "b"], [(0, 1)])
+        assert g1 == g2
+        g2.relabel_vertex(1, "c")
+        assert g1 != g2
+
+    def test_equality_other_type(self):
+        assert Graph(["a"]) != "not a graph"
+
+    def test_hash_consistent_with_eq(self):
+        g1 = Graph(["a", "b"], [(0, 1)])
+        g2 = Graph(["a", "b"], [(0, 1)])
+        assert hash(g1) == hash(g2)
+
+    def test_relabelled_compact(self):
+        g = Graph({3: "a", 8: "b"}, [(3, 8)])
+        compact, mapping = g.relabelled_compact()
+        assert set(compact.vertices()) == {0, 1}
+        assert compact.has_edge(mapping[3], mapping[8])
+        assert compact.label(mapping[8]) == "b"
+
+    def test_connected_components(self):
+        g = Graph(["a", "b", "c", "d"], [(0, 1), (2, 3)])
+        comps = sorted(sorted(c) for c in g.connected_components())
+        assert comps == [[0, 1], [2, 3]]
+
+    def test_is_connected(self):
+        assert Graph(["a", "b"], [(0, 1)]).is_connected()
+        assert not Graph(["a", "b"]).is_connected()
+        assert Graph().is_connected()
+
+    def test_repr(self):
+        assert "order=2" in repr(Graph(["a", "b"], [(0, 1)]))
+
+
+class TestHelpers:
+    def test_degree_histogram(self):
+        g = Graph(["a", "b", "c"], [(0, 1), (0, 2)])
+        assert degree_histogram(g) == {2: 1, 1: 2}
+
+    def test_database_max_degree(self):
+        g1 = Graph(["a", "b"], [(0, 1)])
+        g2 = Graph(["a", "b", "c"], [(0, 1), (0, 2)])
+        assert database_max_degree([g1, g2]) == 2
+        assert database_max_degree([]) == 0
+
+    def test_normalization_factor_floor_of_four(self):
+        # max{4, δ+1}: low-degree graphs are clamped to 4.
+        g = Graph(["a", "b"], [(0, 1)])
+        assert normalization_factor(g, g) == 4
+
+    def test_normalization_factor_uses_larger_degree(self, paper_g2):
+        g = Graph(["a"])
+        assert normalization_factor(g, paper_g2) == paper_g2.max_degree() + 1
+
+    def test_normalization_factor_database_max(self):
+        g = Graph(["a"])
+        assert normalization_factor(g, database_max=9) == 10

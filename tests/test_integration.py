@@ -1,0 +1,144 @@
+"""Cross-module integration tests: full workflows end to end.
+
+These exercise paths a downstream user takes: generate → persist → reload →
+query → mutate → re-query, and the agreement of every query interface
+(plain engine, pipeline, baselines, kNN, subgraph search) over a shared
+corpus with exact ground truth.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines import CStar, CTree, KappaAT, LinearScan
+from repro.core.engine import SegosIndex
+from repro.core.knn import knn_query
+from repro.core.persistence import load_index, save_index
+from repro.core.pipeline import PipelinedSegos
+from repro.core.subsearch import SubgraphSearch
+from repro.datasets import aids_like, pdg_like, sample_queries, summarize
+from repro.graphs import io as gio
+from repro.graphs.edit_distance import graph_edit_distance
+from repro.graphs.generators import mutate
+from repro.graphs.subgraph_distance import subgraph_edit_distance
+
+
+@pytest.fixture(scope="module")
+def world():
+    data = aids_like(30, seed=314, mean_order=7.0, stddev=1.5, min_order=4)
+    engine = SegosIndex(data.graphs, k=15, h=40)
+    return data, engine
+
+
+class TestFullWorkflow:
+    def test_generate_save_reload_query(self, world, tmp_path):
+        data, engine = world
+        path = tmp_path / "db.segos"
+        save_index(engine, path)
+        reloaded = load_index(path)
+        query = next(iter(data.graphs.values())).copy()
+        a = engine.range_query(query, 2, verify="exact").matches
+        b = reloaded.range_query(query, 2, verify="exact").matches
+        assert a == b
+
+    def test_io_then_index_round_trip(self, world, tmp_path):
+        data, _ = world
+        path = tmp_path / "corpus.txt"
+        gio.save(path, data.graphs.items())
+        pairs = gio.load(path)
+        rebuilt = SegosIndex(dict(pairs))
+        assert len(rebuilt) == len(data.graphs)
+        rebuilt.check_consistency()
+
+    def test_mutation_then_requery(self, world):
+        data, _ = world
+        engine = SegosIndex(dict(data.graphs), k=15, h=40)
+        gid = next(iter(data.graphs))
+        graph = engine.graph(gid)
+        victim = next(iter(graph.vertices()))
+        engine.relabel_vertex(gid, victim, "C62")
+        engine.check_consistency()
+        current = engine.graph(gid).copy()
+        result = engine.range_query(current, 0, verify="exact")
+        assert gid in result.matches
+
+
+class TestAllInterfacesAgree:
+    """Every query path must agree with exact ground truth."""
+
+    @pytest.mark.parametrize("tau", [1, 2])
+    def test_range_interfaces(self, world, tau):
+        data, engine = world
+        rng = random.Random(tau)
+        query = mutate(rng, rng.choice(list(data.graphs.values())), 1, data.labels)
+        truth = {
+            gid
+            for gid, g in data.graphs.items()
+            if graph_edit_distance(query, g, threshold=tau) is not None
+        }
+        interfaces = {
+            "engine": set(engine.range_query(query, tau, verify="exact").matches),
+            "pipeline": set(
+                PipelinedSegos(engine).range_query(query, tau, verify="exact").matches
+            ),
+            "linear": set(LinearScan(data.graphs).range_query(query, tau).candidates),
+        }
+        for name, matches in interfaces.items():
+            assert matches == truth, name
+        for method in (CStar(data.graphs), KappaAT(data.graphs), CTree(data.graphs)):
+            assert truth <= set(method.range_query(query, tau).candidates)
+
+    def test_knn_consistent_with_range(self, world):
+        data, engine = world
+        query = next(iter(data.graphs.values())).copy()
+        result = knn_query(engine, query, 3)
+        # The nearest neighbour at distance d must be found by a range
+        # query at τ = d.
+        gid, d = result.neighbours[0]
+        assert gid in engine.range_query(query, d, verify="exact").matches
+
+    def test_subgraph_vs_plain_ged(self, world):
+        """λ_sub ≤ λ always; equality on same-size exact matches."""
+        data, engine = world
+        rng = random.Random(7)
+        items = list(data.graphs.values())
+        for _ in range(5):
+            q, g = rng.choice(items), rng.choice(items)
+            plain = graph_edit_distance(q, g)
+            sub = subgraph_edit_distance(q, g, threshold=plain)
+            assert sub is not None and sub <= plain
+
+    def test_subgraph_search_end_to_end(self, world):
+        data, engine = world
+        search = SubgraphSearch(engine, k=10)
+        # Take a 3-vertex fragment of a database graph: guaranteed hit.
+        gid, graph = next(iter(data.graphs.items()))
+        vertices = list(graph.vertices())[:3]
+        fragment_labels = {v: graph.label(v) for v in vertices}
+        fragment_edges = [
+            (u, v) for u, v in graph.edges() if u in fragment_labels and v in fragment_labels
+        ]
+        from repro.graphs.model import Graph
+
+        fragment = Graph(fragment_labels, fragment_edges)
+        result = search.range_query(fragment, 0, verify="exact")
+        assert gid in result.matches
+
+
+class TestDatasets:
+    def test_both_corpora_summaries(self):
+        aids = aids_like(40, seed=11)
+        pdg = pdg_like(40, seed=11)
+        a, p = summarize(aids.graphs.values()), summarize(pdg.graphs.values())
+        assert a.count == p.count == 40
+        assert a.distinct_labels <= 63
+        assert p.distinct_labels <= 36
+
+    def test_sampled_queries_recoverable(self, world):
+        data, engine = world
+        queries = sample_queries(data, 3, seed=77, edits=1)
+        for query in queries:
+            result = engine.range_query(query, 1, verify="exact")
+            assert result.matches  # the mutation source must be recovered

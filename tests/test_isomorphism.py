@@ -1,0 +1,89 @@
+"""Tests for the VF2-style isomorphism matcher."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.edit_distance import graph_edit_distance
+from repro.graphs.generators import erdos_renyi
+from repro.graphs.isomorphism import are_isomorphic, find_isomorphism
+from repro.graphs.model import Graph
+
+
+def shuffled_copy(rng: random.Random, graph: Graph) -> Graph:
+    """Random relabelling of vertex ids (an isomorphic graph)."""
+    ids = list(graph.vertices())
+    new_ids = list(range(100, 100 + len(ids)))
+    rng.shuffle(new_ids)
+    mapping = dict(zip(ids, new_ids))
+    return Graph(
+        {mapping[v]: graph.label(v) for v in ids},
+        [(mapping[u], mapping[v]) for u, v in graph.edges()],
+    )
+
+
+class TestKnownCases:
+    def test_identical(self, paper_g1):
+        assert are_isomorphic(paper_g1, paper_g1)
+
+    def test_empty_graphs(self):
+        assert are_isomorphic(Graph(), Graph())
+        assert find_isomorphism(Graph(), Graph()) == {}
+
+    def test_relabelled_ids(self):
+        a = Graph(["x", "y"], [(0, 1)])
+        b = Graph({5: "y", 9: "x"}, [(5, 9)])
+        mapping = find_isomorphism(a, b)
+        assert mapping == {0: 9, 1: 5}
+
+    def test_different_labels(self):
+        assert not are_isomorphic(Graph(["a"]), Graph(["b"]))
+
+    def test_different_edges(self):
+        a = Graph(["a", "a", "a"], [(0, 1)])
+        b = Graph(["a", "a", "a"], [(0, 1), (1, 2)])
+        assert not are_isomorphic(a, b)
+
+    def test_same_invariants_not_isomorphic(self):
+        # Two graphs with equal label/degree profiles but different shape:
+        # path a-b ... a-b vs two crossed pairs.
+        a = Graph(["a", "b", "a", "b"], [(0, 1), (2, 3)])
+        b = Graph(["a", "b", "a", "b"], [(0, 3), (2, 1)])
+        assert are_isomorphic(a, b)  # these ARE isomorphic
+        c = Graph(["a", "a", "b", "b"], [(0, 1), (2, 3)])  # a-a and b-b
+        assert not are_isomorphic(a, c)
+
+    def test_mapping_is_valid(self, paper_g2, rng):
+        twin = shuffled_copy(rng, paper_g2)
+        mapping = find_isomorphism(paper_g2, twin)
+        assert mapping is not None
+        assert sorted(mapping) == sorted(paper_g2.vertices())
+        for u, v in paper_g2.edges():
+            assert twin.has_edge(mapping[u], mapping[v])
+        for v in paper_g2.vertices():
+            assert paper_g2.label(v) == twin.label(mapping[v])
+
+
+class TestAgainstGed:
+    """λ = 0 ⟺ isomorphic: two independent implementations must agree."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_agreement_on_random_pairs(self, seed):
+        rng = random.Random(seed)
+        g1 = erdos_renyi(rng, "ab", rng.randint(1, 5), 0.4)
+        if seed % 2:
+            g2 = shuffled_copy(rng, g1)
+        else:
+            g2 = erdos_renyi(rng, "ab", rng.randint(1, 5), 0.4)
+        iso = are_isomorphic(g1, g2)
+        ged_zero = graph_edit_distance(g1, g2, threshold=0) is not None
+        assert iso == ged_zero
+
+    def test_shuffled_always_isomorphic(self, rng):
+        for _ in range(10):
+            g = erdos_renyi(rng, "abc", rng.randint(1, 7), 0.4)
+            assert are_isomorphic(g, shuffled_copy(rng, g))

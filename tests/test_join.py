@@ -1,0 +1,95 @@
+"""Tests for the graph similarity join."""
+
+from __future__ import annotations
+
+import random
+from itertools import combinations
+
+import pytest
+
+from repro.core.engine import SegosIndex
+from repro.core.join import similarity_join, similarity_self_join
+from repro.datasets import aids_like
+from repro.graphs.edit_distance import graph_edit_distance
+from repro.graphs.generators import mutate
+from repro.graphs.model import Graph
+
+
+@pytest.fixture(scope="module")
+def join_world():
+    data = aids_like(15, seed=61, mean_order=6, stddev=1)
+    graphs = dict(data.graphs)
+    # Plant two clone pairs so the join has guaranteed matches.
+    rng = random.Random(62)
+    keys = list(graphs)
+    for i, key in enumerate(keys[:2]):
+        graphs[f"{key}-twin"] = mutate(rng, graphs[key], 1, data.labels)
+    return graphs, SegosIndex(graphs, k=10, h=30)
+
+
+def exact_pairs(graphs, tau):
+    return {
+        (a, b)
+        for a, b in combinations(sorted(graphs, key=str), 2)
+        if graph_edit_distance(graphs[a], graphs[b], threshold=tau) is not None
+    }
+
+
+class TestSelfJoin:
+    @pytest.mark.parametrize("tau", [0, 1, 2])
+    def test_exact_self_join(self, join_world, tau):
+        graphs, engine = join_world
+        result = similarity_self_join(engine, tau, verify="exact")
+        assert result.verified
+        assert result.matches == exact_pairs(graphs, tau)
+
+    def test_candidates_cover_truth(self, join_world):
+        graphs, engine = join_world
+        result = similarity_self_join(engine, 1)
+        assert exact_pairs(graphs, 1) <= set(result.pairs)
+
+    def test_no_self_pairs_or_mirrors(self, join_world):
+        graphs, engine = join_world
+        result = similarity_self_join(engine, 2)
+        assert all(a != b for a, b in result.pairs)
+        seen = set(result.pairs)
+        assert all((b, a) not in seen for a, b in result.pairs)
+
+    def test_ta_cache_shared(self, join_world):
+        graphs, engine = join_world
+        result = similarity_self_join(engine, 1)
+        # Shared cache: far fewer TA searches than total query stars.
+        total_stars = sum(g.order for g in graphs.values())
+        assert result.stats.ta_searches < total_stars
+
+
+class TestProbeJoin:
+    def test_probe_join_finds_sources(self, join_world):
+        graphs, engine = join_world
+        rng = random.Random(63)
+        probes = {
+            f"probe-{i}": mutate(rng, graphs[key], 1, list("abc"))
+            for i, key in enumerate(list(graphs)[:3])
+        }
+        result = similarity_join(engine, probes, 1, verify="exact")
+        lefts = {a for a, _ in result.matches}
+        assert lefts  # every probe is 1 edit from its source
+
+    def test_probe_join_keeps_all_pairs(self, join_world):
+        graphs, engine = join_world
+        gid = next(iter(graphs))
+        probes = {"p": graphs[gid].copy()}
+        result = similarity_join(engine, probes, 0, verify="exact")
+        assert ("p", gid) in result.matches
+
+    def test_validation(self, join_world):
+        _, engine = join_world
+        with pytest.raises(ValueError):
+            similarity_self_join(engine, -1)
+        with pytest.raises(ValueError):
+            similarity_self_join(engine, 1, verify="hmm")
+
+    def test_empty_probe_set(self, join_world):
+        _, engine = join_world
+        result = similarity_join(engine, {}, 1)
+        assert result.pairs == []

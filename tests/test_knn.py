@@ -1,0 +1,89 @@
+"""Tests for the expanding-ring kNN query."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.engine import SegosIndex
+from repro.core.knn import knn_query
+from repro.graphs.edit_distance import graph_edit_distance
+from repro.graphs.generators import corpus
+from repro.graphs.model import Graph
+
+
+@pytest.fixture(scope="module")
+def knn_setup():
+    rng = random.Random(88)
+    graphs = {
+        f"g{i}": g
+        for i, g in enumerate(
+            corpus(rng, 20, kind="chemical", mean_order=6, stddev=1)
+        )
+    }
+    return rng, graphs, SegosIndex(graphs)
+
+
+def exact_distances(graphs, query):
+    return sorted(
+        ((gid, graph_edit_distance(query, g)) for gid, g in graphs.items()),
+        key=lambda item: (item[1], item[0]),
+    )
+
+
+class TestKnn:
+    @pytest.mark.parametrize("k", [1, 3, 5])
+    def test_matches_exhaustive(self, knn_setup, k):
+        rng, graphs, engine = knn_setup
+        query = graphs["g0"].copy()
+        result = knn_query(engine, query, k)
+        expected = exact_distances(graphs, query)
+        kth = expected[k - 1][1]
+        # All returned distances correct and ≤ k-th exact distance.
+        got = dict(result.neighbours)
+        for gid, dist in result.neighbours:
+            assert graph_edit_distance(query, graphs[gid]) == dist
+        assert sorted(d for _, d in result.neighbours)[:k] == [
+            d for _, d in expected[:k]
+        ]
+        assert all(d <= kth for d in got.values())
+
+    def test_includes_ties_at_cutoff(self, knn_setup):
+        rng, graphs, engine = knn_setup
+        query = graphs["g1"].copy()
+        result = knn_query(engine, query, 3)
+        expected = exact_distances(graphs, query)
+        cutoff = expected[2][1]
+        tied = {gid for gid, d in expected if d <= cutoff}
+        assert set(dict(result.neighbours)) == tied
+
+    def test_self_is_first(self, knn_setup):
+        _, graphs, engine = knn_setup
+        result = knn_query(engine, graphs["g2"].copy(), 1)
+        assert result.neighbours[0] == ("g2", 0)
+
+    def test_rings_counted(self, knn_setup):
+        _, graphs, engine = knn_setup
+        result = knn_query(engine, graphs["g3"].copy(), 5)
+        assert result.rings >= 1
+
+    def test_validation(self, knn_setup):
+        _, graphs, engine = knn_setup
+        query = graphs["g0"]
+        with pytest.raises(ValueError):
+            knn_query(engine, query, 0)
+        with pytest.raises(ValueError):
+            knn_query(engine, query, len(graphs) + 1)
+        with pytest.raises(ValueError):
+            knn_query(engine, Graph(), 1)
+        with pytest.raises(ValueError):
+            knn_query(engine, query, 1, tau_step=0)
+
+    def test_tau_limit_caps_expansion(self, knn_setup):
+        _, graphs, engine = knn_setup
+        # A query unlike anything, with a tiny limit: may return < k.
+        query = Graph(["Z1", "Z2"], [(0, 1)])
+        result = knn_query(engine, query, 3, tau_limit=0)
+        assert result.rings == 1
+        assert len(result.neighbours) <= 3

@@ -1,0 +1,151 @@
+"""Stateful property test: random update storms keep the index rebuild-equal.
+
+A hypothesis RuleBasedStateMachine drives the seven update kinds of
+Section IV-C in arbitrary interleavings; after every step the live index
+must match one rebuilt from scratch (star multisets, postings, size
+metadata) and must answer a fixed probe query identically.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, rule
+from hypothesis import strategies as st
+
+from repro.core.engine import SegosIndex
+from repro.core.index import TwoLevelIndex
+from repro.graphs.model import Graph
+from repro.graphs.star import decompose
+
+LABELS = ["a", "b", "c"]
+
+
+class IndexMaintenanceMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self):
+        self.engine = SegosIndex()
+        self.engine.add("seed", Graph(["a", "b"], [(0, 1)]))
+        self.next_gid = 0
+
+    # ------------------------------------------------------------------
+    # Update rules (all guarded to stay within the model's validity rules)
+    # ------------------------------------------------------------------
+    @rule(data=st.data())
+    def insert_graph(self, data):
+        if len(self.engine) >= 6:
+            return
+        order = data.draw(st.integers(min_value=1, max_value=4), label="order")
+        labels = [
+            data.draw(st.sampled_from(LABELS), label=f"lbl{i}") for i in range(order)
+        ]
+        g = Graph(labels)
+        for u in range(order):
+            for v in range(u + 1, order):
+                if data.draw(st.booleans(), label=f"e{u},{v}"):
+                    g.add_edge(u, v)
+        self.engine.add(f"g{self.next_gid}", g)
+        self.next_gid += 1
+
+    @rule(data=st.data())
+    def delete_graph(self, data):
+        gids = [g for g in self.engine.gids() if g != "seed"]
+        if not gids:
+            return
+        self.engine.remove(data.draw(st.sampled_from(gids), label="victim"))
+
+    def _mutable_gids(self):
+        # The probe invariant relies on the seed graph staying intact.
+        return sorted(str(g) for g in self.engine.gids() if g != "seed")
+
+    @rule(data=st.data())
+    def toggle_edge(self, data):
+        gids = self._mutable_gids()
+        if not gids:
+            return
+        gid = data.draw(st.sampled_from(gids), label="gid")
+        graph = self.engine.graph(gid)
+        vertices = sorted(graph.vertices())
+        if len(vertices) < 2:
+            return
+        u = data.draw(st.sampled_from(vertices), label="u")
+        v = data.draw(st.sampled_from([x for x in vertices if x != u]), label="v")
+        if graph.has_edge(u, v):
+            self.engine.remove_edge(gid, u, v)
+        else:
+            self.engine.add_edge(gid, u, v)
+
+    @rule(data=st.data())
+    def add_vertex(self, data):
+        gids = self._mutable_gids()
+        if not gids:
+            return
+        gid = data.draw(st.sampled_from(gids), label="gid")
+        graph = self.engine.graph(gid)
+        if graph.order >= 6:
+            return
+        new_id = max(graph.vertices()) + 1
+        self.engine.add_vertex(gid, new_id, data.draw(st.sampled_from(LABELS)))
+
+    @rule(data=st.data())
+    def remove_isolated_vertex(self, data):
+        gids = self._mutable_gids()
+        if not gids:
+            return
+        gid = data.draw(st.sampled_from(gids), label="gid")
+        graph = self.engine.graph(gid)
+        isolated = sorted(v for v in graph.vertices() if graph.degree(v) == 0)
+        if not isolated or graph.order <= 1:
+            return
+        self.engine.remove_vertex(gid, data.draw(st.sampled_from(isolated)))
+
+    @rule(data=st.data())
+    def relabel(self, data):
+        gids = self._mutable_gids()
+        if not gids:
+            return
+        gid = data.draw(st.sampled_from(gids), label="gid")
+        graph = self.engine.graph(gid)
+        vertex = data.draw(st.sampled_from(sorted(graph.vertices())), label="v")
+        self.engine.relabel_vertex(gid, vertex, data.draw(st.sampled_from(LABELS)))
+
+    # ------------------------------------------------------------------
+    # Invariants
+    # ------------------------------------------------------------------
+    @invariant()
+    def index_matches_rebuild(self):
+        self.engine.check_consistency()
+        fresh = TwoLevelIndex()
+        for gid in self.engine.gids():
+            g = self.engine.graph(gid)
+            fresh.add_graph(gid, g, decompose(g))
+        for gid in self.engine.gids():
+            live = Counter(
+                self.engine.index.catalog.star(sid).signature
+                for sid, cnt in self.engine.index.graph_star_counts(gid).items()
+                for _ in range(cnt)
+            )
+            expected = Counter(
+                fresh.catalog.star(sid).signature
+                for sid, cnt in fresh.graph_star_counts(gid).items()
+                for _ in range(cnt)
+            )
+            assert live == expected
+        assert (
+            self.engine.index.database_max_degree() == fresh.database_max_degree()
+        )
+        assert self.engine.index.size_estimate() == fresh.size_estimate()
+
+    @invariant()
+    def probe_query_sound(self):
+        probe = Graph(["a", "b"], [(0, 1)])
+        result = self.engine.range_query(probe, 0, verify="exact")
+        # The seed graph is identical to the probe and must always match.
+        assert "seed" in result.matches
+
+
+IndexMaintenanceMachine.TestCase.settings = settings(
+    max_examples=15, stateful_step_count=12, deadline=None
+)
+TestIndexMaintenance = IndexMaintenanceMachine.TestCase

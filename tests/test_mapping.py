@@ -1,0 +1,214 @@
+"""Tests for mapping distance µ, its GED bounds, and Theorem 1."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.graphs.edit_distance import graph_edit_distance
+from repro.graphs.generators import erdos_renyi
+from repro.graphs.model import Graph, normalization_factor
+from repro.graphs.star import Star, decompose
+from repro.matching.hungarian import hungarian
+from repro.matching.mapping import (
+    DynamicMappingDistance,
+    bounds,
+    edit_cost_under_mapping,
+    lower_bound,
+    mapping_distance,
+    mapping_result,
+    partial_mapping_distance,
+    star_cost_matrix,
+    upper_bound,
+)
+
+
+class TestStarCostMatrix:
+    def test_square_no_padding(self):
+        s1 = [Star("a", "b")]
+        s2 = [Star("a", "b")]
+        assert star_cost_matrix(s1, s2) == [[0.0]]
+
+    def test_epsilon_column_costs(self):
+        # One real star vs nothing: ε column priced at 1 + 2|L|.
+        matrix = star_cost_matrix([Star("a", "bb")], [])
+        assert matrix == [[5.0]]
+
+    def test_epsilon_row_costs(self):
+        matrix = star_cost_matrix([], [Star("a", "bb")])
+        assert matrix == [[5.0]]
+
+    def test_figure3_full_matrix(self, paper_g1, paper_g2):
+        """The complete 6×6 matrix M(S(g1), S(g2)) of Figure 3."""
+        s1 = sorted(decompose(paper_g1))
+        s2 = sorted(decompose(paper_g2))
+        # Sorted order: s1 = [abbcc, bab, babcc, cab, cab],
+        #               s2 = [abbccd, bab, babccd, cab, cab, dab].
+        matrix = star_cost_matrix(s1, s2)
+        expected = [
+            [2, 6, 4, 6, 6, 6],
+            [8, 0, 6, 1, 1, 1],
+            [4, 4, 2, 5, 5, 5],
+            [8, 1, 7, 0, 0, 1],
+            [8, 1, 7, 0, 0, 1],
+            [11, 5, 11, 5, 5, 5],
+        ]
+        assert matrix == [[float(x) for x in row] for row in expected]
+
+
+class TestMappingDistance:
+    def test_paper_example_mu_is_9(self, paper_g1, paper_g2):
+        """Figure 2: µ(g1, g2) = 2 + 0 + 2 + 0 + 0 + 5 = 9."""
+        assert mapping_distance(paper_g1, paper_g2) == 9
+
+    def test_symmetry(self, paper_g1, paper_g2):
+        assert mapping_distance(paper_g1, paper_g2) == mapping_distance(
+            paper_g2, paper_g1
+        )
+
+    def test_identical_graphs(self, paper_g1):
+        assert mapping_distance(paper_g1, paper_g1) == 0
+
+    def test_mapping_result_vertex_mapping_valid(self, paper_g1, paper_g2):
+        result = mapping_result(paper_g1, paper_g2)
+        targets = [v for v in result.vertex_mapping.values() if v is not None]
+        assert len(set(targets)) == len(targets)
+        assert set(result.vertex_mapping) == set(paper_g1.vertices())
+        assert set(result.inserted) <= set(paper_g2.vertices())
+        assert len(targets) + len(result.inserted) == paper_g2.order
+
+
+class TestBounds:
+    def test_lower_bound_formula(self, paper_g1, paper_g2):
+        mu = mapping_distance(paper_g1, paper_g2)
+        delta = normalization_factor(paper_g1, paper_g2)
+        assert lower_bound(paper_g1, paper_g2) == pytest.approx(mu / delta)
+
+    def test_bounds_sandwich_exact_ged(self, rng):
+        for _ in range(15):
+            g1 = erdos_renyi(rng, "abc", rng.randint(1, 5), 0.4)
+            g2 = erdos_renyi(rng, "abc", rng.randint(1, 5), 0.4)
+            exact = graph_edit_distance(g1, g2)
+            l_m, u_m, mu = bounds(g1, g2)
+            assert l_m <= exact <= u_m
+            assert mu >= 0
+
+    def test_upper_bound_of_identical_graphs_is_zero(self, paper_g1):
+        assert upper_bound(paper_g1, paper_g1) == 0
+
+    def test_edit_cost_counts_relabel(self):
+        g1 = Graph(["a", "b"], [(0, 1)])
+        g2 = Graph(["a", "c"], [(0, 1)])
+        assert edit_cost_under_mapping(g1, g2, {0: 0, 1: 1}) == 1
+
+    def test_edit_cost_counts_deletion_and_insertion(self):
+        g1 = Graph(["a", "b"], [(0, 1)])
+        g2 = Graph(["a"])
+        # Map a→a, delete b (and its edge).
+        assert edit_cost_under_mapping(g1, g2, {0: 0, 1: None}) == 2
+
+    def test_edit_cost_counts_edge_mismatch(self):
+        g1 = Graph(["a", "b", "c"], [(0, 1)])
+        g2 = Graph(["a", "b", "c"], [(1, 2)])
+        cost = edit_cost_under_mapping(g1, g2, {0: 0, 1: 1, 2: 2})
+        assert cost == 2  # delete (0,1), insert (1,2)
+
+
+class TestTheoremOne:
+    """Partial mapping distance is a monotone lower bound on µ."""
+
+    def test_monotone_and_bounded(self, paper_g1, paper_g2, rng):
+        mu = mapping_distance(paper_g1, paper_g2)
+        stars_q = decompose(paper_g1)
+        stars_g = decompose(paper_g2)
+        dyn = DynamicMappingDistance(stars_q, len(stars_g))
+        previous = dyn.current()
+        rng.shuffle(stars_g)
+        for star in stars_g:
+            value = dyn.reveal(star)
+            assert value >= previous
+            assert value <= mu
+            previous = value
+        assert dyn.finalize() == pytest.approx(mu)
+
+    def test_partial_one_shot_helper(self, paper_g1, paper_g2):
+        stars_g = decompose(paper_g2)
+        mu = mapping_distance(paper_g1, paper_g2)
+        for cut in range(len(stars_g) + 1):
+            value = partial_mapping_distance(
+                decompose(paper_g1), stars_g[:cut], len(stars_g)
+            )
+            assert value <= mu
+
+    def test_reveal_past_order_rejected(self):
+        dyn = DynamicMappingDistance([Star("a")], 1)
+        dyn.reveal(Star("a"))
+        with pytest.raises(RuntimeError):
+            dyn.reveal(Star("a"))
+
+    def test_finalize_requires_all_revealed(self):
+        dyn = DynamicMappingDistance([Star("a"), Star("b")], 2)
+        dyn.reveal(Star("a"))
+        with pytest.raises(RuntimeError):
+            dyn.finalize()
+
+    def test_reveal_after_finalize_rejected(self):
+        dyn = DynamicMappingDistance([Star("a")], 1)
+        dyn.reveal(Star("b"))
+        dyn.finalize()
+        with pytest.raises(RuntimeError):
+            dyn.reveal(Star("c"))
+
+    def test_empty_pair_rejected(self):
+        with pytest.raises(ValueError):
+            DynamicMappingDistance([], 0)
+
+    def test_negative_order_rejected(self):
+        with pytest.raises(ValueError):
+            DynamicMappingDistance([Star("a")], -1)
+
+    def test_revealed_fraction(self):
+        dyn = DynamicMappingDistance([Star("a"), Star("b")], 4)
+        assert dyn.revealed_fraction == 0
+        dyn.reveal(Star("a"))
+        assert dyn.revealed_fraction == pytest.approx(0.25)
+
+    def test_larger_data_graph_epsilon_rows(self, paper_g1, paper_g2):
+        # Query smaller than data graph: ε rows appear; final equals µ.
+        stars_q = decompose(paper_g1)  # 5 stars
+        stars_g = decompose(paper_g2)  # 6 stars
+        dyn = DynamicMappingDistance(stars_q, len(stars_g))
+        for star in stars_g:
+            dyn.reveal(star)
+        assert dyn.finalize() == pytest.approx(9)
+
+    def test_smaller_data_graph_epsilon_columns(self, paper_g1, paper_g2):
+        stars_q = decompose(paper_g2)  # 6 stars
+        stars_g = decompose(paper_g1)  # 5 stars
+        dyn = DynamicMappingDistance(stars_q, len(stars_g))
+        for star in stars_g:
+            dyn.reveal(star)
+        assert dyn.finalize() == pytest.approx(9)
+
+    def test_star_alignment_shape(self, paper_g1, paper_g2):
+        dyn = DynamicMappingDistance(decompose(paper_g1), paper_g2.order)
+        for star in decompose(paper_g2):
+            dyn.reveal(star)
+        dyn.finalize()
+        pairs = dyn.star_alignment()
+        assert len(pairs) == max(paper_g1.order, paper_g2.order)
+        lefts = [left for left, _ in pairs if left is not None]
+        assert len(lefts) == paper_g1.order
+
+    def test_matches_fresh_hungarian(self, rng):
+        """Dynamic reveal-all must equal a from-scratch Hungarian solve."""
+        for _ in range(10):
+            g1 = erdos_renyi(rng, "abcd", rng.randint(1, 6), 0.35)
+            g2 = erdos_renyi(rng, "abcd", rng.randint(1, 6), 0.35)
+            s1, s2 = decompose(g1), decompose(g2)
+            fresh, _ = hungarian(star_cost_matrix(s1, s2))
+            dyn = DynamicMappingDistance(s1, len(s2))
+            for star in s2:
+                dyn.reveal(star)
+            assert dyn.finalize() == pytest.approx(fresh)

@@ -1,0 +1,58 @@
+"""Tests for the Algorithm-1 group merge."""
+
+from __future__ import annotations
+
+from repro.core.index import LowerEntry
+from repro.core.merge import merge_groups, merge_groups_eager
+
+
+def entry(sid, freq, size=1):
+    return LowerEntry(sid=sid, freq=freq, leaf_size=size)
+
+
+class TestMerge:
+    def test_empty(self):
+        assert merge_groups_eager([]) == []
+
+    def test_single_group_passthrough(self):
+        group = [entry(1, 5), entry(2, 3)]
+        assert merge_groups_eager([group]) == group
+
+    def test_merges_by_descending_frequency(self):
+        g1 = [entry(1, 9), entry(2, 2)]
+        g2 = [entry(3, 5), entry(4, 4)]
+        merged = merge_groups_eager([g1, g2])
+        assert [e.freq for e in merged] == [9, 5, 4, 2]
+
+    def test_skips_empty_groups(self):
+        merged = merge_groups_eager([[], [entry(1, 1)], []])
+        assert [e.sid for e in merged] == [1]
+
+    def test_deterministic_tiebreak(self):
+        g1 = [entry(5, 3, size=2)]
+        g2 = [entry(1, 3, size=2)]
+        merged = merge_groups_eager([g1, g2])
+        assert [e.sid for e in merged] == [1, 5]
+
+    def test_lazy_iteration(self):
+        stream = merge_groups([[entry(1, 2)], [entry(2, 1)]])
+        assert next(stream).sid == 1
+        assert next(stream).sid == 2
+
+    def test_result_equals_global_sort(self):
+        import random
+
+        rng = random.Random(3)
+        groups = []
+        for size in (1, 2, 3):
+            group = sorted(
+                (entry(rng.randrange(100), rng.randrange(10), size) for _ in range(6)),
+                key=lambda e: (-e.freq, e.leaf_size, e.sid),
+            )
+            groups.append(group)
+        merged = merge_groups_eager(groups)
+        expected = sorted(
+            (e for g in groups for e in g),
+            key=lambda e: (-e.freq, e.leaf_size, e.sid),
+        )
+        assert merged == expected

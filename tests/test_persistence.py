@@ -1,0 +1,91 @@
+"""Tests for saving/loading SEGOS databases."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import SegosIndex
+from repro.core.persistence import load_index, save_index
+from repro.errors import ParseError
+from repro.graphs import io as gio
+from repro.graphs.model import Graph
+
+
+@pytest.fixture
+def engine(paper_g1, paper_g2):
+    engine = SegosIndex(k=33, h=77, partial_fraction=0.25)
+    engine.add("g1", paper_g1)
+    engine.add("g2", paper_g2)
+    return engine
+
+
+class TestRoundTrip:
+    def test_graphs_survive(self, engine, tmp_path):
+        path = tmp_path / "db.segos"
+        save_index(engine, path)
+        loaded = load_index(path)
+        assert set(loaded.gids()) == {"g1", "g2"}
+        for gid in loaded.gids():
+            original = engine.graph(gid)
+            restored = loaded.graph(gid)
+            assert restored.order == original.order
+            assert restored.size == original.size
+            assert restored.label_multiset() == original.label_multiset()
+
+    def test_parameters_survive(self, engine, tmp_path):
+        path = tmp_path / "db.segos"
+        save_index(engine, path)
+        loaded = load_index(path)
+        assert loaded.k == 33
+        assert loaded.h == 77
+        assert loaded.partial_fraction == 0.25
+
+    def test_queries_equivalent_after_reload(self, engine, tmp_path):
+        path = tmp_path / "db.segos"
+        save_index(engine, path)
+        loaded = load_index(path)
+        query = engine.graph("g1").copy()
+        # Vertex ids are renumbered on save; compare by verified answers.
+        a = engine.range_query(query, 3, verify="exact").matches
+        b = loaded.range_query(query, 3, verify="exact").matches
+        assert a == b == {"g1", "g2"}
+
+    def test_index_consistent_after_reload(self, engine, tmp_path):
+        path = tmp_path / "db.segos"
+        save_index(engine, path)
+        load_index(path).check_consistency()
+
+
+class TestHeaderHandling:
+    def test_plain_file_without_header(self, tmp_path, paper_g1):
+        path = tmp_path / "plain.txt"
+        gio.save(path, [("only", paper_g1)])
+        loaded = load_index(path)
+        assert set(loaded.gids()) == {"only"}
+        assert loaded.k == 100  # engine defaults
+
+    def test_malformed_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.segos"
+        path.write_text("#segos {not json\n")
+        with pytest.raises(ParseError):
+            load_index(path)
+
+    def test_wrong_version_rejected(self, tmp_path):
+        path = tmp_path / "future.segos"
+        path.write_text(
+            '#segos {"version": 99, "k": 1, "h": 1, "partial_fraction": 0.5}\n'
+        )
+        with pytest.raises(ParseError):
+            load_index(path)
+
+    def test_header_is_a_comment_for_plain_io(self, engine, tmp_path):
+        """The #segos line must not break the plain transaction reader."""
+        path = tmp_path / "db.segos"
+        save_index(engine, path)
+        pairs = gio.load(path)
+        assert {gid for gid, _ in pairs} == {"g1", "g2"}
+
+    def test_empty_engine_round_trip(self, tmp_path):
+        path = tmp_path / "empty.segos"
+        save_index(SegosIndex(), path)
+        assert len(load_index(path)) == 0

@@ -1,0 +1,66 @@
+"""Unit tests for the pipeline's internal machinery (_PipeSide etc.)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.graph_lists import GraphListEntry
+from repro.core.pipeline import _PipeSide
+
+
+def entry(gid, sed, order=3, sid=0, freq=1):
+    return GraphListEntry(gid=gid, order=order, sed=sed, sid=sid, freq=freq)
+
+
+class TestPipeSide:
+    def test_unattached_list_bound_is_zero(self):
+        side = _PipeSide(2, small=True)
+        assert side.list_bound(0) == 0.0
+        assert side.omega() == 0.0
+
+    def test_not_done_until_ta_finished(self):
+        side = _PipeSide(2, small=True)
+        side.attach(0, [], 5.0)
+        assert not side.done(ta_finished=False)
+        assert side.done(ta_finished=True)
+
+    def test_next_entry_advances_and_tracks_sed(self):
+        side = _PipeSide(1, small=True)
+        side.attach(0, [entry("g1", 1), entry("g2", 4)], 9.0)
+        first = side.next_entry(0)
+        assert first.gid == "g1"
+        assert side.list_bound(0) == 1.0
+        second = side.next_entry(0)
+        assert second.gid == "g2"
+        # Consuming the final entry exhausts the list: the bound becomes
+        # the kth/ε floor, which is what unseen graphs are measured by.
+        assert side.list_bound(0) == 9.0
+        assert side.next_entry(0) is None
+
+    def test_exhausted_uses_floor(self):
+        side = _PipeSide(1, small=True)
+        side.attach(0, [entry("g1", 1)], 7.5)
+        side.next_entry(0)
+        assert side.exhausted(0)
+        assert side.list_bound(0) == 7.5
+        assert side.omega() == 7.5
+
+    def test_halted_side_is_done(self):
+        side = _PipeSide(3, small=False)
+        side.halted = True
+        assert side.done(ta_finished=False)
+
+    def test_omega_sums_mixed_states(self):
+        side = _PipeSide(3, small=True)
+        side.attach(0, [entry("g", 2), entry("h", 5)], 6.0)
+        side.attach(1, [], 4.0)
+        side.next_entry(0)
+        # list 0: last seen 2 (one entry left); list 1: exhausted floor 4;
+        # list 2: unattached contributes the only sound value, 0.
+        assert side.omega() == 2.0 + 4.0 + 0.0
+
+    def test_empty_attached_list_is_exhausted(self):
+        side = _PipeSide(1, small=True)
+        side.attach(0, [], 3.0)
+        assert side.exhausted(0)
+        assert side.next_entry(0) is None

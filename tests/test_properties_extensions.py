@@ -1,0 +1,116 @@
+"""Property-based tests for the extension modules (subsearch, knn, persistence)."""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine import SegosIndex
+from repro.core.knn import knn_query
+from repro.core.persistence import load_index, save_index
+from repro.core.subsearch import sub_mapping_distance, sub_star_distance
+from repro.graphs.edit_distance import graph_edit_distance
+from repro.graphs.model import Graph, normalization_factor
+from repro.graphs.star import Star, star_edit_distance
+from repro.graphs.subgraph_distance import subgraph_edit_distance
+
+LABELS = "abc"
+
+labels_st = st.sampled_from(LABELS)
+star_st = st.builds(Star, labels_st, st.lists(labels_st, max_size=5))
+
+
+@st.composite
+def graph_st(draw, max_order=4):
+    order = draw(st.integers(min_value=1, max_value=max_order))
+    graph = Graph([draw(labels_st) for _ in range(order)])
+    for u in range(order):
+        for v in range(u + 1, order):
+            if draw(st.booleans()):
+                graph.add_edge(u, v)
+    return graph
+
+
+class TestSubStarProperties:
+    @given(star_st, star_st)
+    def test_sub_sed_at_most_sed(self, s1, s2):
+        assert sub_star_distance(s1, s2) <= star_edit_distance(s1, s2)
+
+    @given(star_st)
+    def test_sub_sed_identity(self, s):
+        assert sub_star_distance(s, s) == 0
+
+    @given(star_st, star_st)
+    def test_sub_sed_nonnegative(self, s1, s2):
+        assert sub_star_distance(s1, s2) >= 0
+
+    @given(star_st, st.lists(labels_st, max_size=3))
+    def test_sub_sed_monotone_under_leaf_growth(self, s, extra):
+        """Growing the target's leaves can only help containment."""
+        grown = Star(s.root, list(s.leaves) + list(extra))
+        query = Star(s.root, s.leaves)
+        assert sub_star_distance(query, grown) == 0
+
+
+class TestSubgraphDistanceProperties:
+    @settings(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(graph_st(), graph_st())
+    def test_sub_ged_at_most_ged(self, q, g):
+        plain = graph_edit_distance(q, g)
+        sub = subgraph_edit_distance(q, g)
+        assert sub <= plain
+
+    @settings(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(graph_st(), graph_st())
+    def test_sub_mapping_bound_sound(self, q, g):
+        exact = subgraph_edit_distance(q, g)
+        bound = sub_mapping_distance(q, g) / normalization_factor(q, g)
+        assert bound <= exact + 1e-9
+
+    @settings(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(graph_st())
+    def test_sub_ged_self_zero(self, g):
+        assert subgraph_edit_distance(g, g) == 0
+
+
+class TestKnnProperties:
+    @settings(
+        deadline=None,
+        max_examples=10,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        st.lists(graph_st(max_order=4), min_size=3, max_size=6),
+        st.integers(min_value=1, max_value=3),
+    )
+    def test_knn_matches_exhaustive(self, graphs, k):
+        engine = SegosIndex({f"g{i}": g for i, g in enumerate(graphs)})
+        query = graphs[0]
+        result = knn_query(engine, query, k)
+        exact = sorted(
+            graph_edit_distance(query, g) for g in graphs
+        )
+        got = sorted(d for _, d in result.neighbours)
+        assert got[:k] == exact[:k]
+
+
+class TestPersistenceProperties:
+    @settings(
+        deadline=None,
+        max_examples=10,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(st.lists(graph_st(max_order=4), min_size=1, max_size=5))
+    def test_round_trip_preserves_answers(self, graphs):
+        import tempfile
+        from pathlib import Path
+
+        engine = SegosIndex({f"g{i}": g for i, g in enumerate(graphs)})
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "db.segos"
+            save_index(engine, path)
+            loaded = load_index(path)
+        query = graphs[0]
+        a = engine.range_query(query, 1, verify="exact").matches
+        b = loaded.range_query(query, 1, verify="exact").matches
+        assert a == b

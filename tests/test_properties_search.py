@@ -1,0 +1,89 @@
+"""Property-based tests over the search layer as a whole."""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine import SegosIndex
+from repro.core.join import similarity_self_join
+from repro.graphs.edit_distance import graph_edit_distance
+from repro.graphs.model import Graph
+
+LABELS = "abc"
+labels_st = st.sampled_from(LABELS)
+
+
+@st.composite
+def graph_st(draw, max_order=4):
+    order = draw(st.integers(min_value=1, max_value=max_order))
+    graph = Graph([draw(labels_st) for _ in range(order)])
+    for u in range(order):
+        for v in range(u + 1, order):
+            if draw(st.booleans()):
+                graph.add_edge(u, v)
+    return graph
+
+
+corpus_st = st.lists(graph_st(), min_size=2, max_size=6)
+
+
+class TestRangeQueryProperties:
+    @settings(
+        deadline=None, max_examples=15, suppress_health_check=[HealthCheck.too_slow]
+    )
+    @given(corpus_st, graph_st(), st.integers(min_value=0, max_value=2))
+    def test_sound_for_any_corpus_query_tau(self, graphs, query, tau):
+        engine = SegosIndex({f"g{i}": g for i, g in enumerate(graphs)})
+        truth = {
+            f"g{i}"
+            for i, g in enumerate(graphs)
+            if graph_edit_distance(query, g, threshold=tau) is not None
+        }
+        result = engine.range_query(query, tau)
+        assert truth <= set(result.candidates)
+        assert result.matches <= truth
+
+    @settings(
+        deadline=None, max_examples=10, suppress_health_check=[HealthCheck.too_slow]
+    )
+    @given(corpus_st, st.integers(min_value=1, max_value=8))
+    def test_candidates_sound_for_any_k(self, graphs, k):
+        engine = SegosIndex({f"g{i}": g for i, g in enumerate(graphs)}, k=k)
+        query = graphs[0]
+        truth = {
+            f"g{i}"
+            for i, g in enumerate(graphs)
+            if graph_edit_distance(query, g, threshold=1) is not None
+        }
+        assert truth <= set(engine.range_query(query, 1).candidates)
+
+    @settings(
+        deadline=None, max_examples=10, suppress_health_check=[HealthCheck.too_slow]
+    )
+    @given(corpus_st)
+    def test_monotone_in_tau(self, graphs):
+        engine = SegosIndex({f"g{i}": g for i, g in enumerate(graphs)})
+        query = graphs[0]
+        previous: set = set()
+        for tau in (0, 1, 2):
+            matches = engine.range_query(query, tau, verify="exact").matches
+            assert previous <= matches
+            previous = matches
+
+
+class TestJoinProperties:
+    @settings(
+        deadline=None, max_examples=10, suppress_health_check=[HealthCheck.too_slow]
+    )
+    @given(corpus_st, st.integers(min_value=0, max_value=1))
+    def test_join_equals_pairwise_queries(self, graphs, tau):
+        engine = SegosIndex({f"g{i}": g for i, g in enumerate(graphs)})
+        joined = similarity_self_join(engine, tau, verify="exact")
+        expected = {
+            (f"g{i}", f"g{j}")
+            for i in range(len(graphs))
+            for j in range(i + 1, len(graphs))
+            if graph_edit_distance(graphs[i], graphs[j], threshold=tau) is not None
+        }
+        assert joined.matches == expected

@@ -1,0 +1,70 @@
+"""Tests for the filter-quality measurement harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import KappaAT, LinearScan
+from repro.bench.quality import QualityReport, ground_truth, measure_quality
+from repro.datasets import aids_like, sample_queries
+
+
+@pytest.fixture(scope="module")
+def quality_setup():
+    data = aids_like(20, seed=44, mean_order=6, stddev=1)
+    queries = sample_queries(data, 2, seed=45)
+    return data, queries
+
+
+class TestGroundTruth:
+    def test_self_in_truth(self, quality_setup):
+        data, queries = quality_setup
+        truth = ground_truth(data.graphs, queries[0], 0)
+        assert truth  # the query is a database member
+
+    def test_monotone_in_tau(self, quality_setup):
+        data, queries = quality_setup
+        t0 = ground_truth(data.graphs, queries[0], 0)
+        t2 = ground_truth(data.graphs, queries[0], 2)
+        assert t0 <= t2
+
+
+class TestMeasureQuality:
+    def test_exact_filter_has_precision_one(self, quality_setup):
+        data, queries = quality_setup
+        report = measure_quality(LinearScan(data.graphs), data.graphs, queries, 2)
+        assert report.precision == 1.0
+        assert report.recall == 1.0
+        assert report.avg_candidates == report.avg_truth
+
+    def test_loose_filter_has_lower_precision(self, quality_setup):
+        data, queries = quality_setup
+        loose = measure_quality(
+            KappaAT(data.graphs, kappa=2), data.graphs, queries, 2
+        )
+        assert loose.recall == 1.0
+        assert loose.precision <= 1.0
+        assert loose.avg_candidates >= loose.avg_truth
+
+    def test_precomputed_truths(self, quality_setup):
+        data, queries = quality_setup
+        truths = [ground_truth(data.graphs, q, 1) for q in queries]
+        a = measure_quality(
+            LinearScan(data.graphs), data.graphs, queries, 1, truths=truths
+        )
+        b = measure_quality(LinearScan(data.graphs), data.graphs, queries, 1)
+        assert a == b
+
+    def test_validation(self, quality_setup):
+        data, queries = quality_setup
+        with pytest.raises(ValueError):
+            measure_quality(LinearScan(data.graphs), data.graphs, [], 1)
+        with pytest.raises(ValueError):
+            measure_quality(
+                LinearScan(data.graphs), data.graphs, queries, 1, truths=[set()]
+            )
+
+    def test_report_is_frozen_dataclass(self):
+        report = QualityReport("x", 1.0, 1.0, 0.0, 0.0)
+        with pytest.raises(AttributeError):
+            report.precision = 0.5  # type: ignore[misc]

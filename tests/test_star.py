@@ -1,0 +1,182 @@
+"""Unit tests for star decomposition and the star edit distance (Lemma 1)."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.graphs.model import Graph
+from repro.graphs.star import (
+    Star,
+    decompose,
+    decompose_map,
+    epsilon_distance,
+    max_epsilon_distance,
+    multiset_intersection_size,
+    sed_via_common_leaves,
+    star_at,
+    star_edit_distance,
+)
+
+
+class TestStar:
+    def test_leaves_are_sorted(self):
+        s = Star("a", ["c", "b", "b"])
+        assert s.leaves == ("b", "b", "c")
+
+    def test_signature(self):
+        assert Star("a", ["c", "b"]).signature == "a|b,c"
+
+    def test_signature_disambiguates_multichar_labels(self):
+        assert Star("a", ["ab", "c"]).signature != Star("a", ["a", "bc"]).signature
+
+    def test_leaf_size(self):
+        assert Star("a", "bbcc").leaf_size == 4
+        assert Star("a").leaf_size == 0
+
+    def test_equality_and_hash(self):
+        assert Star("a", ["b", "c"]) == Star("a", ["c", "b"])
+        assert hash(Star("a", "bc")) == hash(Star("a", "cb"))
+        assert Star("a", "b") != Star("b", "b")
+        assert Star("a") != "a"
+
+    def test_ordering_alphabetical(self):
+        # The upper-level index sorts sub-units alphabetically (Figure 5).
+        assert Star("a", "bb") < Star("b", "aa")
+        assert Star("a", "bb") < Star("a", "bc")
+
+    def test_leaf_counter(self):
+        assert Star("a", "bbc").leaf_counter() == Counter({"b": 2, "c": 1})
+
+    def test_repr(self):
+        assert "a|b" in repr(Star("a", "b"))
+
+
+class TestDecomposition:
+    def test_star_count_equals_order(self, paper_g1):
+        assert len(decompose(paper_g1)) == paper_g1.order
+
+    def test_paper_g1_stars(self, paper_g1):
+        # Figure 2: S(g1) = {abbcc, bab, babcc, cab, cab}.
+        signatures = sorted(s.signature for s in decompose(paper_g1))
+        assert signatures == [
+            "a|b,b,c,c",
+            "b|a,b",
+            "b|a,b,c,c",
+            "c|a,b",
+            "c|a,b",
+        ]
+
+    def test_paper_g2_stars(self, paper_g2):
+        signatures = sorted(s.signature for s in decompose(paper_g2))
+        assert signatures == [
+            "a|b,b,c,c,d",
+            "b|a,b",
+            "b|a,b,c,c,d",
+            "c|a,b",
+            "c|a,b",
+            "d|a,b",
+        ]
+
+    def test_decompose_map_keys_are_vertices(self, paper_g1):
+        mapping = decompose_map(paper_g1)
+        assert set(mapping) == set(paper_g1.vertices())
+        assert mapping[0] == star_at(paper_g1, 0)
+
+    def test_isolated_vertex_star(self):
+        g = Graph(["x"])
+        assert decompose(g) == [Star("x")]
+
+
+class TestMultisetIntersection:
+    @pytest.mark.parametrize(
+        "left,right,expected",
+        [
+            ((), (), 0),
+            (("a",), (), 0),
+            (("a", "b"), ("a", "b"), 2),
+            (("a", "a", "b"), ("a", "b", "b"), 2),
+            (("a", "a"), ("a", "a", "a"), 2),
+            (("a", "c"), ("b", "d"), 0),
+        ],
+    )
+    def test_cases(self, left, right, expected):
+        assert multiset_intersection_size(left, right) == expected
+
+
+class TestStarEditDistance:
+    def test_identical(self):
+        s = Star("a", "bbcc")
+        assert star_edit_distance(s, s) == 0
+
+    def test_paper_worked_example(self):
+        # Section III-A: λ(s0=abbcc, s1=abbccd) = 0 + |4-5| + 5 - 4 = 2.
+        assert star_edit_distance(Star("a", "bbcc"), Star("a", "bbccd")) == 2
+
+    def test_root_mismatch_costs_one(self):
+        assert star_edit_distance(Star("a", "bb"), Star("c", "bb")) == 1
+
+    def test_symmetry(self):
+        s1, s2 = Star("a", "bcd"), Star("b", "bb")
+        assert star_edit_distance(s1, s2) == star_edit_distance(s2, s1)
+
+    def test_figure3_full_matrix_row(self):
+        # Figure 3's right matrix, row s0 = abbcc against S(g2)'s stars.
+        s0 = Star("a", "bbcc")
+        columns = [
+            (Star("a", "bbccd"), 2),
+            (Star("b", "ab"), 6),
+            (Star("b", "abccd"), 4),
+            (Star("c", "ab"), 6),
+            (Star("c", "ab"), 6),
+            (Star("d", "ab"), 6),
+        ]
+        for star, expected in columns:
+            assert star_edit_distance(s0, star) == expected
+
+    def test_disjoint_leaves(self):
+        # d(L1, L2) = ||L1|-|L2|| + max - 0.
+        assert star_edit_distance(Star("a", "bb"), Star("a", "cc")) == 2
+
+    def test_empty_leaf_sets(self):
+        assert star_edit_distance(Star("a"), Star("a")) == 0
+        assert star_edit_distance(Star("a"), Star("b")) == 1
+
+
+class TestEquationOne:
+    """Equation (1) must agree with Lemma 1 given the true ψ."""
+
+    @pytest.mark.parametrize(
+        "query,other",
+        [
+            (Star("a", "bbcc"), Star("a", "bbccd")),
+            (Star("a", "bbcc"), Star("b", "ab")),
+            (Star("x", ""), Star("x", "yy")),
+            (Star("x", "yy"), Star("x", "")),
+            (Star("a", "bcde"), Star("a", "bcde")),
+        ],
+    )
+    def test_matches_lemma1(self, query, other):
+        psi = multiset_intersection_size(query.leaves, other.leaves)
+        assert sed_via_common_leaves(
+            query, other.root, other.leaf_size, psi
+        ) == star_edit_distance(query, other)
+
+
+class TestEpsilonDistance:
+    def test_figure3_epsilon_row(self):
+        # ε vs abbccd = 11; ε vs bab = 5 (Figure 3, bottom row).
+        assert epsilon_distance(Star("a", "bbccd")) == 11
+        assert epsilon_distance(Star("b", "ab")) == 5
+
+    def test_isolated_vertex(self):
+        assert epsilon_distance(Star("a")) == 1
+
+    def test_max_epsilon_distance(self, paper_g1, paper_g2):
+        stars = decompose(paper_g1) + decompose(paper_g2)
+        # Largest star is abbccd with 5 leaves: χ̄ = 11 (Section V-C example).
+        assert max_epsilon_distance(stars) == 11
+
+    def test_max_epsilon_distance_empty(self):
+        assert max_epsilon_distance([]) == 0

@@ -1,0 +1,126 @@
+"""Tests for exact subgraph edit distance (the sub-matching extension)."""
+
+from __future__ import annotations
+
+import random
+from itertools import combinations, permutations
+
+import pytest
+
+from repro.errors import SearchBudgetExceeded
+from repro.graphs.generators import erdos_renyi
+from repro.graphs.model import Graph
+from repro.graphs.subgraph_distance import (
+    is_subgraph_isomorphic,
+    subgraph_edit_distance,
+    subgraph_label_lower_bound,
+    subgraph_within,
+)
+
+
+def brute_force_sub_ged(query: Graph, target: Graph) -> int:
+    """Reference: enumerate every injective partial mapping."""
+    q_vertices = list(query.vertices())
+    g_vertices = list(target.vertices())
+    n = len(q_vertices)
+    best = None
+    for kept in range(n + 1):
+        for subset in combinations(range(n), kept):
+            for image in permutations(g_vertices, kept):
+                mapping = dict(zip((q_vertices[i] for i in subset), image))
+                cost = n - kept  # deleted query vertices
+                for v, w in mapping.items():
+                    if query.label(v) != target.label(w):
+                        cost += 1
+                for u, v in query.edges():
+                    if u in mapping and v in mapping:
+                        if not target.has_edge(mapping[u], mapping[v]):
+                            cost += 1
+                    else:
+                        cost += 1
+                if best is None or cost < best:
+                    best = cost
+    return best
+
+
+class TestKnownValues:
+    def test_subgraph_iso_is_zero(self):
+        path = Graph(["a", "b"], [(0, 1)])
+        triangle = Graph(["a", "b", "c"], [(0, 1), (1, 2), (0, 2)])
+        assert subgraph_edit_distance(path, triangle) == 0
+        assert is_subgraph_isomorphic(path, triangle)
+
+    def test_asymmetry(self):
+        path = Graph(["a", "b"], [(0, 1)])
+        triangle = Graph(["a", "b", "c"], [(0, 1), (1, 2), (0, 2)])
+        # Shrinking the triangle to a path costs: delete c + its two edges.
+        assert subgraph_edit_distance(triangle, path) == 3
+        assert not is_subgraph_isomorphic(triangle, path)
+
+    def test_label_mismatch(self):
+        q = Graph(["a"])
+        g = Graph(["b", "c"], [(0, 1)])
+        assert subgraph_edit_distance(q, g) == 1
+
+    def test_missing_edge_in_target(self):
+        q = Graph(["a", "b"], [(0, 1)])
+        g = Graph(["a", "b"])
+        assert subgraph_edit_distance(q, g) == 1  # delete the query edge
+
+    def test_empty_query(self):
+        g = Graph(["a", "b"], [(0, 1)])
+        assert subgraph_edit_distance(Graph(), g) == 0
+
+    def test_self_is_zero(self, paper_g1):
+        assert subgraph_edit_distance(paper_g1, paper_g1) == 0
+
+    def test_paper_g1_inside_g2(self, paper_g1, paper_g2):
+        # g1 is a subgraph of g2 (drop the 'd' vertex and its edges).
+        assert subgraph_edit_distance(paper_g1, paper_g2) == 0
+        # g2 into g1: delete d (1) + its 2 edges.
+        assert subgraph_edit_distance(paper_g2, paper_g1) == 3
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_pairs(self, seed):
+        rng = random.Random(seed)
+        q = erdos_renyi(rng, "ab", rng.randint(1, 4), 0.5)
+        g = erdos_renyi(rng, "ab", rng.randint(1, 4), 0.5)
+        assert subgraph_edit_distance(q, g) == brute_force_sub_ged(q, g)
+
+
+class TestThresholdAndBudget:
+    def test_threshold_cuts(self):
+        q = Graph(["a", "b", "c"], [(0, 1), (1, 2)])
+        g = Graph(["x"])
+        assert subgraph_edit_distance(q, g, threshold=2) is None
+        assert subgraph_within(q, g, 20)
+
+    def test_within_matches_exact(self, rng):
+        for _ in range(8):
+            q = erdos_renyi(rng, "abc", rng.randint(1, 4), 0.4)
+            g = erdos_renyi(rng, "abc", rng.randint(1, 4), 0.4)
+            exact = subgraph_edit_distance(q, g)
+            for tau in range(0, exact + 2):
+                assert subgraph_within(q, g, tau) == (exact <= tau)
+
+    def test_budget_exceeded(self):
+        rng = random.Random(1)
+        q = erdos_renyi(rng, "ab", 8, 0.5)
+        g = erdos_renyi(rng, "ab", 9, 0.5)
+        with pytest.raises(SearchBudgetExceeded):
+            subgraph_edit_distance(q, g, budget=2)
+
+
+class TestCheapBound:
+    def test_lower_bound_is_lower(self, rng):
+        for _ in range(10):
+            q = erdos_renyi(rng, "abc", rng.randint(1, 4), 0.4)
+            g = erdos_renyi(rng, "abc", rng.randint(1, 4), 0.4)
+            assert subgraph_label_lower_bound(q, g) <= subgraph_edit_distance(q, g)
+
+    def test_bound_zero_on_contained(self):
+        path = Graph(["a", "b"], [(0, 1)])
+        triangle = Graph(["a", "b", "c"], [(0, 1), (1, 2), (0, 2)])
+        assert subgraph_label_lower_bound(path, triangle) == 0

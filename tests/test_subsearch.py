@@ -1,0 +1,137 @@
+"""Tests for the SEGOS subgraph-similarity extension (adapted bounds)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.engine import SegosIndex
+from repro.core.subsearch import (
+    SubgraphSearch,
+    sub_lower_bound,
+    sub_mapping_distance,
+    sub_star_distance,
+)
+from repro.graphs.generators import corpus, erdos_renyi
+from repro.graphs.model import Graph, normalization_factor
+from repro.graphs.star import Star, decompose
+from repro.graphs.subgraph_distance import subgraph_edit_distance
+
+
+@pytest.fixture(scope="module")
+def sub_setup():
+    rng = random.Random(66)
+    graphs = {
+        f"g{i}": g
+        for i, g in enumerate(
+            corpus(rng, 20, kind="chemical", mean_order=7, stddev=2)
+        )
+    }
+    engine = SegosIndex(graphs)
+    return rng, graphs, engine, SubgraphSearch(engine, k=10)
+
+
+class TestSubStarDistance:
+    def test_contained_star_is_free(self):
+        assert sub_star_distance(Star("a", "bc"), Star("a", "bcd")) == 0
+
+    def test_root_mismatch(self):
+        assert sub_star_distance(Star("a", "b"), Star("c", "b")) == 1
+
+    def test_missing_leaves(self):
+        assert sub_star_distance(Star("a", "bbb"), Star("a", "b")) == 2
+
+    def test_never_exceeds_plain_sed(self):
+        from repro.graphs.star import star_edit_distance
+
+        rng = random.Random(0)
+        for _ in range(50):
+            s1 = Star(rng.choice("ab"), [rng.choice("abc") for _ in range(rng.randint(0, 4))])
+            s2 = Star(rng.choice("ab"), [rng.choice("abc") for _ in range(rng.randint(0, 4))])
+            assert sub_star_distance(s1, s2) <= star_edit_distance(s1, s2)
+
+
+class TestSubMappingBound:
+    def test_lower_bounds_exact_sub_ged(self, rng):
+        for _ in range(12):
+            q = erdos_renyi(rng, "abc", rng.randint(1, 4), 0.4)
+            g = erdos_renyi(rng, "abc", rng.randint(1, 5), 0.4)
+            exact = subgraph_edit_distance(q, g)
+            bound = sub_mapping_distance(q, g) / normalization_factor(q, g)
+            assert bound <= exact + 1e-9
+
+    def test_zero_for_contained_query(self, paper_g1, paper_g2):
+        assert sub_mapping_distance(paper_g1, paper_g2) == 0
+        assert sub_lower_bound(paper_g1, paper_g2) == 0
+
+    def test_positive_when_not_contained(self, paper_g2, paper_g1):
+        assert sub_mapping_distance(paper_g2, paper_g1) > 0
+
+
+class TestTopKSubStars:
+    def test_matches_brute_force(self, sub_setup):
+        rng, graphs, engine, search = sub_setup
+        catalog = engine.index.catalog
+        query_graph = corpus(random.Random(5), 1, kind="chemical", mean_order=7, stddev=2)[0]
+        for query in decompose(query_graph):
+            got = search.top_k_sub_stars(query, 5)
+            expected = sorted(
+                (
+                    (sid, sub_star_distance(query, catalog.star(sid)))
+                    for sid in catalog.live_sids()
+                ),
+                key=lambda p: (p[1], p[0]),
+            )[:5]
+            assert [d for _, d in got] == [d for _, d in expected]
+
+    def test_leafless_query_star(self, sub_setup):
+        _, _, engine, search = sub_setup
+        got = search.top_k_sub_stars(Star("C00"), 3)
+        assert len(got) == 3
+        assert got[0][1] in (0, 1)
+
+
+class TestSubgraphRangeQuery:
+    @pytest.mark.parametrize("tau", [0, 1, 2])
+    def test_no_false_negatives(self, sub_setup, tau):
+        rng, graphs, engine, search = sub_setup
+        query = erdos_renyi(
+            random.Random(tau), ["C00", "C01", "C02"], 3, 0.6
+        )
+        truth = {
+            gid
+            for gid, g in graphs.items()
+            if subgraph_edit_distance(query, g, threshold=tau) is not None
+        }
+        result = search.range_query(query, tau, verify="exact")
+        assert truth <= set(result.candidates)
+        assert result.matches == truth
+
+    def test_validation(self, sub_setup):
+        _, _, engine, search = sub_setup
+        with pytest.raises(ValueError):
+            search.range_query(Graph(), 1)
+        with pytest.raises(ValueError):
+            search.range_query(Graph(["a"]), -1)
+        with pytest.raises(ValueError):
+            search.range_query(Graph(["a"]), 1, verify="nope")
+        with pytest.raises(ValueError):
+            SubgraphSearch(engine, k=0)
+
+    def test_stats_populated(self, sub_setup):
+        _, _, _, search = sub_setup
+        result = search.range_query(Graph(["C00", "C01"], [(0, 1)]), 1)
+        assert result.stats.candidates == len(result.candidates)
+        assert result.stats.ta_searches >= 1
+
+    def test_filter_beats_scanning_everything(self, sub_setup):
+        """A hopeless query must be pruned without touching every graph."""
+        _, graphs, _, search = sub_setup
+        big = Graph(
+            {i: "Z9" for i in range(15)},
+            [(i, i + 1) for i in range(14)],
+        )
+        result = search.range_query(big, 0)
+        assert result.candidates == []
+        assert result.stats.graphs_accessed < len(graphs)

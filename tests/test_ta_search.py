@@ -1,0 +1,107 @@
+"""Tests for the TA top-k sub-unit search (Algorithm 2), incl. Figure 8."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.index import TwoLevelIndex
+from repro.core.ta_search import brute_force_top_k, top_k_stars
+from repro.graphs.generators import corpus
+from repro.graphs.model import Graph
+from repro.graphs.star import Star, decompose, star_edit_distance
+
+
+def index_of(*graph_items):
+    index = TwoLevelIndex()
+    for gid, graph in graph_items:
+        index.add_graph(gid, graph, decompose(graph))
+    return index
+
+
+class TestFigure8:
+    """Figure 8: top-2 search for s_q = abbcc over the Figure 6 catalog."""
+
+    def test_top2_result(self, paper_g1, paper_g2):
+        index = index_of(("g1", paper_g1), ("g2", paper_g2))
+        result = top_k_stars(index, Star("a", "bbcc"), 2)
+        entries = [
+            (index.catalog.star(sid).signature, sed) for sid, sed in result.entries
+        ]
+        # Figure 8's answer: s0 (itself, SED 0) and s3 = babcc (SED 2).
+        assert entries == [("a|b,b,c,c", 0), ("b|a,b,c,c", 2)]
+        assert result.kth_sed == 2
+
+    def test_halting_saves_accesses(self, paper_g1, paper_g2):
+        index = index_of(("g1", paper_g1), ("g2", paper_g2))
+        result = top_k_stars(index, Star("a", "bbcc"), 2)
+        # The catalog holds 7 stars over 5 lower-level lists; a full scan
+        # would access far more entries than a TA run that halts.
+        assert result.accesses > 0
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("seed", range(5))
+    @pytest.mark.parametrize("k", [1, 3, 10])
+    def test_matches_brute_force(self, seed, k):
+        rng = random.Random(seed)
+        graphs = corpus(rng, 15, kind="chemical", mean_order=8, stddev=2)
+        index = index_of(*((f"g{i}", g) for i, g in enumerate(graphs)))
+        query_graph = corpus(rng, 1, kind="chemical", mean_order=8, stddev=2)[0]
+        for query in decompose(query_graph):
+            got = top_k_stars(index, query, k)
+            expected = brute_force_top_k(index, query, k)
+            got_seds = [sed for _, sed in got.entries]
+            expected_seds = [sed for _, sed in expected]
+            assert got_seds == expected_seds
+            # The sid sets may differ only within SED ties.
+            assert {s for s, d in got.entries if d < got_seds[-1]} == {
+                s for s, d in expected if d < expected_seds[-1]
+            }
+
+    def test_k_larger_than_catalog(self, paper_g1):
+        index = index_of(("g1", paper_g1))
+        result = top_k_stars(index, Star("a", "bbcc"), 50)
+        assert len(result.entries) == len(index.catalog)
+        assert result.kth_sed == float("inf")
+
+    def test_exact_match_first(self, paper_g1, paper_g2):
+        index = index_of(("g1", paper_g1), ("g2", paper_g2))
+        for star in decompose(paper_g1):
+            result = top_k_stars(index, star, 1)
+            assert result.entries[0][1] == 0
+
+    def test_invalid_k(self, paper_g1):
+        index = index_of(("g1", paper_g1))
+        with pytest.raises(ValueError):
+            top_k_stars(index, Star("a"), 0)
+
+
+class TestEdgeCases:
+    def test_leafless_query_star(self, paper_g1):
+        """A query star with no leaves only drives the size list."""
+        index = index_of(("g1", paper_g1))
+        result = top_k_stars(index, Star("a"), 3)
+        expected = brute_force_top_k(index, Star("a"), 3)
+        assert [sed for _, sed in result.entries] == [sed for _, sed in expected]
+
+    def test_unknown_labels_query(self, paper_g1):
+        index = index_of(("g1", paper_g1))
+        result = top_k_stars(index, Star("z", "yy"), 2)
+        expected = brute_force_top_k(index, Star("z", "yy"), 2)
+        assert [sed for _, sed in result.entries] == [sed for _, sed in expected]
+
+    def test_empty_index(self):
+        index = TwoLevelIndex()
+        result = top_k_stars(index, Star("a", "b"), 5)
+        assert result.entries == []
+        assert result.kth_sed == float("inf")
+
+    def test_results_sorted_ascending(self, small_aids):
+        items = list(small_aids.graphs.items())[:20]
+        index = index_of(*items)
+        query = decompose(items[0][1])[0]
+        result = top_k_stars(index, query, 10)
+        seds = [sed for _, sed in result.entries]
+        assert seds == sorted(seds)

@@ -1,0 +1,98 @@
+"""Tests for the verification scheduler."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.engine import SegosIndex
+from repro.core.verify import verify_candidates
+from repro.datasets import aids_like, sample_queries
+from repro.graphs.edit_distance import graph_edit_distance
+from repro.graphs.generators import erdos_renyi
+from repro.graphs.model import Graph
+
+
+@pytest.fixture(scope="module")
+def verify_setup():
+    data = aids_like(25, seed=19, mean_order=7, stddev=2)
+    engine = SegosIndex(data.graphs, k=10, h=30)
+    return data, engine
+
+
+class TestVerifyCandidates:
+    def test_exact_partition(self, verify_setup):
+        data, engine = verify_setup
+        query = sample_queries(data, 1, seed=20, edits=1)[0]
+        tau = 2
+        result = engine.range_query(query, tau)
+        report = verify_candidates(
+            data.graphs,
+            query,
+            result.candidates,
+            tau,
+            already_confirmed=result.matches,
+        )
+        truth = {
+            gid
+            for gid, g in data.graphs.items()
+            if graph_edit_distance(query, g, threshold=tau) is not None
+        }
+        assert report.decided()
+        assert report.matches == truth
+        assert report.rejected == set(result.candidates) - truth
+
+    def test_confirmed_skip_astar(self, verify_setup):
+        data, engine = verify_setup
+        gid, graph = next(iter(data.graphs.items()))
+        report = verify_candidates(
+            data.graphs, graph.copy(), [gid], 0, already_confirmed=[gid]
+        )
+        assert report.astar_runs == 0
+        assert gid in report.matches
+
+    def test_bounds_settle_without_astar(self, verify_setup):
+        data, _ = verify_setup
+        gid, graph = next(iter(data.graphs.items()))
+        # Self-query: U_m = 0 ≤ τ, settled by bounds.
+        report = verify_candidates(data.graphs, graph.copy(), [gid], 0)
+        assert report.settled_by_bounds == 1
+        assert report.astar_runs == 0
+        assert gid in report.matches
+
+    def test_budget_exhaustion_is_undecided(self):
+        rng = random.Random(2)
+        q = erdos_renyi(rng, "ab", 9, 0.5)
+        g = erdos_renyi(rng, "ab", 9, 0.5)
+        report = verify_candidates({"g": g}, q, ["g"], 3, budget_per_candidate=2)
+        assert report.undecided in ({"g"}, set())  # bounds may settle it
+        assert report.decided() == (not report.undecided)
+
+    def test_deadline_zero_defers_everything_scheduled(self, verify_setup):
+        data, engine = verify_setup
+        query = sample_queries(data, 1, seed=21)[0]
+        result = engine.range_query(query, 5)
+        report = verify_candidates(
+            data.graphs, query, result.candidates, 5, deadline=0.0
+        )
+        # Whatever bounds could not settle is undecided, never silently
+        # dropped.
+        assert (
+            len(report.matches)
+            + len(report.rejected)
+            + len(report.undecided)
+            >= len(result.candidates)
+        )
+        assert report.astar_runs == 0
+
+    def test_validation(self, verify_setup):
+        data, _ = verify_setup
+        with pytest.raises(ValueError):
+            verify_candidates(data.graphs, Graph(["a"]), [], -1)
+
+    def test_empty_candidates(self, verify_setup):
+        data, _ = verify_setup
+        report = verify_candidates(data.graphs, Graph(["C00"]), [], 1)
+        assert report.decided()
+        assert not report.matches

@@ -1,0 +1,87 @@
+"""Tests for the named benchmark workloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.workloads import (
+    Workload,
+    clone_mass_workload,
+    default_workload,
+    outlier_workload,
+)
+from repro.datasets import aids_like
+from repro.datasets.loader import load_dataset
+from repro.graphs import io as gio
+from repro.graphs.edit_distance import graph_edit_distance
+
+
+@pytest.fixture(scope="module")
+def base_data():
+    return aids_like(15, seed=71, mean_order=6, stddev=1)
+
+
+class TestDefaultWorkload:
+    def test_queries_are_members(self, base_data):
+        w = default_workload(base_data, 3, seed=1)
+        assert w.name == "default"
+        assert len(w.queries) == 3
+        member_keys = {g for g in base_data.graphs.values()}
+        assert all(q in member_keys for q in w.queries)
+
+    def test_corpus_untouched(self, base_data):
+        w = default_workload(base_data, 2, seed=1)
+        assert len(w.graphs) == len(base_data.graphs)
+
+
+class TestCloneMassWorkload:
+    def test_clones_planted(self, base_data):
+        w = clone_mass_workload(base_data, 2, clones_per_query=4, seed=2)
+        assert len(w.graphs) == len(base_data.graphs) + 2 * 4
+        assert any(gid.startswith("clone-") for gid in w.graphs)
+
+    def test_clones_within_edit_budget(self, base_data):
+        w = clone_mass_workload(
+            base_data, 1, clones_per_query=3, clone_edits=1, seed=3
+        )
+        query = w.queries[0]
+        for gid, graph in w.graphs.items():
+            if gid.startswith("clone-0-"):
+                assert graph_edit_distance(query, graph) <= 1
+
+
+class TestOutlierWorkload:
+    def test_alien_labels_disjoint(self, base_data):
+        w = outlier_workload(base_data, 3, seed=4)
+        corpus_labels = {
+            lbl for g in base_data.graphs.values() for lbl in g.labels().values()
+        }
+        for query in w.queries:
+            assert not (set(query.labels().values()) & corpus_labels)
+
+    def test_queries_nonempty(self, base_data):
+        w = outlier_workload(base_data, 2, seed=5)
+        assert all(q.order >= 1 for q in w.queries)
+
+
+class TestLoader:
+    def test_load_dataset_round_trip(self, base_data, tmp_path):
+        path = tmp_path / "corpus.txt"
+        gio.save(path, base_data.graphs.items())
+        loaded = load_dataset(path)
+        assert loaded.name == "corpus"
+        assert len(loaded) == len(base_data)
+        assert loaded.labels == sorted(loaded.labels)
+        # Labels inferred from content only.
+        corpus_labels = {
+            lbl for g in base_data.graphs.values() for lbl in g.labels().values()
+        }
+        assert set(loaded.labels) == corpus_labels
+
+    def test_loaded_dataset_usable_in_workloads(self, base_data, tmp_path):
+        path = tmp_path / "corpus.txt"
+        gio.save(path, base_data.graphs.items())
+        loaded = load_dataset(path, name="mine")
+        w = default_workload(loaded, 2, seed=6)
+        assert w.queries
+        assert loaded.name == "mine"
