@@ -22,6 +22,8 @@ from .graphs.edit_distance import ged_within, graph_edit_distance
 from .matching.mapping import mapping_distance
 from .core.engine import QueryResult, SegosIndex
 from .core.stats import QueryStats
+from .perf.assignment import available_backends, solve_assignment
+from .perf.sed_cache import sed_cache_clear, sed_cache_info
 
 __version__ = "1.0.0"
 
@@ -31,10 +33,14 @@ __all__ = [
     "QueryStats",
     "SegosIndex",
     "Star",
+    "available_backends",
     "decompose",
     "ged_within",
     "graph_edit_distance",
     "mapping_distance",
+    "sed_cache_clear",
+    "sed_cache_info",
+    "solve_assignment",
     "star_edit_distance",
     "__version__",
 ]

@@ -100,6 +100,7 @@ class _GraphResolver:
         partial_fraction: float,
         stats: QueryStats,
         disabled_bounds: frozenset = frozenset(),
+        assignment_backend: Optional[str] = None,
     ) -> None:
         self.query = query
         self.query_stars = list(query_stars)
@@ -108,6 +109,10 @@ class _GraphResolver:
         self.tau = tau
         self.partial_fraction = partial_fraction
         self.stats = stats
+        # One-shot solves (C-Star step, Lemma 2/3 finalisation) go through
+        # the pluggable registry; incremental reveals stay on the stateful
+        # pure solver, which is the only backend with column updates.
+        self.assignment_backend = assignment_backend
         # Ablation switch (benchmarks only): names from
         # {"zeta", "l_mu", "u_mu", "partial_mu"} skip that bound.
         self.disabled_bounds = disabled_bounds
@@ -220,10 +225,12 @@ class _GraphResolver:
         sg.resolution = "match" if upper <= self.tau else "candidate"
 
     def _resolve_one_shot(self, sg: SeenGraph) -> None:
-        """Terminal Lemma 2/3 filtering via a single Hungarian run."""
+        """Terminal Lemma 2/3 filtering via a single assignment solve."""
         self.stats.graphs_accessed += 1
         self.stats.full_mapping_computations += 1
-        l_m, u_m, _mu = full_bounds(self.query, self.graphs[sg.gid])
+        l_m, u_m, _mu = full_bounds(
+            self.query, self.graphs[sg.gid], backend=self.assignment_backend
+        )
         if l_m > self.tau:
             sg.resolution, sg.pruned_by = "pruned", "l_m"
             self.stats.count_prune("l_m")
@@ -267,6 +274,7 @@ def ca_range_query(
     partial_fraction: float = DEFAULT_PARTIAL_FRACTION,
     stats: Optional[QueryStats] = None,
     disabled_bounds: frozenset = frozenset(),
+    assignment_backend: Optional[str] = None,
 ) -> CAResult:
     """Run the CA scan + DC resolution over pre-built graph score lists.
 
@@ -293,6 +301,7 @@ def ca_range_query(
         partial_fraction,
         stats,
         disabled_bounds=disabled_bounds,
+        assignment_backend=assignment_backend,
     )
     delta_prime = normalization_factor(
         query, database_max=index.database_max_degree()
@@ -387,7 +396,7 @@ def ca_range_query(
             stats.graphs_accessed += 1
             stats.full_mapping_computations += 1
             graph = graphs[gid]
-            l_m, u_m, _mu = full_bounds(query, graph)
+            l_m, u_m, _mu = full_bounds(query, graph, backend=assignment_backend)
             if l_m > tau:
                 stats.count_prune("l_m")
                 continue

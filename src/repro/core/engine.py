@@ -18,7 +18,6 @@ Range-query semantics mirror the paper's filter-and-verify contract:
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
@@ -26,6 +25,9 @@ from ..errors import GraphAlreadyIndexed, GraphNotIndexed
 from ..graphs.edit_distance import ged_within
 from ..graphs.model import Graph
 from ..graphs.star import Star, decompose, star_at
+from ..perf.assignment import resolve_backend
+from ..perf.parallel import parallel_batch_range_query, resolve_workers
+from ..perf.sed_cache import GLOBAL_SED_CACHE, CacheInfo
 from .ca_search import (
     DEFAULT_H,
     DEFAULT_PARTIAL_FRACTION,
@@ -34,7 +36,7 @@ from .ca_search import (
 )
 from .graph_lists import build_all_lists
 from .index import GraphMeta, TwoLevelIndex
-from .stats import QueryStats
+from .stats import QueryStats, WallClock
 from .ta_search import TopKResult, top_k_stars
 
 #: Default k for the TA stage (Table II's default).
@@ -90,6 +92,7 @@ class SegosIndex:
         partial_fraction: float = DEFAULT_PARTIAL_FRACTION,
         backend: str = "memory",
         sqlite_path: str = ":memory:",
+        assignment_backend: Optional[str] = None,
     ) -> None:
         if k < 1:
             raise ValueError("k must be >= 1")
@@ -98,6 +101,11 @@ class SegosIndex:
         self.k = k
         self.h = h
         self.partial_fraction = partial_fraction
+        # Fail fast on unknown names; the live resolution happens per solve
+        # so the REPRO_ASSIGNMENT_BACKEND environment stays authoritative
+        # when no explicit name was given.
+        resolve_backend(assignment_backend)
+        self.assignment_backend = assignment_backend
         if backend == "memory":
             self.index = TwoLevelIndex()
         elif backend == "sqlite":
@@ -242,6 +250,7 @@ class SegosIndex:
         k: Optional[int] = None,
         h: Optional[int] = None,
         verify: str = "none",
+        workers: Optional[int] = None,
     ) -> List[QueryResult]:
         """Answer a batch of range queries with a shared TA cache.
 
@@ -250,7 +259,33 @@ class SegosIndex:
         so queries in a batch reuse each other's TA searches.  On workloads
         with overlapping star vocabularies this removes most TA work after
         the first few queries.
+
+        ``workers`` (or the ``REPRO_BATCH_WORKERS`` environment variable)
+        above 1 fans query chunks out over worker processes; engines that
+        cannot travel to a subprocess (the sqlite backend) silently fall
+        back to the serial path with identical answers.
         """
+        if verify not in ("none", "exact"):
+            raise ValueError(f"unknown verify mode {verify!r}")
+        workers = resolve_workers(workers)
+        if workers > 1 and len(queries) > 1:
+            results = parallel_batch_range_query(
+                self, queries, tau, workers=workers, k=k, h=h, verify=verify
+            )
+            if results is not None:
+                return results
+        return self._serial_batch_range_query(queries, tau, k=k, h=h, verify=verify)
+
+    def _serial_batch_range_query(
+        self,
+        queries: Sequence[Graph],
+        tau: float,
+        *,
+        k: Optional[int] = None,
+        h: Optional[int] = None,
+        verify: str = "none",
+    ) -> List[QueryResult]:
+        """In-process batch execution (also the per-chunk parallel worker)."""
         if verify not in ("none", "exact"):
             raise ValueError(f"unknown verify mode {verify!r}")
         shared_cache: Dict[str, TopKResult] = {}
@@ -278,7 +313,8 @@ class SegosIndex:
             raise ValueError("query graph must not be empty")
         if tau < 0:
             raise ValueError("tau must be non-negative")
-        started = time.perf_counter()
+        clock = WallClock.start()
+        cache_before = GLOBAL_SED_CACHE.info()
         stats = QueryStats()
         query_stars = decompose(query)
         ta_counts: List[int] = []
@@ -305,6 +341,7 @@ class SegosIndex:
                 else self.partial_fraction
             ),
             stats=stats,
+            assignment_backend=self.assignment_backend,
         )
         matches = set(result.confirmed)
         verified = verify == "exact"
@@ -314,11 +351,14 @@ class SegosIndex:
                     query, self._graphs[gid], int(tau)
                 ):
                     matches.add(gid)
+        cache_after = GLOBAL_SED_CACHE.info()
+        stats.sed_cache_hits = cache_after.hits - cache_before.hits
+        stats.sed_cache_misses = cache_after.misses - cache_before.misses
         return QueryResult(
             candidates=result.candidates,
             matches=matches,
             stats=stats,
-            elapsed=time.perf_counter() - started,
+            elapsed=clock.elapsed(),
             verified=verified,
         )
 
@@ -328,6 +368,20 @@ class SegosIndex:
     def index_size(self) -> int:
         """Total postings across both index levels (Figure 13's metric)."""
         return self.index.size_estimate()
+
+    def sed_cache_info(self) -> CacheInfo:
+        """Hit/miss counters of the process-global SED memo cache.
+
+        The cache is shared by every engine in the process (it memoises a
+        pure function of signature pairs), so these are process totals;
+        per-query deltas live in :attr:`QueryStats.sed_cache_hits` /
+        ``sed_cache_misses``.
+        """
+        return GLOBAL_SED_CACHE.info()
+
+    def sed_cache_clear(self) -> None:
+        """Empty the process-global SED memo cache and reset its counters."""
+        GLOBAL_SED_CACHE.clear()
 
     def distinct_star_count(self) -> int:
         """Number of distinct sub-units currently indexed."""

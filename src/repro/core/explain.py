@@ -10,16 +10,16 @@ renders to a compact text report, the moral equivalent of a database
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..graphs.model import Graph
 from ..graphs.star import decompose
+from ..perf.sed_cache import GLOBAL_SED_CACHE
 from .ca_search import ca_range_query
 from .engine import SegosIndex
 from .graph_lists import build_all_lists
-from .stats import QueryStats
+from .stats import QueryStats, WallClock
 from .ta_search import TopKResult, top_k_stars
 
 
@@ -78,6 +78,13 @@ class QueryExplanation:
             f"{self.stats.filtered_unseen} unseen graphs cleared by ω, "
             f"{self.stats.linear_fallback} via linear fallback"
         )
+        sed_total = self.stats.sed_cache_hits + self.stats.sed_cache_misses
+        if sed_total:
+            lines.append(
+                f"filter stage: {sed_total} SED lookups, "
+                f"{self.stats.sed_cache_hits} served by the memo cache "
+                f"({self.stats.sed_cache_hit_rate:.0%} hit rate)"
+            )
         lines.append("DC stage: " + self.stats.summary())
         lines.append(
             f"result: {len(self.candidates)} candidates "
@@ -105,7 +112,8 @@ def explain_range_query(
         raise ValueError("tau must be non-negative")
     k = k or engine.k
     h = h or engine.h
-    started = time.perf_counter()
+    clock = WallClock.start()
+    cache_before = GLOBAL_SED_CACHE.info()
     query_stars = decompose(query)
 
     # TA stage, star by star, with explicit traces.
@@ -145,7 +153,11 @@ def explain_range_query(
         h=h,
         partial_fraction=engine.partial_fraction,
         stats=stats,
+        assignment_backend=engine.assignment_backend,
     )
+    cache_after = GLOBAL_SED_CACHE.info()
+    stats.sed_cache_hits = cache_after.hits - cache_before.hits
+    stats.sed_cache_misses = cache_after.misses - cache_before.misses
     return QueryExplanation(
         query_order=query.order,
         query_stars=len(query_stars),
@@ -157,5 +169,5 @@ def explain_range_query(
         stats=stats,
         candidates=list(result.candidates),
         confirmed=sorted(map(str, result.confirmed)),
-        elapsed=time.perf_counter() - started,
+        elapsed=clock.elapsed(),
     )

@@ -36,11 +36,13 @@ from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 from ..graphs.model import Graph, normalization_factor
 from ..graphs.star import decompose
 from ..matching.mapping import bounds as full_bounds
+from ..perf.parallel import parallel_batch_range_query, resolve_workers
+from ..perf.sed_cache import GLOBAL_SED_CACHE
 from .bounds import SeenGraph
 from .ca_search import _GraphResolver
 from .engine import QueryResult, SegosIndex
 from .graph_lists import QueryStarLists, build_query_star_lists
-from .stats import QueryStats
+from .stats import QueryStats, WallClock
 from .ta_search import TopKResult, top_k_stars
 
 #: The pipeline fixes the TA k to a small constant (Section V-E).
@@ -86,7 +88,8 @@ class PipelinedSegos:
             raise ValueError("tau must be non-negative")
         if verify not in ("none", "exact"):
             raise ValueError(f"unknown verify mode {verify!r}")
-        started = time.perf_counter()
+        clock = WallClock.start()
+        cache_before = GLOBAL_SED_CACHE.info()
         run = _PipelineRun(self.engine, query, tau, self.k)
         candidates, confirmed, stats = run.execute()
         matches = set(confirmed)
@@ -99,13 +102,59 @@ class PipelinedSegos:
                     query, self.engine.graph(gid), int(tau)
                 ):
                     matches.add(gid)
+        cache_after = GLOBAL_SED_CACHE.info()
+        stats.sed_cache_hits = cache_after.hits - cache_before.hits
+        stats.sed_cache_misses = cache_after.misses - cache_before.misses
         return QueryResult(
             candidates=candidates,
             matches=matches,
             stats=stats,
-            elapsed=time.perf_counter() - started,
+            elapsed=clock.elapsed(),
             verified=verified,
         )
+
+    def batch_range_query(
+        self,
+        queries: Sequence[Graph],
+        tau: float,
+        *,
+        verify: str = "none",
+        workers: Optional[int] = None,
+    ) -> List[QueryResult]:
+        """Pipelined equivalent of :meth:`SegosIndex.batch_range_query`.
+
+        With ``workers > 1`` (or ``REPRO_BATCH_WORKERS``) query chunks run
+        in worker processes, each executing the full three-stage pipeline
+        per query; otherwise the batch runs serially in-process.  Answers
+        are identical either way.
+        """
+        if verify not in ("none", "exact"):
+            raise ValueError(f"unknown verify mode {verify!r}")
+        workers = resolve_workers(workers)
+        if workers > 1 and len(queries) > 1:
+            results = parallel_batch_range_query(
+                self, queries, tau, workers=workers, verify=verify
+            )
+            if results is not None:
+                return results
+        return self._serial_batch_range_query(queries, tau, verify=verify)
+
+    def _serial_batch_range_query(
+        self,
+        queries: Sequence[Graph],
+        tau: float,
+        *,
+        k: Optional[int] = None,
+        h: Optional[int] = None,
+        verify: str = "none",
+    ) -> List[QueryResult]:
+        """In-process batch execution (also the per-chunk parallel worker).
+
+        ``k``/``h`` are accepted for signature compatibility with the
+        engine's serial batch (the parallel chunk runner passes them); the
+        pipeline fixes its own k and has no checkpoint period.
+        """
+        return [self.range_query(query, tau, verify=verify) for query in queries]
 
 
 class _PipelineRun:
@@ -178,6 +227,7 @@ class _PipelineRun:
                 self.tau,
                 partial_fraction=0.5,
                 stats=QueryStats(),
+                assignment_backend=self.engine.assignment_backend,
             )
             for _ in range(2)
         ]
@@ -275,6 +325,7 @@ class _PipelineRun:
             self.tau,
             partial_fraction=0.5,
             stats=self.stats,
+            assignment_backend=self.engine.assignment_backend,
         )
         ta_finished = False
         while True:
@@ -394,7 +445,9 @@ class _PipelineRun:
                 self.stats.graphs_accessed += 1
                 self.stats.full_mapping_computations += 1
                 graph = self.engine.graph(gid)
-                l_m, u_m, _ = full_bounds(self.query, graph)
+                l_m, u_m, _ = full_bounds(
+                    self.query, graph, backend=self.engine.assignment_backend
+                )
                 if l_m > self.tau:
                     self.stats.count_prune("l_m")
                     continue

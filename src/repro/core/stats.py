@@ -12,8 +12,29 @@ The paper's evaluation reports, besides wall-clock time:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Iterable
+
+
+@dataclass
+class WallClock:
+    """The one wall-time helper every query path reports ``elapsed`` from.
+
+    ``range_query``, ``batch_range_query`` and the pipelined engine all time
+    themselves through this class so their numbers are comparable — same
+    clock (``perf_counter``), same start/read discipline.
+    """
+
+    started: float
+
+    @classmethod
+    def start(cls) -> "WallClock":
+        return cls(time.perf_counter())
+
+    def elapsed(self) -> float:
+        """Seconds since :meth:`start` (monotonic)."""
+        return time.perf_counter() - self.started
 
 
 @dataclass
@@ -43,6 +64,16 @@ class QueryStats:
     filtered_unseen: int = 0
     #: graphs processed by the linear fallback (lists exhausted, no halt)
     linear_fallback: int = 0
+    #: SED memo-cache hits attributable to this query (filter stage)
+    sed_cache_hits: int = 0
+    #: SED memo-cache misses attributable to this query (actual Lemma 1 runs)
+    sed_cache_misses: int = 0
+
+    @property
+    def sed_cache_hit_rate(self) -> float:
+        """Share of this query's SED lookups served from the memo cache."""
+        total = self.sed_cache_hits + self.sed_cache_misses
+        return self.sed_cache_hits / total if total else 0.0
 
     def count_prune(self, bound: str) -> None:
         self.pruned_by[bound] = self.pruned_by.get(bound, 0) + 1
@@ -64,6 +95,12 @@ class QueryStats:
         ]
         if self.linear_fallback:
             parts.append(f"linear fallback: {self.linear_fallback}")
+        if self.sed_cache_hits or self.sed_cache_misses:
+            parts.append(
+                f"SED cache: {self.sed_cache_hits}/"
+                f"{self.sed_cache_hits + self.sed_cache_misses} hits "
+                f"({self.sed_cache_hit_rate:.0%})"
+            )
         return " | ".join(parts)
 
     def merge(self, other: "QueryStats") -> None:
@@ -78,5 +115,15 @@ class QueryStats:
         self.confirmed_matches += other.confirmed_matches
         self.filtered_unseen += other.filtered_unseen
         self.linear_fallback += other.linear_fallback
+        self.sed_cache_hits += other.sed_cache_hits
+        self.sed_cache_misses += other.sed_cache_misses
         for key, value in other.pruned_by.items():
             self.pruned_by[key] = self.pruned_by.get(key, 0) + value
+
+    @classmethod
+    def merged(cls, runs: Iterable["QueryStats"]) -> "QueryStats":
+        """Fold many per-query stats into one aggregate (batch reporting)."""
+        total = cls()
+        for run in runs:
+            total.merge(run)
+        return total

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..graphs.star import Star, star_edit_distance
+from ..perf.sed_cache import cached_star_edit_distance
 from .index import LowerEntry, TwoLevelIndex
 from .merge import merge_groups
 
@@ -134,8 +135,12 @@ def top_k_stars(index: TwoLevelIndex, query: Star, k: int) -> TopKResult:
                 last_freq[j] = float(entry.freq)
                 if entry.sid not in seen:
                     seen.add(entry.sid)
+                    # Equation (1)'s exact-SED evaluation of a seen star; the
+                    # memo cache absorbs the massive signature repetition
+                    # across queries sharing vocabulary.
                     heap.offer(
-                        entry.sid, star_edit_distance(query, catalog.star(entry.sid))
+                        entry.sid,
+                        cached_star_edit_distance(query, catalog.star(entry.sid)),
                     )
             if not size_exhausted:
                 entry = next(size_iter, None)
@@ -149,7 +154,7 @@ def top_k_stars(index: TwoLevelIndex, query: Star, k: int) -> TopKResult:
                         seen.add(entry.sid)
                         heap.offer(
                             entry.sid,
-                            star_edit_distance(query, catalog.star(entry.sid)),
+                            cached_star_edit_distance(query, catalog.star(entry.sid)),
                         )
             if size_exhausted:
                 # Every star on this side lives in the size list, so an

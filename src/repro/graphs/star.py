@@ -40,12 +40,13 @@ class Star:
     4
     """
 
-    __slots__ = ("root", "leaves", "_hash")
+    __slots__ = ("root", "leaves", "_hash", "_signature")
 
     def __init__(self, root: Label, leaves: Iterable[Label] = ()) -> None:
         self.root: Label = root
         self.leaves: Tuple[Label, ...] = tuple(sorted(leaves))
         self._hash = hash((self.root, self.leaves))
+        self._signature = f"{root}|{','.join(self.leaves)}"
 
     @property
     def leaf_size(self) -> int:
@@ -57,9 +58,11 @@ class Star:
         """Canonical string form used as the upper-level index key.
 
         The separator characters keep multi-character labels unambiguous
-        (``("ab", "c")`` and ``("a", "bc")`` must not collide).
+        (``("ab", "c")`` and ``("a", "bc")`` must not collide).  Precomputed
+        at construction: the SED memo cache keys on signature pairs, so this
+        sits on the filter stage's hottest path.
         """
-        return f"{self.root}|{','.join(self.leaves)}"
+        return self._signature
 
     def leaf_counter(self) -> CounterType[Label]:
         """Return the leaf label multiset as a :class:`collections.Counter`."""

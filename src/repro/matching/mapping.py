@@ -21,8 +21,10 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..graphs.model import Graph, normalization_factor
-from ..graphs.star import Star, decompose_map, epsilon_distance, star_edit_distance
-from .hungarian import HungarianSolver, hungarian
+from ..graphs.star import Star, decompose_map, epsilon_distance
+from ..perf.assignment import solve_assignment
+from ..perf.sed_cache import cached_star_edit_distance
+from .hungarian import HungarianSolver
 
 
 def star_cost_matrix(stars1: Sequence[Star], stars2: Sequence[Star]) -> List[List[float]]:
@@ -30,7 +32,9 @@ def star_cost_matrix(stars1: Sequence[Star], stars2: Sequence[Star]) -> List[Lis
 
     Rows follow ``stars1``, columns ``stars2``; whichever side is smaller is
     padded with ε entries costing ``λ(s, ε) = 1 + 2·|L|`` against real stars
-    and 0 against each other.
+    and 0 against each other.  Real-vs-real cells go through the global SED
+    memo cache: identical signature pairs recur massively across a database,
+    so most cells are lookups rather than Lemma 1 recomputations.
     """
     n1, n2 = len(stars1), len(stars2)
     size = max(n1, n2)
@@ -39,7 +43,7 @@ def star_cost_matrix(stars1: Sequence[Star], stars2: Sequence[Star]) -> List[Lis
         row: List[float] = []
         for j in range(size):
             if i < n1 and j < n2:
-                row.append(float(star_edit_distance(stars1[i], stars2[j])))
+                row.append(float(cached_star_edit_distance(stars1[i], stars2[j])))
             elif i < n1:  # real star vs ε column
                 row.append(float(epsilon_distance(stars1[i])))
             elif j < n2:  # ε row vs real star
@@ -70,19 +74,25 @@ class MappingResult:
     inserted: Tuple[int, ...]
 
 
-def mapping_distance(g1: Graph, g2: Graph) -> float:
+def mapping_distance(g1: Graph, g2: Graph, *, backend: Optional[str] = None) -> float:
     """``µ(g1, g2)`` — Definition 1 (Figure 2's worked example returns 9)."""
-    return mapping_result(g1, g2).distance
+    return mapping_result(g1, g2, backend=backend).distance
 
 
-def mapping_result(g1: Graph, g2: Graph) -> MappingResult:
-    """Compute µ plus the induced vertex mapping (for the Lemma 3 bound)."""
+def mapping_result(
+    g1: Graph, g2: Graph, *, backend: Optional[str] = None
+) -> MappingResult:
+    """Compute µ plus the induced vertex mapping (for the Lemma 3 bound).
+
+    ``backend`` selects the assignment solver (see
+    :mod:`repro.perf.assignment`); all backends return the same µ.
+    """
     stars1 = decompose_map(g1)
     stars2 = decompose_map(g2)
     ids1 = list(stars1)
     ids2 = list(stars2)
     matrix = star_cost_matrix([stars1[v] for v in ids1], [stars2[v] for v in ids2])
-    total, assignment = hungarian(matrix)
+    total, assignment = solve_assignment(matrix, backend)
     vertex_mapping: Dict[int, Optional[int]] = {}
     used2 = set()
     for row, col in enumerate(assignment):
@@ -125,23 +135,33 @@ def edit_cost_under_mapping(
     return cost
 
 
-def lower_bound(g1: Graph, g2: Graph, mu: Optional[float] = None) -> float:
+def lower_bound(
+    g1: Graph, g2: Graph, mu: Optional[float] = None, *, backend: Optional[str] = None
+) -> float:
     """Lemma 2: ``L_m(g1, g2) = µ / max{4, max{δ(g1), δ(g2)} + 1}``."""
     if mu is None:
-        mu = mapping_distance(g1, g2)
+        mu = mapping_distance(g1, g2, backend=backend)
     return mu / normalization_factor(g1, g2)
 
 
-def upper_bound(g1: Graph, g2: Graph, result: Optional[MappingResult] = None) -> int:
+def upper_bound(
+    g1: Graph,
+    g2: Graph,
+    result: Optional[MappingResult] = None,
+    *,
+    backend: Optional[str] = None,
+) -> int:
     """Lemma 3: edit cost of the Hungarian-induced mapping, ``U_m ≥ λ``."""
     if result is None:
-        result = mapping_result(g1, g2)
+        result = mapping_result(g1, g2, backend=backend)
     return edit_cost_under_mapping(g1, g2, result.vertex_mapping)
 
 
-def bounds(g1: Graph, g2: Graph) -> Tuple[float, int, float]:
-    """Return ``(L_m, U_m, µ)`` from a single Hungarian run."""
-    result = mapping_result(g1, g2)
+def bounds(
+    g1: Graph, g2: Graph, *, backend: Optional[str] = None
+) -> Tuple[float, int, float]:
+    """Return ``(L_m, U_m, µ)`` from a single assignment solve."""
+    result = mapping_result(g1, g2, backend=backend)
     return (
         result.distance / normalization_factor(g1, g2),
         edit_cost_under_mapping(g1, g2, result.vertex_mapping),
@@ -150,7 +170,11 @@ def bounds(g1: Graph, g2: Graph) -> Tuple[float, int, float]:
 
 
 def partial_mapping_distance(
-    query_stars: Sequence[Star], seen_stars: Sequence[Star], total_other: int
+    query_stars: Sequence[Star],
+    seen_stars: Sequence[Star],
+    total_other: int,
+    *,
+    backend: Optional[str] = None,
 ) -> float:
     """One-shot Theorem 1 value ``µ(S(g1), S'(g2))``.
 
@@ -158,11 +182,37 @@ def partial_mapping_distance(
     determines the square matrix size.  Unseen/ε columns cost 0 against
     every row, hence the result can only grow as more stars are revealed and
     is always ≤ the full ``µ(g1, g2)``.
+
+    Unlike :class:`DynamicMappingDistance` (which pays one augmentation per
+    revealed column to stay incremental), this builds the whole partial
+    matrix up front and hands it to :func:`repro.perf.assignment.
+    solve_assignment` in one go — the right shape when all the revealed
+    stars are already known.
     """
-    dyn = DynamicMappingDistance(query_stars, total_other)
-    for s in seen_stars:
-        dyn.reveal(s)
-    return dyn.current()
+    if total_other < 0:
+        raise ValueError("other_order must be non-negative")
+    if len(seen_stars) > total_other:
+        raise ValueError(
+            f"{len(seen_stars)} stars revealed but the data graph only has "
+            f"{total_other}"
+        )
+    rows = list(query_stars)
+    size = max(len(rows), total_other)
+    if size == 0:
+        raise ValueError("cannot compare two empty graphs")
+    matrix: List[List[float]] = []
+    for i in range(size):
+        row: List[float] = []
+        for j in range(size):
+            if j >= len(seen_stars):  # unseen column: sound floor of 0
+                row.append(0.0)
+            elif i < len(rows):
+                row.append(float(cached_star_edit_distance(rows[i], seen_stars[j])))
+            else:  # ε row vs revealed star
+                row.append(float(epsilon_distance(seen_stars[j])))
+        matrix.append(row)
+    total, _ = solve_assignment(matrix, backend)
+    return total
 
 
 class DynamicMappingDistance:
@@ -215,7 +265,9 @@ class DynamicMappingDistance:
                 if star is None:
                     costs.append(float(epsilon_distance(self.query_stars[i])))
                 else:
-                    costs.append(float(star_edit_distance(self.query_stars[i], star)))
+                    costs.append(
+                        float(cached_star_edit_distance(self.query_stars[i], star))
+                    )
             else:  # ε row
                 costs.append(0.0 if star is None else float(epsilon_distance(star)))
         return costs

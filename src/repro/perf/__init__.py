@@ -1,0 +1,49 @@
+"""Performance subsystem: SED memoization, assignment backends, parallelism.
+
+Three independent accelerators for the filtering hot path, each opt-out /
+configurable via environment variables (see the README's performance table):
+
+* :mod:`repro.perf.sed_cache` — process-global memo cache for the star edit
+  distance, keyed on canonical signature pairs (``REPRO_SED_CACHE_SIZE``);
+* :mod:`repro.perf.assignment` — pluggable assignment-problem backends
+  (pure Hungarian vs SciPy) behind :func:`solve_assignment`
+  (``REPRO_ASSIGNMENT_BACKEND``);
+* :mod:`repro.perf.parallel` — process-parallel batch range queries with a
+  serial fallback (``REPRO_BATCH_WORKERS``).
+"""
+
+from .assignment import (
+    available_backends,
+    register_backend,
+    resolve_backend,
+    scipy_available,
+    solve_assignment,
+)
+from .parallel import chunk_evenly, parallel_batch_range_query, resolve_workers
+from .sed_cache import (
+    DEFAULT_CAPACITY,
+    GLOBAL_SED_CACHE,
+    CacheInfo,
+    SEDCache,
+    cached_star_edit_distance,
+    sed_cache_clear,
+    sed_cache_info,
+)
+
+__all__ = [
+    "CacheInfo",
+    "DEFAULT_CAPACITY",
+    "GLOBAL_SED_CACHE",
+    "SEDCache",
+    "available_backends",
+    "cached_star_edit_distance",
+    "chunk_evenly",
+    "parallel_batch_range_query",
+    "register_backend",
+    "resolve_backend",
+    "resolve_workers",
+    "scipy_available",
+    "sed_cache_clear",
+    "sed_cache_info",
+    "solve_assignment",
+]

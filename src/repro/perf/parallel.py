@@ -1,0 +1,123 @@
+"""Process-parallel batch range queries (chunked ``concurrent.futures``).
+
+The batch API of :meth:`repro.core.engine.SegosIndex.batch_range_query` is
+embarrassingly parallel across queries: each range query only reads the
+index.  CPython's GIL rules out thread-level speed-ups for this pure-Python
+CPU-bound work, so the parallel path ships the engine to worker *processes*
+once (via an executor initializer) and fans contiguous query chunks out to
+them, preserving input order in the results.
+
+Robustness contract:
+
+* engines that cannot be pickled (e.g. the sqlite backend holds a live
+  connection) are detected up front and the caller falls back to the serial
+  path — same answers, no crash;
+* a broken pool (worker killed, fork unavailable) likewise degrades to
+  serial rather than raising;
+* genuine query errors (empty query graph, negative τ) propagate exactly as
+  they would serially.
+
+Each chunk runs the engine's serial batch internally, so the shared-TA-cache
+optimisation still applies within a chunk; per-query :class:`QueryStats`
+come back intact and can be folded with
+:meth:`repro.core.stats.QueryStats.merged`.
+
+Worker count precedence: explicit ``workers=`` argument, then the
+``REPRO_BATCH_WORKERS`` environment variable, then serial.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine imports us)
+    from ..core.engine import QueryResult, SegosIndex
+    from ..graphs.model import Graph
+
+#: Environment variable supplying the default worker count (1 = serial).
+ENV_WORKERS = "REPRO_BATCH_WORKERS"
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """Resolve the worker count from argument / environment / serial."""
+    if workers is None:
+        raw = os.environ.get(ENV_WORKERS)
+        if raw is not None:
+            try:
+                workers = int(raw)
+            except ValueError:
+                workers = 1
+    if workers is None:
+        return 1
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    return workers
+
+
+def chunk_evenly(items: Sequence[Any], parts: int) -> List[List[Any]]:
+    """Split *items* into ≤ *parts* contiguous, near-equal, non-empty chunks."""
+    parts = min(parts, len(items))
+    if parts <= 0:
+        return []
+    base, extra = divmod(len(items), parts)
+    chunks: List[List[Any]] = []
+    start = 0
+    for i in range(parts):
+        size = base + (1 if i < extra else 0)
+        chunks.append(list(items[start : start + size]))
+        start += size
+    return chunks
+
+
+# The engine travels to each worker exactly once, through the executor
+# initializer, and is cached as a per-process global.
+_WORKER_ENGINE: Optional["SegosIndex"] = None
+
+
+def _init_worker(engine_blob: bytes) -> None:
+    global _WORKER_ENGINE
+    _WORKER_ENGINE = pickle.loads(engine_blob)
+
+
+def _run_chunk(
+    queries: List["Graph"], tau: float, kwargs: Dict[str, Any]
+) -> List["QueryResult"]:
+    assert _WORKER_ENGINE is not None, "worker initializer did not run"
+    return _WORKER_ENGINE._serial_batch_range_query(queries, tau, **kwargs)
+
+
+def parallel_batch_range_query(
+    engine: "SegosIndex",
+    queries: Sequence["Graph"],
+    tau: float,
+    *,
+    workers: int,
+    k: Optional[int] = None,
+    h: Optional[int] = None,
+    verify: str = "none",
+) -> Optional[List["QueryResult"]]:
+    """Fan a batch of range queries out over *workers* processes.
+
+    Returns results in input order, or ``None`` when process-parallel
+    execution is impossible (unpicklable engine, broken pool) and the caller
+    should run serially instead.
+    """
+    try:
+        engine_blob = pickle.dumps(engine, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception:
+        return None  # e.g. sqlite backend: connections don't pickle
+    chunks = chunk_evenly(queries, workers)
+    kwargs = {"k": k, "h": h, "verify": verify}
+    try:
+        with ProcessPoolExecutor(
+            max_workers=len(chunks), initializer=_init_worker, initargs=(engine_blob,)
+        ) as pool:
+            futures = [pool.submit(_run_chunk, chunk, tau, kwargs) for chunk in chunks]
+            per_chunk = [future.result() for future in futures]
+    except (BrokenProcessPool, OSError, pickle.PicklingError):
+        return None
+    return [result for chunk_results in per_chunk for result in chunk_results]

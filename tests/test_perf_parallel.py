@@ -1,0 +1,134 @@
+"""Tests for process-parallel batch range queries (repro.perf.parallel)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import SegosIndex
+from repro.core.pipeline import PipelinedSegos
+from repro.core.stats import QueryStats
+from repro.datasets import aids_like, sample_queries
+from repro.perf import parallel
+from repro.perf.parallel import chunk_evenly, resolve_workers
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    data = aids_like(30, seed=7, mean_order=7, stddev=2)
+    engine = SegosIndex(data.graphs, k=10, h=30)
+    queries = sample_queries(data, 6, seed=11)
+    return data, engine, queries
+
+
+class TestHelpers:
+    def test_chunk_evenly_covers_and_preserves_order(self):
+        items = list(range(10))
+        chunks = chunk_evenly(items, 4)
+        assert [len(c) for c in chunks] == [3, 3, 2, 2]
+        assert [x for c in chunks for x in c] == items
+
+    def test_chunk_evenly_more_parts_than_items(self):
+        assert chunk_evenly([1, 2], 5) == [[1], [2]]
+        assert chunk_evenly([], 3) == []
+
+    def test_resolve_workers_precedence(self, monkeypatch):
+        monkeypatch.delenv(parallel.ENV_WORKERS, raising=False)
+        assert resolve_workers() == 1
+        assert resolve_workers(3) == 3
+        monkeypatch.setenv(parallel.ENV_WORKERS, "4")
+        assert resolve_workers() == 4
+        assert resolve_workers(2) == 2  # explicit argument wins
+        monkeypatch.setenv(parallel.ENV_WORKERS, "garbage")
+        assert resolve_workers() == 1
+
+    def test_resolve_workers_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            resolve_workers(0)
+
+
+class TestParallelBatch:
+    def test_same_answers_as_serial(self, corpus):
+        _, engine, queries = corpus
+        serial = engine.batch_range_query(queries, 2)
+        parallel_results = engine.batch_range_query(queries, 2, workers=2)
+        assert len(parallel_results) == len(queries)
+        for s, p in zip(serial, parallel_results):
+            assert set(s.candidates) == set(p.candidates)
+            assert s.matches == p.matches
+
+    def test_env_var_engages_parallel_path(self, corpus, monkeypatch):
+        _, engine, queries = corpus
+        monkeypatch.setenv(parallel.ENV_WORKERS, "2")
+        results = engine.batch_range_query(queries[:3], 1)
+        serial = engine._serial_batch_range_query(queries[:3], 1)
+        for s, p in zip(serial, results):
+            assert set(s.candidates) == set(p.candidates)
+
+    def test_single_query_batch_stays_serial(self, corpus):
+        _, engine, queries = corpus
+        results = engine.batch_range_query(queries[:1], 1, workers=8)
+        assert len(results) == 1
+
+    def test_verify_exact_in_parallel(self, corpus):
+        _, engine, queries = corpus
+        serial = engine.batch_range_query(queries[:2], 1, verify="exact")
+        para = engine.batch_range_query(queries[:2], 1, verify="exact", workers=2)
+        for s, p in zip(serial, para):
+            assert p.verified
+            assert s.matches == p.matches
+
+    def test_sqlite_backend_falls_back_to_serial(self):
+        """An unpicklable engine must degrade gracefully, not crash."""
+        data = aids_like(12, seed=3, mean_order=6, stddev=1)
+        engine = SegosIndex(
+            {str(gid): g for gid, g in data.graphs.items()}, backend="sqlite"
+        )
+        queries = sample_queries(data, 3, seed=4)
+        results = engine.batch_range_query(queries, 1, workers=2)
+        serial = engine._serial_batch_range_query(queries, 1)
+        for s, p in zip(serial, results):
+            assert set(s.candidates) == set(p.candidates)
+
+    def test_validation_errors_propagate(self, corpus):
+        from repro.graphs.model import Graph
+
+        _, engine, _ = corpus
+        with pytest.raises(ValueError):
+            engine.batch_range_query([Graph(["a"]), Graph()], 1, workers=2)
+        with pytest.raises(ValueError):
+            engine.batch_range_query([Graph(["a"])] * 2, 1, verify="bogus", workers=2)
+
+    def test_pipelined_batch_parallel(self, corpus):
+        _, engine, queries = corpus
+        pipe = PipelinedSegos(engine)
+        serial = pipe.batch_range_query(queries[:4], 2)
+        para = pipe.batch_range_query(queries[:4], 2, workers=2)
+        for s, p in zip(serial, para):
+            assert set(s.candidates) == set(p.candidates)
+
+
+class TestStatsAggregation:
+    def test_merged_folds_per_query_stats(self, corpus):
+        _, engine, queries = corpus
+        results = engine.batch_range_query(queries, 2, workers=2)
+        merged = QueryStats.merged(r.stats for r in results)
+        assert merged.candidates == sum(r.stats.candidates for r in results)
+        assert merged.ta_searches == sum(r.stats.ta_searches for r in results)
+        assert merged.sed_cache_misses == sum(
+            r.stats.sed_cache_misses for r in results
+        )
+
+    def test_elapsed_reported_everywhere(self, corpus):
+        _, engine, queries = corpus
+        for result in engine.batch_range_query(queries[:3], 1, workers=2):
+            assert result.elapsed >= 0.0
+
+    def test_query_stats_expose_cache_hit_rate(self, corpus):
+        _, engine, queries = corpus
+        engine.sed_cache_clear()
+        first = engine.range_query(queries[0], 1)
+        again = engine.range_query(queries[0], 1)
+        assert first.stats.sed_cache_misses > 0
+        assert again.stats.sed_cache_hit_rate == 1.0
+        info = engine.sed_cache_info()
+        assert info.hits >= again.stats.sed_cache_hits
