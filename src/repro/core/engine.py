@@ -22,7 +22,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 from ..errors import GraphAlreadyIndexed, GraphNotIndexed
-from ..graphs.edit_distance import ged_within
+from ..graphs.edit_distance import DEFAULT_BUDGET
 from ..graphs.model import Graph
 from ..graphs.star import Star, decompose, star_at
 from ..perf.assignment import resolve_backend
@@ -37,7 +37,8 @@ from .ca_search import (
 from .graph_lists import build_all_lists
 from .index import GraphMeta, TwoLevelIndex
 from .stats import QueryStats, WallClock
-from .ta_search import TopKResult, top_k_stars
+from .ta_search import TopKResult, resolve_topk_backend, top_k_stars
+from .verify import verify_candidates
 
 #: Default k for the TA stage (Table II's default).
 DEFAULT_K = 100
@@ -93,6 +94,7 @@ class SegosIndex:
         backend: str = "memory",
         sqlite_path: str = ":memory:",
         assignment_backend: Optional[str] = None,
+        topk_backend: Optional[str] = None,
     ) -> None:
         if k < 1:
             raise ValueError("k must be >= 1")
@@ -106,6 +108,11 @@ class SegosIndex:
         # when no explicit name was given.
         resolve_backend(assignment_backend)
         self.assignment_backend = assignment_backend
+        # Same discipline for the top-k backend: validate now, resolve per
+        # search so REPRO_TOPK_BACKEND stays live when no name was given.
+        if topk_backend is not None:
+            resolve_topk_backend(topk_backend)
+        self.topk_backend = topk_backend
         if backend == "memory":
             self.index = TwoLevelIndex()
         elif backend == "sqlite":
@@ -210,7 +217,7 @@ class SegosIndex:
     # ------------------------------------------------------------------
     def top_k_sub_units(self, star: Star, k: Optional[int] = None) -> TopKResult:
         """TA stage on its own: the k most SED-similar database stars."""
-        return top_k_stars(self.index, star, k or self.k)
+        return top_k_stars(self.index, star, k or self.k, backend=self.topk_backend)
 
     def range_query(
         self,
@@ -221,6 +228,9 @@ class SegosIndex:
         h: Optional[int] = None,
         verify: str = "none",
         partial_fraction: Optional[float] = None,
+        verify_workers: Optional[int] = None,
+        verify_budget: Optional[int] = None,
+        verify_deadline: Optional[float] = None,
     ) -> QueryResult:
         """Answer ``{g : λ(query, g) ≤ tau}`` with filter(-and-verify).
 
@@ -229,6 +239,15 @@ class SegosIndex:
         * ``"none"`` — return candidates + upper-bound-confirmed matches;
         * ``"exact"`` — additionally run A* GED on unconfirmed candidates so
           ``matches`` is the exact answer set.
+
+        Exact verification is scheduled through
+        :func:`repro.core.verify.verify_candidates`: most-promising
+        candidates first, optionally fanned out over ``verify_workers``
+        processes (default: ``REPRO_VERIFY_WORKERS``).  ``verify_budget``
+        caps each A* run's expanded states (default: the unbounded-in-
+        practice A* default) and ``verify_deadline`` (seconds) stops
+        scheduling new runs; candidates left undecided by either stay in
+        ``candidates`` but not ``matches``, and ``verified`` turns False.
         """
         if verify not in ("none", "exact"):
             raise ValueError(f"unknown verify mode {verify!r}")
@@ -240,6 +259,9 @@ class SegosIndex:
             verify=verify,
             topk_cache={},
             partial_fraction=partial_fraction,
+            verify_workers=verify_workers,
+            verify_budget=verify_budget,
+            verify_deadline=verify_deadline,
         )
 
     def batch_range_query(
@@ -251,6 +273,7 @@ class SegosIndex:
         h: Optional[int] = None,
         verify: str = "none",
         workers: Optional[int] = None,
+        verify_workers: Optional[int] = None,
     ) -> List[QueryResult]:
         """Answer a batch of range queries with a shared TA cache.
 
@@ -263,7 +286,10 @@ class SegosIndex:
         ``workers`` (or the ``REPRO_BATCH_WORKERS`` environment variable)
         above 1 fans query chunks out over worker processes; engines that
         cannot travel to a subprocess (the sqlite backend) silently fall
-        back to the serial path with identical answers.
+        back to the serial path with identical answers.  ``verify_workers``
+        parallelises exact verification *within* each query; when the batch
+        itself runs in worker processes the per-query verification stays
+        serial (one pool, not pools of pools).
         """
         if verify not in ("none", "exact"):
             raise ValueError(f"unknown verify mode {verify!r}")
@@ -274,7 +300,9 @@ class SegosIndex:
             )
             if results is not None:
                 return results
-        return self._serial_batch_range_query(queries, tau, k=k, h=h, verify=verify)
+        return self._serial_batch_range_query(
+            queries, tau, k=k, h=h, verify=verify, verify_workers=verify_workers
+        )
 
     def _serial_batch_range_query(
         self,
@@ -284,8 +312,15 @@ class SegosIndex:
         k: Optional[int] = None,
         h: Optional[int] = None,
         verify: str = "none",
+        verify_workers: Optional[int] = None,
     ) -> List[QueryResult]:
-        """In-process batch execution (also the per-chunk parallel worker)."""
+        """In-process batch execution (also the per-chunk parallel worker).
+
+        Parallel-batch chunks call this with ``verify_workers=1`` pinned
+        (see :func:`repro.perf.parallel.parallel_batch_range_query`), so a
+        process-parallel batch never nests a verification pool inside its
+        worker processes.
+        """
         if verify not in ("none", "exact"):
             raise ValueError(f"unknown verify mode {verify!r}")
         shared_cache: Dict[str, TopKResult] = {}
@@ -293,7 +328,13 @@ class SegosIndex:
         for query in queries:
             results.append(
                 self._range_query_with_cache(
-                    query, tau, k=k, h=h, verify=verify, topk_cache=shared_cache
+                    query,
+                    tau,
+                    k=k,
+                    h=h,
+                    verify=verify,
+                    topk_cache=shared_cache,
+                    verify_workers=verify_workers,
                 )
             )
         return results
@@ -308,6 +349,9 @@ class SegosIndex:
         verify: str,
         topk_cache: Dict[str, TopKResult],
         partial_fraction: Optional[float] = None,
+        verify_workers: Optional[int] = None,
+        verify_budget: Optional[int] = None,
+        verify_deadline: Optional[float] = None,
     ) -> QueryResult:
         if query.order == 0:
             raise ValueError("query graph must not be empty")
@@ -317,17 +361,20 @@ class SegosIndex:
         cache_before = GLOBAL_SED_CACHE.info()
         stats = QueryStats()
         query_stars = decompose(query)
-        ta_counts: List[int] = []
+        ta_results: List[TopKResult] = []
         lists = build_all_lists(
             self.index,
             query_stars,
             query.order,
             k or self.k,
             topk_cache=topk_cache,
-            ta_accesses=ta_counts,
+            ta_results=ta_results,
+            backend=self.topk_backend,
         )
-        stats.ta_searches = len(ta_counts)
-        stats.ta_accesses = sum(ta_counts)
+        stats.ta_searches = len(ta_results)
+        stats.ta_accesses = sum(r.accesses for r in ta_results)
+        for r in ta_results:
+            stats.count_topk_backend(r.backend, r.scan_width)
         result = ca_range_query(
             self.index,
             self._graphs,
@@ -346,11 +393,23 @@ class SegosIndex:
         matches = set(result.confirmed)
         verified = verify == "exact"
         if verified:
-            for gid in result.candidates:
-                if gid not in matches and ged_within(
-                    query, self._graphs[gid], int(tau)
-                ):
-                    matches.add(gid)
+            report = verify_candidates(
+                self._graphs,
+                query,
+                result.candidates,
+                int(tau),
+                already_confirmed=matches,
+                budget_per_candidate=(
+                    verify_budget if verify_budget is not None else DEFAULT_BUDGET
+                ),
+                deadline=verify_deadline,
+                workers=verify_workers,
+                assignment_backend=self.assignment_backend,
+            )
+            matches = set(report.matches)
+            stats.settled_by_bounds = report.settled_by_bounds
+            stats.astar_runs = report.astar_runs
+            verified = report.decided()
         cache_after = GLOBAL_SED_CACHE.info()
         stats.sed_cache_hits = cache_after.hits - cache_before.hits
         stats.sed_cache_misses = cache_after.misses - cache_before.misses

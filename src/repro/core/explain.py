@@ -25,7 +25,7 @@ from .ta_search import TopKResult, top_k_stars
 
 @dataclass(frozen=True)
 class StarTrace:
-    """TA-stage account for one distinct query star."""
+    """Top-k-stage account for one distinct query star."""
 
     signature: str
     occurrences: int
@@ -34,6 +34,10 @@ class StarTrace:
     best_sed: Optional[int]
     kth_sed: float
     exhaustive: bool
+    #: backend that answered this search (``ta`` or ``scan``)
+    backend: str = "ta"
+    #: rows scored when the vectorized scan answered (0 under TA)
+    scan_width: int = 0
 
 
 @dataclass
@@ -59,7 +63,12 @@ class QueryExplanation:
             f"k={self.k}, h={self.h}",
             f"TA stage: {self.distinct_stars} distinct stars "
             f"({self.query_stars} occurrences), "
-            f"{self.stats.ta_accesses} sorted accesses",
+            f"{self.stats.ta_accesses} sorted accesses"
+            + (
+                f", {self.stats.topk_scan_width} rows vector-scanned"
+                if self.stats.topk_scan_width
+                else ""
+            ),
         ]
         for trace in self.star_traces:
             spread = (
@@ -68,10 +77,15 @@ class QueryExplanation:
                 else "no results"
             )
             mode = "exhaustive" if trace.exhaustive else "halted"
+            effort = (
+                f"{trace.accesses} accesses"
+                if trace.backend == "ta"
+                else f"scanned {trace.scan_width} rows"
+            )
             lines.append(
                 f"  {trace.signature}  ×{trace.occurrences}: "
                 f"{trace.returned} stars ({spread}), "
-                f"{trace.accesses} accesses, {mode}"
+                f"{effort}, {mode} [{trace.backend}]"
             )
         lines.append(
             f"CA stage: {self.stats.list_entries_scanned} list entries scanned, "
@@ -122,7 +136,9 @@ def explain_range_query(
     for star in query_stars:
         occurrences[star.signature] = occurrences.get(star.signature, 0) + 1
         if star.signature not in cache:
-            cache[star.signature] = top_k_stars(engine.index, star, k)
+            cache[star.signature] = top_k_stars(
+                engine.index, star, k, backend=engine.topk_backend
+            )
     traces = [
         StarTrace(
             signature=signature,
@@ -134,6 +150,8 @@ def explain_range_query(
             ),
             kth_sed=cache[signature].kth_sed,
             exhaustive=cache[signature].exhaustive,
+            backend=cache[signature].backend,
+            scan_width=cache[signature].scan_width,
         )
         for signature, count in occurrences.items()
     ]
@@ -141,6 +159,8 @@ def explain_range_query(
     stats = QueryStats()
     stats.ta_searches = len(cache)
     stats.ta_accesses = sum(result.accesses for result in cache.values())
+    for result in cache.values():
+        stats.count_topk_backend(result.backend, result.scan_width)
     lists = build_all_lists(
         engine.index, query_stars, query.order, k, topk_cache=cache
     )

@@ -92,21 +92,31 @@ def build_all_lists(
     *,
     topk_cache: Optional[Dict[str, TopKResult]] = None,
     ta_accesses: Optional[List[int]] = None,
+    ta_results: Optional[List[TopKResult]] = None,
+    backend: Optional[str] = None,
 ) -> List[QueryStarLists]:
-    """Run TA for every query star (memoised by signature) and build lists.
+    """Run top-k for every query star (memoised by signature), build lists.
 
-    Duplicate query stars (Figure 9 runs ``q: s5`` twice) share one TA
+    Duplicate query stars (Figure 9 runs ``q: s5`` twice) share one top-k
     search but still get their own graph list, because the CA aggregation
     sums one term per query star *occurrence*.
+
+    ``backend`` selects the top-k backend (see
+    :func:`repro.core.ta_search.top_k_stars`); ``ta_results`` collects the
+    per-search :class:`TopKResult` (one per *distinct* star actually
+    searched here, cache hits excluded) so callers can report backend
+    choices and access/scan-width counters.
     """
     cache: Dict[str, TopKResult] = topk_cache if topk_cache is not None else {}
     lists: List[QueryStarLists] = []
     for star in query_stars:
         result = cache.get(star.signature)
         if result is None:
-            result = top_k_stars(index, star, k)
+            result = top_k_stars(index, star, k, backend=backend)
             cache[star.signature] = result
             if ta_accesses is not None:
                 ta_accesses.append(result.accesses)
+            if ta_results is not None:
+                ta_results.append(result)
         lists.append(build_query_star_lists(index, star, query_order, result))
     return lists

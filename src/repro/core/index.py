@@ -253,6 +253,15 @@ class LowerLevelIndex:
         postings = self._lists.get(label)
         return list(postings.view()) if postings is not None else []
 
+    def label_postings_count(self, label: str) -> int:
+        """Number of postings under *label* without materialising the view.
+
+        The adaptive top-k planner's selectivity estimate reads this on
+        every search, so it must stay O(1).
+        """
+        postings = self._lists.get(label)
+        return len(postings.data) if postings is not None else 0
+
     def split_label_list(
         self, label: str, leaf_size: int
     ) -> Tuple[List[List[LowerEntry]], List[List[LowerEntry]]]:
@@ -310,6 +319,11 @@ class TwoLevelIndex:
         self._graph_stars: Dict[object, Counter] = {}  # gid -> Counter[sid]
         self._meta: Dict[object, GraphMeta] = {}
         self._max_degree_hist: Counter = Counter()
+        #: Monotone mutation counter.  All seven §IV-C update kinds funnel
+        #: through the three mutators below, each of which bumps this; the
+        #: columnar snapshot (:mod:`repro.perf.columnar`) keys its cache on
+        #: it so catalog mirrors are rebuilt lazily, only after a change.
+        self.generation = 0
 
     # ------------------------------------------------------------------
     # Introspection
@@ -357,6 +371,7 @@ class TwoLevelIndex:
         """Index a decomposed graph (update kind 1 of Section IV-C)."""
         if gid in self._graph_stars:
             raise GraphAlreadyIndexed(gid)
+        self.generation += 1
         self._graph_stars[gid] = Counter()
         self._meta[gid] = GraphMeta(graph.order, graph.max_degree())
         self._max_degree_hist[graph.max_degree()] += 1
@@ -367,6 +382,7 @@ class TwoLevelIndex:
         counts = self._graph_stars.get(gid)
         if counts is None:
             raise GraphNotIndexed(gid)
+        self.generation += 1
         for sid in list(counts):
             self.upper.remove(sid, gid)
             star = self.catalog.star(sid)
@@ -394,6 +410,7 @@ class TwoLevelIndex:
         counts = self._graph_stars.get(gid)
         if counts is None:
             raise GraphNotIndexed(gid)
+        self.generation += 1
         old_meta = self._meta[gid]
 
         for star in removed:

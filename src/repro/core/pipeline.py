@@ -44,6 +44,7 @@ from .engine import QueryResult, SegosIndex
 from .graph_lists import QueryStarLists, build_query_star_lists
 from .stats import QueryStats, WallClock
 from .ta_search import TopKResult, top_k_stars
+from .verify import DEFAULT_VERIFY_BUDGET, verify_candidates
 
 #: The pipeline fixes the TA k to a small constant (Section V-E).
 PIPELINE_K = 20
@@ -79,9 +80,24 @@ class PipelinedSegos:
 
     # ------------------------------------------------------------------
     def range_query(
-        self, query: Graph, tau: float, *, verify: str = "none"
+        self,
+        query: Graph,
+        tau: float,
+        *,
+        verify: str = "none",
+        verify_workers: Optional[int] = None,
+        verify_budget: int = DEFAULT_VERIFY_BUDGET,
+        verify_deadline: Optional[float] = None,
     ) -> QueryResult:
-        """Pipelined equivalent of :meth:`SegosIndex.range_query`."""
+        """Pipelined equivalent of :meth:`SegosIndex.range_query`.
+
+        Exact verification runs through the scheduler of
+        :mod:`repro.core.verify` — bounds-first, most-promising candidates
+        first, each A* capped by ``verify_budget`` so one pathological pair
+        cannot hang a pipelined query, and optionally fanned out over
+        ``verify_workers`` processes.  A candidate left undecided stays in
+        ``candidates`` but not ``matches``, and ``verified`` turns False.
+        """
         if query.order == 0:
             raise ValueError("query graph must not be empty")
         if tau < 0:
@@ -95,13 +111,21 @@ class PipelinedSegos:
         matches = set(confirmed)
         verified = verify == "exact"
         if verified:
-            from ..graphs.edit_distance import ged_within
-
-            for gid in candidates:
-                if gid not in matches and ged_within(
-                    query, self.engine.graph(gid), int(tau)
-                ):
-                    matches.add(gid)
+            report = verify_candidates(
+                {gid: self.engine.graph(gid) for gid in candidates},
+                query,
+                candidates,
+                int(tau),
+                already_confirmed=matches,
+                budget_per_candidate=verify_budget,
+                deadline=verify_deadline,
+                workers=verify_workers,
+                assignment_backend=self.engine.assignment_backend,
+            )
+            matches = set(report.matches)
+            stats.settled_by_bounds = report.settled_by_bounds
+            stats.astar_runs = report.astar_runs
+            verified = report.decided()
         cache_after = GLOBAL_SED_CACHE.info()
         stats.sed_cache_hits = cache_after.hits - cache_before.hits
         stats.sed_cache_misses = cache_after.misses - cache_before.misses
@@ -120,13 +144,16 @@ class PipelinedSegos:
         *,
         verify: str = "none",
         workers: Optional[int] = None,
+        verify_workers: Optional[int] = None,
     ) -> List[QueryResult]:
         """Pipelined equivalent of :meth:`SegosIndex.batch_range_query`.
 
         With ``workers > 1`` (or ``REPRO_BATCH_WORKERS``) query chunks run
         in worker processes, each executing the full three-stage pipeline
         per query; otherwise the batch runs serially in-process.  Answers
-        are identical either way.
+        are identical either way.  ``verify_workers`` parallelises exact
+        verification per query on the serial path only (parallel chunks pin
+        it to 1 — one pool, not pools of pools).
         """
         if verify not in ("none", "exact"):
             raise ValueError(f"unknown verify mode {verify!r}")
@@ -137,7 +164,9 @@ class PipelinedSegos:
             )
             if results is not None:
                 return results
-        return self._serial_batch_range_query(queries, tau, verify=verify)
+        return self._serial_batch_range_query(
+            queries, tau, verify=verify, verify_workers=verify_workers
+        )
 
     def _serial_batch_range_query(
         self,
@@ -147,6 +176,7 @@ class PipelinedSegos:
         k: Optional[int] = None,
         h: Optional[int] = None,
         verify: str = "none",
+        verify_workers: Optional[int] = None,
     ) -> List[QueryResult]:
         """In-process batch execution (also the per-chunk parallel worker).
 
@@ -154,7 +184,10 @@ class PipelinedSegos:
         engine's serial batch (the parallel chunk runner passes them); the
         pipeline fixes its own k and has no checkpoint period.
         """
-        return [self.range_query(query, tau, verify=verify) for query in queries]
+        return [
+            self.range_query(query, tau, verify=verify, verify_workers=verify_workers)
+            for query in queries
+        ]
 
 
 class _PipelineRun:
@@ -190,10 +223,13 @@ class _PipelineRun:
                     break
                 result = cache.get(star.signature)
                 if result is None:
-                    result = top_k_stars(self.index, star, self.k)
+                    result = top_k_stars(
+                        self.index, star, self.k, backend=self.engine.topk_backend
+                    )
                     cache[star.signature] = result
                     self.stats.ta_searches += 1
                     self.stats.ta_accesses += result.accesses
+                    self.stats.count_topk_backend(result.backend, result.scan_width)
                 lists = build_query_star_lists(
                     self.index, star, self.query.order, result
                 )

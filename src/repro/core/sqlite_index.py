@@ -249,6 +249,16 @@ class _SqliteLower:
         ]
         return low, high
 
+    def label_postings_count(self, label: str) -> int:
+        """Posting count under *label* (the planner's selectivity probe)."""
+        (count,) = self._conn.execute(
+            "SELECT COUNT(*) FROM star_leaves sl "
+            "JOIN stars s ON s.sid = sl.sid "
+            "WHERE sl.label = ? AND s.refcount > 0",
+            (label,),
+        ).fetchone()
+        return count
+
     def stats(self) -> Tuple[int, int]:
         (labels,) = self._conn.execute(
             "SELECT COUNT(DISTINCT sl.label) FROM star_leaves sl "
@@ -280,6 +290,9 @@ class SqliteTwoLevelIndex:
         self.catalog = _SqliteCatalog(self._conn)
         self.upper = _SqliteUpper(self._conn)
         self.lower = _SqliteLower(self._conn)
+        #: Mutation counter mirroring :attr:`TwoLevelIndex.generation`; the
+        #: columnar snapshot cache keys on it (see repro.perf.columnar).
+        self.generation = 0
 
     def close(self) -> None:
         self._conn.close()
@@ -387,6 +400,7 @@ class SqliteTwoLevelIndex:
         gid = str(gid)
         if gid in self:
             raise GraphAlreadyIndexed(gid)
+        self.generation += 1
         with self._conn:
             self._conn.execute(
                 "INSERT INTO graphs (gid, ord, max_degree) VALUES (?, ?, ?)",
@@ -408,6 +422,7 @@ class SqliteTwoLevelIndex:
         gid = str(gid)
         if gid not in self:
             raise GraphNotIndexed(gid)
+        self.generation += 1
         with self._conn:
             for sid, cnt in self._conn.execute(
                 "SELECT sid, cnt FROM graph_stars WHERE gid = ?", (gid,)
@@ -427,6 +442,7 @@ class SqliteTwoLevelIndex:
         gid = str(gid)
         if gid not in self:
             raise GraphNotIndexed(gid)
+        self.generation += 1
         with self._conn:
             for star in removed:
                 sid = self.catalog.sid(star)

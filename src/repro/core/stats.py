@@ -68,6 +68,15 @@ class QueryStats:
     sed_cache_hits: int = 0
     #: SED memo-cache misses attributable to this query (actual Lemma 1 runs)
     sed_cache_misses: int = 0
+    #: top-k backend → number of searches it answered (``ta`` / ``scan``)
+    topk_backends: Dict[str, int] = field(default_factory=dict)
+    #: rows scored by vectorized full scans (the scan-side twin of
+    #: ``ta_accesses``; zero when every search ran on the TA backend)
+    topk_scan_width: int = 0
+    #: verification-stage candidates settled by L_m/U_m bounds alone
+    settled_by_bounds: int = 0
+    #: verification-stage A* GED runs actually dispatched
+    astar_runs: int = 0
 
     @property
     def sed_cache_hit_rate(self) -> float:
@@ -77,6 +86,11 @@ class QueryStats:
 
     def count_prune(self, bound: str) -> None:
         self.pruned_by[bound] = self.pruned_by.get(bound, 0) + 1
+
+    def count_topk_backend(self, backend: str, scan_width: int = 0) -> None:
+        """Record one top-k search answered by *backend*."""
+        self.topk_backends[backend] = self.topk_backends.get(backend, 0) + 1
+        self.topk_scan_width += scan_width
 
     def summary(self) -> str:
         """One-line human-readable account of where the filtering work went.
@@ -101,6 +115,16 @@ class QueryStats:
                 f"{self.sed_cache_hits + self.sed_cache_misses} hits "
                 f"({self.sed_cache_hit_rate:.0%})"
             )
+        if self.topk_backends:
+            chosen = " ".join(
+                f"{name}={count}" for name, count in sorted(self.topk_backends.items())
+            )
+            parts.append(f"top-k backends: {chosen}")
+        if self.astar_runs or self.settled_by_bounds:
+            parts.append(
+                f"verify: {self.astar_runs} A* runs, "
+                f"{self.settled_by_bounds} settled by bounds"
+            )
         return " | ".join(parts)
 
     def merge(self, other: "QueryStats") -> None:
@@ -117,8 +141,13 @@ class QueryStats:
         self.linear_fallback += other.linear_fallback
         self.sed_cache_hits += other.sed_cache_hits
         self.sed_cache_misses += other.sed_cache_misses
+        self.topk_scan_width += other.topk_scan_width
+        self.settled_by_bounds += other.settled_by_bounds
+        self.astar_runs += other.astar_runs
         for key, value in other.pruned_by.items():
             self.pruned_by[key] = self.pruned_by.get(key, 0) + value
+        for key, value in other.topk_backends.items():
+            self.topk_backends[key] = self.topk_backends.get(key, 0) + value
 
     @classmethod
     def merged(cls, runs: Iterable["QueryStats"]) -> "QueryStats":

@@ -16,18 +16,54 @@ halt once the threshold ``ω`` built from the *last seen* frequencies/sizes
 can no longer beat the current k-th best.
 
 The two sides run as two independent TA passes that share one top-k heap.
+
+Since the columnar mirror (:mod:`repro.perf.columnar`) landed, TA is one of
+*two* interchangeable top-k backends:
+
+* ``ta`` — the round-robin threshold algorithm above: few accesses when k
+  is small relative to the catalog and the query's labels are selective;
+* ``scan`` — one vectorized SED sweep over the whole columnar catalog
+  followed by an ``argpartition``: a constant, tiny per-row cost that wins
+  whenever TA would have to touch a sizeable catalog fraction anyway.
+
+Both return the *k lexicographically smallest* ``(sed, sid)`` pairs — the
+TA pass halts only when the threshold strictly exceeds the k-th best SED,
+so even tie sids are deterministic and the two backends are result-identical.
+:func:`top_k_stars` picks a backend per search: an explicit argument, then
+the ``REPRO_TOPK_BACKEND`` environment variable (``ta`` / ``scan`` /
+``auto``), then the adaptive planner (:func:`plan_topk_backend`), whose
+cost model weighs live-star count, k and label selectivity.
 """
 
 from __future__ import annotations
 
 import heapq
+import os
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..graphs.star import Star, star_edit_distance
+from ..perf.columnar import columnar_snapshot, numpy_available
 from ..perf.sed_cache import cached_star_edit_distance
 from .index import LowerEntry, TwoLevelIndex
 from .merge import merge_groups
+
+#: Environment variable selecting the top-k backend (``ta``/``scan``/``auto``).
+ENV_TOPK_BACKEND = "REPRO_TOPK_BACKEND"
+
+#: Recognised backend names.
+TOPK_BACKENDS = ("ta", "scan", "auto")
+
+# Planner cost-model constants, in units of "one TA sorted access" (a
+# Python-level heap push + scalar Lemma 1, ~5 µs).  Calibrated against the
+# crossover curve of benchmarks/bench_columnar_scan.py: a vectorized row
+# costs ~3 orders of magnitude less than a sorted access, a scan pays about
+# one access-equivalent of numpy dispatch per distinct query label, and TA
+# observably needs ~10 accesses per requested entry per stream before the
+# threshold can halt (its Figure 20 curves flatten near there too).
+SCAN_ROW_COST = 0.002
+SCAN_SETUP_COST = 1.0
+TA_ACCESS_ESTIMATE_PER_K = 10.0
 
 
 @dataclass
@@ -48,12 +84,20 @@ class TopKResult:
         True when the search saw every live star (no threshold halt).
     accesses:
         Number of sorted accesses performed (Figure 20's overhead metric).
+        Zero for the scan backend, which performs none.
+    backend:
+        Which backend produced the result (``"ta"`` or ``"scan"``).
+    scan_width:
+        Rows scored by the vectorized scan (zero for the TA backend) — the
+        scan-side analogue of ``accesses``.
     """
 
     entries: List[Tuple[int, int]]
     kth_sed: float
     exhaustive: bool
     accesses: int = 0
+    backend: str = "ta"
+    scan_width: int = 0
 
 
 class _TopKHeap:
@@ -86,14 +130,110 @@ class _TopKHeap:
         return sorted(((-s, -d) for d, s in self._heap), key=lambda p: (p[1], p[0]))
 
 
-def top_k_stars(index: TwoLevelIndex, query: Star, k: int) -> TopKResult:
-    """Algorithm 2: the k most similar database stars to *query*.
+def resolve_topk_backend(backend: Optional[str] = None) -> str:
+    """Resolve the backend name from argument / environment / ``auto``.
+
+    An unknown *explicit* name raises (fail fast, mirroring the assignment
+    backend registry); an unknown environment value degrades to ``auto``
+    so one bad shell export cannot take queries down.
+    """
+    if backend is not None:
+        if backend not in TOPK_BACKENDS:
+            raise ValueError(
+                f"unknown top-k backend {backend!r} (expected one of {TOPK_BACKENDS})"
+            )
+        return backend
+    env = os.environ.get(ENV_TOPK_BACKEND, "").strip().lower()
+    return env if env in TOPK_BACKENDS else "auto"
+
+
+def plan_topk_backend(index: TwoLevelIndex, query: Star, k: int) -> str:
+    """The adaptive planner: pick ``ta`` or ``scan`` for this search.
+
+    Cost model, in units of one TA sorted access:
+
+    * ``scan`` costs a fixed numpy dispatch overhead per distinct query
+      label plus :data:`SCAN_ROW_COST` per live star (every row is scored);
+    * ``ta`` costs at most every posting under the query's labels plus the
+      full size list (it cannot access more), and when k is small it
+      typically halts after roughly :data:`TA_ACCESS_ESTIMATE_PER_K`
+      accesses per requested entry per stream.
+
+    Degenerate cases short-circuit: no numpy or no generation counter means
+    no columnar mirror (``ta``); ``k`` at or beyond the catalog size means
+    TA degenerates to an exhaustive scan with Python-level constants
+    (``scan``).
+    """
+    if not numpy_available():
+        return "ta"
+    if getattr(index, "generation", None) is None:
+        return "ta"
+    n = len(index.catalog)
+    if n == 0:
+        return "ta"
+    if k >= n:
+        return "scan"
+    labels = set(query.leaves)
+    streams = len(labels) + 1  # one merged stream per label + the size list
+    counter = getattr(index.lower, "label_postings_count", None)
+    if counter is not None:
+        postings = sum(counter(label) for label in labels)
+    else:  # pragma: no cover - every in-tree backend exposes the counter
+        postings = sum(len(index.lower.label_list(label)) for label in labels)
+    ta_cap = postings + n  # TA can never perform more sorted accesses
+    ta_est = min(ta_cap, TA_ACCESS_ESTIMATE_PER_K * k * streams)
+    scan_est = SCAN_SETUP_COST * streams + SCAN_ROW_COST * n
+    return "scan" if scan_est <= ta_est else "ta"
+
+
+def top_k_stars(
+    index: TwoLevelIndex,
+    query: Star,
+    k: int,
+    *,
+    backend: Optional[str] = None,
+) -> TopKResult:
+    """Algorithm 2 (or its columnar full-scan equivalent): the k most
+    similar database stars to *query*.
+
+    ``backend`` overrides the ``REPRO_TOPK_BACKEND`` environment variable;
+    ``"auto"`` (the default) defers to :func:`plan_topk_backend`.  Both
+    backends return identical entries and ``kth_sed`` floors.
 
     Examples are in ``tests/test_ta_search.py`` (including Figure 8's
     worked run).
     """
     if k < 1:
         raise ValueError("k must be >= 1")
+    choice = resolve_topk_backend(backend)
+    if choice == "auto":
+        choice = plan_topk_backend(index, query, k)
+    if choice == "scan":
+        result = _top_k_scan(index, query, k)
+        if result is not None:
+            return result
+    return _top_k_ta(index, query, k)
+
+
+def _top_k_scan(index: TwoLevelIndex, query: Star, k: int) -> Optional[TopKResult]:
+    """One vectorized SED sweep over the columnar mirror + argpartition."""
+    snapshot = columnar_snapshot(index)
+    if snapshot is None:
+        return None
+    entries, width = snapshot.top_k(query, k)
+    kth: float = float(entries[-1][1]) if len(entries) == k else float("inf")
+    return TopKResult(
+        entries=entries,
+        kth_sed=kth,
+        exhaustive=True,
+        accesses=0,
+        backend="scan",
+        scan_width=width,
+    )
+
+
+def _top_k_ta(index: TwoLevelIndex, query: Star, k: int) -> TopKResult:
+    """The round-robin threshold-algorithm backend."""
     heap = _TopKHeap(k)
     seen: set = set()
     catalog = index.catalog
@@ -172,7 +312,12 @@ def top_k_stars(index: TwoLevelIndex, query: Star, k: int) -> TopKResult:
                 omega = 2 * lq - (t_chi + last_size)
             else:
                 omega = -lq - (t_chi - 2 * last_size)
-            if omega >= heap.bound():
+            # Strict comparison: ω == k-th SED may hide unseen ties with
+            # smaller sids, and backend-identical results (scan vs TA)
+            # require even the tie sids to be deterministic.  Unseen stars
+            # have SED ≥ ω, so halting at ω > k-th keeps every (sed, sid)
+            # that could enter the final answer.
+            if omega > heap.bound():
                 return True
 
     halted_low = run_side(True, low_size)

@@ -12,12 +12,23 @@ schedulable step:
 * candidates whose ``L_m > τ`` (possible when the filter admitted them via
   an aggregation shortcut) are rejected without A*;
 * each A* run gets a state budget; blown budgets are reported as
-  ``undecided`` rather than crashing the batch.
+  ``undecided`` rather than crashing the batch;
+* with ``workers > 1`` (or ``REPRO_VERIFY_WORKERS``) the A* runs fan out
+  over a process pool.  The bounds stage stays in-process (it is cheap and
+  prunes most of the batch); the surviving runs are dispatched in the same
+  ``L_m``-ascending priority order, each with its budget intact, and the
+  deadline bounds how long results are awaited.  Engines or graphs that
+  cannot be pickled degrade to the serial path with identical answers.
 """
 
 from __future__ import annotations
 
+import os
+import pickle
 import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
@@ -25,6 +36,28 @@ from ..errors import SearchBudgetExceeded
 from ..graphs.edit_distance import graph_edit_distance
 from ..graphs.model import Graph
 from ..matching.mapping import bounds as mapping_bounds
+
+#: Environment variable supplying the default A* worker count (1 = serial).
+ENV_VERIFY_WORKERS = "REPRO_VERIFY_WORKERS"
+
+#: Default per-candidate A* state budget.
+DEFAULT_VERIFY_BUDGET = 200_000
+
+
+def resolve_verify_workers(workers: Optional[int] = None) -> int:
+    """Resolve the verify worker count from argument / environment / serial."""
+    if workers is None:
+        raw = os.environ.get(ENV_VERIFY_WORKERS)
+        if raw is not None:
+            try:
+                workers = int(raw)
+            except ValueError:
+                workers = 1
+    if workers is None:
+        return 1
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    return workers
 
 
 @dataclass
@@ -38,10 +71,109 @@ class VerificationReport:
     settled_by_bounds: int = 0
     astar_runs: int = 0
     elapsed: float = 0.0
+    #: worker processes the A* stage actually ran on (1 = in-process)
+    workers_used: int = 1
 
     def decided(self) -> bool:
         """True when no candidate was left undecided."""
         return not self.undecided
+
+
+def _astar_outcome(query: Graph, graph: Graph, tau: int, budget: int) -> str:
+    """One A* run folded to its scheduling outcome."""
+    try:
+        distance = graph_edit_distance(query, graph, threshold=tau, budget=budget)
+    except SearchBudgetExceeded:
+        return "undecided"
+    return "match" if distance is not None else "rejected"
+
+
+# The query/τ/budget triple travels to each worker exactly once through the
+# executor initializer; tasks then carry only (gid, graph).
+_WORKER_CTX: Optional[Tuple[Graph, int, int]] = None
+
+
+def _init_verify_worker(blob: bytes) -> None:
+    global _WORKER_CTX
+    _WORKER_CTX = pickle.loads(blob)
+
+
+def _run_verify_task(gid: object, graph: Graph) -> Tuple[object, str]:
+    assert _WORKER_CTX is not None, "verify worker initializer did not run"
+    query, tau, budget = _WORKER_CTX
+    return gid, _astar_outcome(query, graph, tau, budget)
+
+
+def _parallel_astar(
+    graphs: Mapping[object, Graph],
+    query: Graph,
+    scheduled: Sequence[Tuple[float, object]],
+    tau: int,
+    budget: int,
+    deadline: Optional[float],
+    started: float,
+    workers: int,
+    report: VerificationReport,
+) -> bool:
+    """Fan the scheduled A* runs out over *workers* processes.
+
+    Returns False when parallel execution is impossible (unpicklable
+    payload, broken pool) so the caller falls back to the serial loop.
+    Priority is preserved by submitting in ``L_m`` order: the pool pops
+    tasks FIFO, so the most promising candidates still run first.
+    """
+    try:
+        ctx_blob = pickle.dumps(
+            (query, tau, budget), protocol=pickle.HIGHEST_PROTOCOL
+        )
+        task_args = [(gid, graphs[gid]) for _, gid in scheduled]
+        pickle.dumps(task_args[0], protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception:
+        return False
+    outcomes: Dict[object, str] = {}
+    try:
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(scheduled)),
+            initializer=_init_verify_worker,
+            initargs=(ctx_blob,),
+        ) as pool:
+            futures = [
+                pool.submit(_run_verify_task, gid, graph) for gid, graph in task_args
+            ]
+            for future in futures:
+                if deadline is not None:
+                    remaining = deadline - (time.perf_counter() - started)
+                    if remaining <= 0:
+                        # Past the deadline: whatever has not produced a
+                        # result yet is undecided, exactly as the serial
+                        # path stops scheduling new runs.
+                        if not future.done():
+                            future.cancel()
+                            continue
+                    try:
+                        gid, outcome = future.result(timeout=max(remaining, 0))
+                    except FutureTimeoutError:
+                        future.cancel()
+                        continue
+                else:
+                    gid, outcome = future.result()
+                outcomes[gid] = outcome
+    except (BrokenProcessPool, OSError, pickle.PicklingError):
+        return False
+    for _, gid in scheduled:
+        outcome = outcomes.get(gid)
+        if outcome is None:
+            report.undecided.add(gid)
+            continue
+        report.astar_runs += 1
+        if outcome == "match":
+            report.matches.add(gid)
+        elif outcome == "rejected":
+            report.rejected.add(gid)
+        else:
+            report.undecided.add(gid)
+    report.workers_used = min(workers, len(scheduled))
+    return True
 
 
 def verify_candidates(
@@ -51,14 +183,18 @@ def verify_candidates(
     tau: int,
     *,
     already_confirmed: Sequence[object] = (),
-    budget_per_candidate: int = 200_000,
+    budget_per_candidate: int = DEFAULT_VERIFY_BUDGET,
     deadline: Optional[float] = None,
+    workers: Optional[int] = None,
+    assignment_backend: Optional[str] = None,
 ) -> VerificationReport:
     """Verify *candidates* against ``λ(query, ·) ≤ tau``.
 
     ``already_confirmed`` entries (e.g. upper-bound hits from the filter)
     are admitted directly.  ``deadline`` (seconds) stops scheduling new A*
     runs once exceeded; unprocessed candidates end up ``undecided``.
+    ``workers`` (default: the ``REPRO_VERIFY_WORKERS`` environment
+    variable) above 1 dispatches the A* runs to a process pool.
 
     Examples
     --------
@@ -79,7 +215,9 @@ def verify_candidates(
     for gid in candidates:
         if gid in report.matches:
             continue
-        l_m, u_m, _ = mapping_bounds(query, graphs[gid])
+        l_m, u_m, _ = mapping_bounds(
+            query, graphs[gid], backend=assignment_backend
+        )
         if u_m <= tau:
             report.matches.add(gid)
             report.settled_by_bounds += 1
@@ -90,21 +228,33 @@ def verify_candidates(
             scheduled.append((l_m, gid))
     scheduled.sort(key=lambda item: (item[0], str(item[1])))
 
+    workers = resolve_verify_workers(workers)
+    if workers > 1 and len(scheduled) > 1:
+        if _parallel_astar(
+            graphs,
+            query,
+            scheduled,
+            tau,
+            budget_per_candidate,
+            deadline,
+            started,
+            workers,
+            report,
+        ):
+            report.elapsed = time.perf_counter() - started
+            return report
+
     for l_m, gid in scheduled:
         if deadline is not None and time.perf_counter() - started > deadline:
             report.undecided.add(gid)
             continue
         report.astar_runs += 1
-        try:
-            distance = graph_edit_distance(
-                query, graphs[gid], threshold=tau, budget=budget_per_candidate
-            )
-        except SearchBudgetExceeded:
-            report.undecided.add(gid)
-            continue
-        if distance is not None:
+        outcome = _astar_outcome(query, graphs[gid], tau, budget_per_candidate)
+        if outcome == "match":
             report.matches.add(gid)
-        else:
+        elif outcome == "rejected":
             report.rejected.add(gid)
+        else:
+            report.undecided.add(gid)
     report.elapsed = time.perf_counter() - started
     return report

@@ -130,6 +130,25 @@ def multiset_intersection_size(
     return common
 
 
+def sed_from_psi(root_equal: bool, n1: int, n2: int, psi: int) -> int:
+    """Lemma 1 in the ``2·max − min − ψ`` form shared by every SED kernel.
+
+    ``||L1| − |L2|| + max(|L1|, |L2|)`` equals ``2·max(|L1|, |L2|) −
+    min(|L1|, |L2|)``, so the whole distance is a function of the two leaf
+    sizes and the common-leaf count ``ψ`` alone.  The scalar
+    :func:`star_edit_distance`, the Equation (1) rewrite
+    :func:`sed_via_common_leaves` and the columnar batch kernel
+    (:mod:`repro.perf.columnar`) all reduce to this one expression, which is
+    what lets a property test pin them against each other.
+
+    Examples
+    --------
+    >>> sed_from_psi(True, 4, 5, 4)
+    2
+    """
+    return (0 if root_equal else 1) + 2 * max(n1, n2) - min(n1, n2) - psi
+
+
 def star_edit_distance(s1: Star, s2: Star) -> int:
     """Lemma 1: ``λ(s1, s2) = T(r1, r2) + d(L1, L2)``.
 
@@ -143,10 +162,8 @@ def star_edit_distance(s1: Star, s2: Star) -> int:
     >>> star_edit_distance(Star("a", "bbcc"), Star("a", "bbccd"))
     2
     """
-    t = 0 if s1.root == s2.root else 1
-    n1, n2 = s1.leaf_size, s2.leaf_size
     common = multiset_intersection_size(s1.leaves, s2.leaves)
-    return t + abs(n1 - n2) + max(n1, n2) - common
+    return sed_from_psi(s1.root == s2.root, s1.leaf_size, s2.leaf_size, common)
 
 
 def sed_via_common_leaves(
@@ -158,11 +175,9 @@ def sed_via_common_leaves(
     on.  It must equal :func:`star_edit_distance` for the true ``ψ``; a
     property test asserts that.
     """
-    t = 0 if query.root == other_root else 1
-    lq = query.leaf_size
-    if other_leaf_size <= lq:
-        return t + 2 * lq - (common + other_leaf_size)
-    return t - lq - (common - 2 * other_leaf_size)
+    return sed_from_psi(
+        query.root == other_root, query.leaf_size, other_leaf_size, common
+    )
 
 
 def epsilon_distance(star: Star) -> int:

@@ -1,6 +1,7 @@
-"""Performance subsystem: SED memoization, assignment backends, parallelism.
+"""Performance subsystem: SED memoization, assignment backends, parallelism,
+and the columnar star-catalog mirror.
 
-Three independent accelerators for the filtering hot path, each opt-out /
+Independent accelerators for the filtering hot path, each opt-out /
 configurable via environment variables (see the README's performance table):
 
 * :mod:`repro.perf.sed_cache` — process-global memo cache for the star edit
@@ -9,7 +10,12 @@ configurable via environment variables (see the README's performance table):
   (pure Hungarian vs SciPy) behind :func:`solve_assignment`
   (``REPRO_ASSIGNMENT_BACKEND``);
 * :mod:`repro.perf.parallel` — process-parallel batch range queries with a
-  serial fallback (``REPRO_BATCH_WORKERS``).
+  serial fallback (``REPRO_BATCH_WORKERS``);
+* :mod:`repro.perf.columnar` — a generation-coherent columnar snapshot of
+  the star catalog with vectorized batch-SED kernels, backing the ``scan``
+  top-k backend (``REPRO_TOPK_BACKEND``) with a pure-Python fallback when
+  numpy is absent.  Parallel verification lives in :mod:`repro.core.verify`
+  (``REPRO_VERIFY_WORKERS``).
 """
 
 from .assignment import (
@@ -19,6 +25,7 @@ from .assignment import (
     scipy_available,
     solve_assignment,
 )
+from .columnar import ColumnarCatalog, columnar_snapshot, numpy_available
 from .parallel import chunk_evenly, parallel_batch_range_query, resolve_workers
 from .sed_cache import (
     DEFAULT_CAPACITY,
@@ -32,12 +39,15 @@ from .sed_cache import (
 
 __all__ = [
     "CacheInfo",
+    "ColumnarCatalog",
     "DEFAULT_CAPACITY",
     "GLOBAL_SED_CACHE",
     "SEDCache",
     "available_backends",
     "cached_star_edit_distance",
     "chunk_evenly",
+    "columnar_snapshot",
+    "numpy_available",
     "parallel_batch_range_query",
     "register_backend",
     "resolve_backend",

@@ -111,7 +111,10 @@ def parallel_batch_range_query(
     except Exception:
         return None  # e.g. sqlite backend: connections don't pickle
     chunks = chunk_evenly(queries, workers)
-    kwargs = {"k": k, "h": h, "verify": verify}
+    # verify_workers pinned to 1: the batch already owns the process fan-out,
+    # and REPRO_VERIFY_WORKERS is inherited by workers — without the pin each
+    # chunk would nest a second pool per query.
+    kwargs = {"k": k, "h": h, "verify": verify, "verify_workers": 1}
     try:
         with ProcessPoolExecutor(
             max_workers=len(chunks), initializer=_init_worker, initargs=(engine_blob,)

@@ -1,0 +1,270 @@
+"""Tests for the columnar star-catalog mirror and the top-k backend planner."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.index import GraphMeta, TwoLevelIndex
+from repro.core.sqlite_index import SqliteTwoLevelIndex
+from repro.core import ta_search
+from repro.core.ta_search import (
+    ENV_TOPK_BACKEND,
+    brute_force_top_k,
+    plan_topk_backend,
+    resolve_topk_backend,
+    top_k_stars,
+)
+from repro.graphs.generators import corpus
+from repro.graphs.star import Star, decompose, star_edit_distance
+from repro.perf import columnar
+from repro.perf.columnar import ColumnarCatalog, columnar_snapshot, numpy_available
+
+LABELS = "abcd"
+
+labels_st = st.sampled_from(LABELS)
+star_st = st.builds(Star, labels_st, st.lists(labels_st, max_size=6))
+
+
+def build_index(n_graphs=12, seed=5, backend="memory"):
+    rng = random.Random(seed)
+    graphs = corpus(rng, n_graphs, kind="chemical", mean_order=8, stddev=2)
+    index = SqliteTwoLevelIndex() if backend == "sqlite" else TwoLevelIndex()
+    for i, graph in enumerate(graphs):
+        index.add_graph(f"g{i}", graph, decompose(graph))
+    return index, graphs
+
+
+@pytest.fixture(scope="module")
+def catalog_setup():
+    return build_index()
+
+
+class TestSnapshotBuild:
+    def test_rows_are_live_sids_sorted(self, catalog_setup):
+        index, _ = catalog_setup
+        snapshot = ColumnarCatalog.build(index)
+        assert list(snapshot.sids) == sorted(index.catalog.live_sids())
+        assert snapshot.n_rows == len(index.catalog)
+
+    def test_label_ids_follow_string_order(self, catalog_setup):
+        index, _ = catalog_setup
+        snapshot = ColumnarCatalog.build(index)
+        labels = sorted(snapshot.label_to_id)
+        assert [snapshot.label_to_id[label] for label in labels] == list(
+            range(len(labels))
+        )
+
+    def test_leaf_csr_mirrors_star_leaves(self, catalog_setup):
+        index, _ = catalog_setup
+        snapshot = ColumnarCatalog.build(index)
+        id_to_label = {i: label for label, i in snapshot.label_to_id.items()}
+        for row, sid in enumerate(snapshot.sids):
+            star = index.catalog.star(int(sid))
+            lo, hi = int(snapshot.leaf_offsets[row]), int(snapshot.leaf_offsets[row + 1])
+            assert [id_to_label[int(i)] for i in snapshot.leaf_ids[lo:hi]] == list(
+                star.leaves
+            )
+            assert int(snapshot.leaf_sizes[row]) == star.leaf_size
+            assert id_to_label[int(snapshot.root_ids[row])] == star.root
+
+    def test_sqlite_backend_columnarises_identically(self):
+        """Same corpus ⇒ same columnar content (sid numbering may differ)."""
+
+        def rows(snapshot):
+            out = []
+            for row in range(snapshot.n_rows):
+                lo = int(snapshot.leaf_offsets[row])
+                hi = int(snapshot.leaf_offsets[row + 1])
+                out.append(
+                    (
+                        int(snapshot.root_ids[row]),
+                        tuple(int(i) for i in snapshot.leaf_ids[lo:hi]),
+                    )
+                )
+            return sorted(out)
+
+        mem = ColumnarCatalog.build(build_index(backend="memory")[0])
+        sql = ColumnarCatalog.build(build_index(backend="sqlite")[0])
+        assert mem.label_to_id == sql.label_to_id
+        assert rows(mem) == rows(sql)
+
+
+class TestSedAgainstAll:
+    @settings(deadline=None, suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(star_st)
+    def test_matches_scalar_sed(self, catalog_setup, query):
+        """The vectorized kernel equals the scalar Lemma 1, row by row."""
+        index, _ = catalog_setup
+        snapshot = columnar_snapshot(index)
+        sed = snapshot.sed_against_all(query)
+        for row, sid in enumerate(snapshot.sids):
+            assert int(sed[row]) == star_edit_distance(
+                query, index.catalog.star(int(sid))
+            )
+
+    def test_pure_python_fallback_matches(self, catalog_setup, monkeypatch):
+        index, _ = catalog_setup
+        query = Star("a", "bbcc")
+        with_numpy = ColumnarCatalog.build(index)
+        vec = [int(x) for x in with_numpy.sed_against_all(query)]
+        entries, width = with_numpy.top_k(query, 5)
+        monkeypatch.setattr(columnar, "_np", None)
+        assert not numpy_available()
+        fallback = ColumnarCatalog.build(index)
+        assert fallback.sed_against_all(query) == vec
+        assert fallback.top_k(query, 5) == (entries, width)
+
+
+class TestGenerationCoherence:
+    def test_snapshot_cached_until_mutation(self):
+        index, graphs = build_index()
+        first = columnar_snapshot(index)
+        assert columnar_snapshot(index) is first
+        index.remove_graph("g0")
+        second = columnar_snapshot(index)
+        assert second is not first
+        assert second.generation == index.generation
+        assert list(second.sids) == sorted(index.catalog.live_sids())
+
+    def test_all_mutators_bump_generation(self):
+        index, graphs = build_index(n_graphs=3)
+        start = index.generation
+        extra = corpus(random.Random(99), 1, kind="chemical", mean_order=6)[0]
+        index.add_graph("extra", extra, decompose(extra))
+        assert index.generation == start + 1
+        stars = decompose(extra)
+        meta = GraphMeta(order=extra.order, max_degree=max(map(extra.degree, range(extra.order))))
+        index.apply_star_delta("extra", stars, stars, meta)
+        assert index.generation == start + 2
+        index.remove_graph("extra")
+        assert index.generation == start + 3
+
+    def test_scan_results_track_mutations(self):
+        index, graphs = build_index()
+        query = decompose(graphs[0])[0]
+        before = top_k_stars(index, query, 4, backend="scan")
+        index.remove_graph("g0")
+        after = top_k_stars(index, query, 4, backend="scan")
+        live = set(index.catalog.live_sids())
+        assert all(sid in live for sid, _ in after.entries)
+        assert [sed for _, sed in after.entries] == [
+            sed for _, sed in brute_force_top_k(index, query, 4)
+        ]
+        assert before.entries != after.entries or before.scan_width != after.scan_width
+
+
+class TestBackendAgreement:
+    @pytest.mark.parametrize("k", [1, 3, 10, 500])
+    @pytest.mark.parametrize("seed", range(3))
+    def test_identical_entries_and_floors(self, k, seed):
+        """Acceptance criterion: both backends are byte-identical."""
+        index, graphs = build_index(seed=seed)
+        query_graph = corpus(
+            random.Random(seed + 100), 1, kind="chemical", mean_order=8, stddev=2
+        )[0]
+        for query in decompose(query_graph):
+            ta = top_k_stars(index, query, k, backend="ta")
+            scan = top_k_stars(index, query, k, backend="scan")
+            assert ta.entries == scan.entries
+            assert ta.kth_sed == scan.kth_sed
+            assert ta.backend == "ta" and scan.backend == "scan"
+            assert scan.accesses == 0 and scan.scan_width == len(index.catalog)
+
+    def test_unknown_label_and_leafless_queries(self, catalog_setup):
+        index, _ = catalog_setup
+        for query in (Star("z", "yy"), Star("a")):
+            ta = top_k_stars(index, query, 3, backend="ta")
+            scan = top_k_stars(index, query, 3, backend="scan")
+            assert ta.entries == scan.entries
+            assert ta.kth_sed == scan.kth_sed
+
+
+class TestBackendResolution:
+    def test_explicit_unknown_raises(self, catalog_setup):
+        index, _ = catalog_setup
+        with pytest.raises(ValueError):
+            top_k_stars(index, Star("a"), 1, backend="simd")
+
+    def test_env_selects_backend(self, catalog_setup, monkeypatch):
+        index, _ = catalog_setup
+        query = Star("a", "bbcc")
+        monkeypatch.setenv(ENV_TOPK_BACKEND, "scan")
+        assert top_k_stars(index, query, 2).backend == "scan"
+        monkeypatch.setenv(ENV_TOPK_BACKEND, "ta")
+        assert top_k_stars(index, query, 2).backend == "ta"
+        monkeypatch.setenv(ENV_TOPK_BACKEND, "garbage")
+        assert resolve_topk_backend() == "auto"
+        monkeypatch.delenv(ENV_TOPK_BACKEND)
+        assert resolve_topk_backend() == "auto"
+
+    def test_explicit_argument_beats_env(self, catalog_setup, monkeypatch):
+        index, _ = catalog_setup
+        monkeypatch.setenv(ENV_TOPK_BACKEND, "scan")
+        assert top_k_stars(index, Star("a", "bbcc"), 2, backend="ta").backend == "ta"
+
+
+class TestPlanner:
+    def test_k_at_catalog_size_prefers_scan(self, catalog_setup):
+        index, _ = catalog_setup
+        n = len(index.catalog)
+        if numpy_available():
+            assert plan_topk_backend(index, Star("a", "bbcc"), n) == "scan"
+
+    def test_row_cost_drives_the_pick(self, catalog_setup, monkeypatch):
+        """The cost model reacts to its inputs: an (artificially) expensive
+        per-row scan pushes a small-k search back to TA, a free one pulls
+        it to scan.  The *constants themselves* are graded against wall
+        time by benchmarks/bench_columnar_scan.py, not here."""
+        index, _ = catalog_setup
+        if not numpy_available():
+            pytest.skip("planner always answers ta without numpy")
+        query = Star("a", "bbcc")
+        monkeypatch.setattr(ta_search, "SCAN_ROW_COST", 1e6)
+        assert plan_topk_backend(index, query, 1) == "ta"
+        monkeypatch.setattr(ta_search, "SCAN_ROW_COST", 0.0)
+        monkeypatch.setattr(ta_search, "SCAN_SETUP_COST", 0.0)
+        assert plan_topk_backend(index, query, 1) == "scan"
+
+    def test_ta_estimate_capped_by_postings(self, catalog_setup, monkeypatch):
+        """TA can never do more sorted accesses than postings + size list,
+        so inflating the per-k estimate must not push the pick past that
+        cap: with a sky-high per-row scan cost TA still wins."""
+        index, _ = catalog_setup
+        if not numpy_available():
+            pytest.skip("planner always answers ta without numpy")
+        monkeypatch.setattr(ta_search, "TA_ACCESS_ESTIMATE_PER_K", 1e9)
+        monkeypatch.setattr(ta_search, "SCAN_ROW_COST", 1e6)
+        assert plan_topk_backend(index, Star("a", "bbcc"), 1) == "ta"
+
+    def test_no_generation_counter_means_ta(self, catalog_setup):
+        index, _ = catalog_setup
+
+        class Shim:
+            catalog = index.catalog
+            lower = index.lower
+
+        assert plan_topk_backend(Shim(), Star("a", "bbcc"), 100) == "ta"
+
+    def test_no_numpy_means_ta(self, catalog_setup, monkeypatch):
+        index, _ = catalog_setup
+        monkeypatch.setattr(columnar, "_np", None)
+        assert plan_topk_backend(index, Star("a", "bbcc"), 10_000) == "ta"
+        # And top_k_stars under "auto" still answers correctly.
+        result = top_k_stars(index, Star("a", "bbcc"), 3, backend="auto")
+        assert result.backend == "ta"
+        assert [sed for _, sed in result.entries] == [
+            sed for _, sed in brute_force_top_k(index, Star("a", "bbcc"), 3)
+        ]
+
+    def test_auto_dispatch_follows_the_plan(self, catalog_setup):
+        index, _ = catalog_setup
+        if not numpy_available():
+            pytest.skip("planner always answers ta without numpy")
+        query = Star("a", "bbcc")
+        for k in (1, len(index.catalog)):
+            expected = plan_topk_backend(index, query, k)
+            assert top_k_stars(index, query, k, backend="auto").backend == expected

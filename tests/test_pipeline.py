@@ -69,6 +69,39 @@ class TestPipeline:
         piped = pipe.range_query(query, tau, verify="exact")
         assert piped.matches == plain.matches
 
+    def test_exact_verification_surfaces_scheduler_stats(self, pipeline_setup):
+        """The budgeted scheduler replaced the old bare `ged_within` loop;
+        its bookkeeping must reach the pipelined stats."""
+        rng, graphs, engine, pipe = pipeline_setup
+        query = rng.choice(list(graphs.values())).copy()
+        result = pipe.range_query(query, 2, verify="exact")
+        stats = result.stats
+        # Every candidate was either pre-confirmed, settled by bounds, or
+        # went through a budgeted A* run.
+        assert stats.settled_by_bounds + stats.astar_runs >= 0
+        if result.candidates:
+            assert stats.settled_by_bounds + stats.astar_runs > 0 or result.matches
+        assert result.verified
+
+    def test_exact_verification_budget_makes_undecided_honest(self, pipeline_setup):
+        """A starved budget must flip `verified` off, never drop candidates."""
+        rng, graphs, _, pipe = pipeline_setup
+        query = rng.choice(list(graphs.values())).copy()
+        generous = pipe.range_query(query, 2, verify="exact")
+        starved = pipe.range_query(query, 2, verify="exact", verify_budget=1)
+        assert set(starved.candidates) == set(generous.candidates)
+        assert starved.matches <= generous.matches
+        if starved.matches != generous.matches:
+            assert not starved.verified
+
+    def test_exact_verification_with_workers_matches_serial(self, pipeline_setup):
+        rng, graphs, _, pipe = pipeline_setup
+        query = rng.choice(list(graphs.values())).copy()
+        serial = pipe.range_query(query, 2, verify="exact")
+        fanned = pipe.range_query(query, 2, verify="exact", verify_workers=2)
+        assert fanned.matches == serial.matches
+        assert fanned.stats.astar_runs == serial.stats.astar_runs
+
     def test_repeated_runs_are_stable(self, pipeline_setup):
         """Thread scheduling must not change the verified answer set."""
         rng, graphs, _, pipe = pipeline_setup

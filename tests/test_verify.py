@@ -6,8 +6,9 @@ import random
 
 import pytest
 
+from repro.core import verify as verify_mod
 from repro.core.engine import SegosIndex
-from repro.core.verify import verify_candidates
+from repro.core.verify import resolve_verify_workers, verify_candidates
 from repro.datasets import aids_like, sample_queries
 from repro.graphs.edit_distance import graph_edit_distance
 from repro.graphs.generators import erdos_renyi
@@ -96,3 +97,85 @@ class TestVerifyCandidates:
         report = verify_candidates(data.graphs, Graph(["C00"]), [], 1)
         assert report.decided()
         assert not report.matches
+
+
+class TestParallelVerification:
+    def test_resolve_workers_precedence(self, monkeypatch):
+        monkeypatch.delenv(verify_mod.ENV_VERIFY_WORKERS, raising=False)
+        assert resolve_verify_workers() == 1
+        assert resolve_verify_workers(3) == 3
+        monkeypatch.setenv(verify_mod.ENV_VERIFY_WORKERS, "4")
+        assert resolve_verify_workers() == 4
+        assert resolve_verify_workers(2) == 2  # argument beats environment
+        monkeypatch.setenv(verify_mod.ENV_VERIFY_WORKERS, "garbage")
+        assert resolve_verify_workers() == 1
+        with pytest.raises(ValueError):
+            resolve_verify_workers(0)
+
+    def test_parallel_report_equals_serial(self, verify_setup):
+        """Same partition, same bookkeeping, regardless of worker count."""
+        data, engine = verify_setup
+        query = sample_queries(data, 1, seed=22, edits=1)[0]
+        tau = 2
+        result = engine.range_query(query, tau)
+        serial = verify_candidates(data.graphs, query, result.candidates, tau)
+        parallel = verify_candidates(
+            data.graphs, query, result.candidates, tau, workers=2
+        )
+        assert parallel.matches == serial.matches
+        assert parallel.rejected == serial.rejected
+        assert parallel.undecided == serial.undecided
+        assert parallel.settled_by_bounds == serial.settled_by_bounds
+        assert parallel.astar_runs == serial.astar_runs
+
+    def test_workers_used_recorded(self, verify_setup):
+        data, engine = verify_setup
+        query = sample_queries(data, 1, seed=23, edits=1)[0]
+        result = engine.range_query(query, 2)
+        report = verify_candidates(
+            data.graphs, query, result.candidates, 2, workers=2
+        )
+        # Either the pool engaged (≥ 2 scheduled runs) or everything was
+        # settled by bounds / a lone A* run stayed serial.
+        assert report.workers_used in (1, 2)
+
+    def test_env_var_engages_parallel_path(self, verify_setup, monkeypatch):
+        data, engine = verify_setup
+        monkeypatch.setenv(verify_mod.ENV_VERIFY_WORKERS, "2")
+        query = sample_queries(data, 1, seed=24, edits=1)[0]
+        tau = 2
+        result = engine.range_query(query, tau)
+        report = verify_candidates(data.graphs, query, result.candidates, tau)
+        monkeypatch.delenv(verify_mod.ENV_VERIFY_WORKERS)
+        serial = verify_candidates(data.graphs, query, result.candidates, tau)
+        assert report.matches == serial.matches
+        assert report.rejected == serial.rejected
+
+    def test_unpicklable_graphs_fall_back_to_serial(self, verify_setup):
+        data, _ = verify_setup
+        gid, graph = next(iter(data.graphs.items()))
+
+        class Unpicklable(Graph):
+            def __reduce__(self):
+                raise TypeError("not today")
+
+        bad = Unpicklable(graph.labels(), list(graph.edges()))
+        truth = verify_candidates({gid: graph}, graph.copy(), [gid], 1)
+        report = verify_candidates(
+            {gid: bad}, graph.copy(), [gid, gid], 1, workers=2
+        )
+        assert report.matches == truth.matches
+        assert report.workers_used == 1
+
+    def test_range_query_exact_with_workers(self, verify_setup):
+        data, engine = verify_setup
+        query = sample_queries(data, 1, seed=25, edits=1)[0]
+        tau = 2
+        plain = engine.range_query(query, tau, verify="exact")
+        parallel = engine.range_query(
+            query, tau, verify="exact", verify_workers=2
+        )
+        assert parallel.matches == plain.matches
+        assert parallel.verified == plain.verified
+        assert parallel.stats.astar_runs == plain.stats.astar_runs
+        assert parallel.stats.settled_by_bounds == plain.stats.settled_by_bounds
