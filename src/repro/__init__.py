@@ -16,11 +16,13 @@ Quickstart
 True
 """
 
+from .config import EngineConfig
 from .graphs.model import Graph
 from .graphs.star import Star, decompose, star_edit_distance
 from .graphs.edit_distance import ged_within, graph_edit_distance
 from .matching.mapping import mapping_distance
 from .core.engine import QueryResult, SegosIndex
+from .core.plan import QuerySession
 from .core.stats import QueryStats
 from .perf.assignment import available_backends, solve_assignment
 from .perf.sed_cache import sed_cache_clear, sed_cache_info
@@ -28,8 +30,10 @@ from .perf.sed_cache import sed_cache_clear, sed_cache_info
 __version__ = "1.0.0"
 
 __all__ = [
+    "EngineConfig",
     "Graph",
     "QueryResult",
+    "QuerySession",
     "QueryStats",
     "SegosIndex",
     "Star",

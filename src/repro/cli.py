@@ -20,6 +20,7 @@ from typing import List, Optional
 
 from . import __version__
 from .core.engine import SegosIndex
+from .core.explain import explain_range_query
 from .core.join import similarity_self_join
 from .core.knn import knn_query
 from .core.persistence import load_index, save_index
@@ -66,6 +67,9 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 def _cmd_query(args: argparse.Namespace) -> int:
     engine = load_index(args.database)
     query = _load_query(args.query)
+    if args.explain:
+        print(explain_range_query(engine, query, args.tau).render())
+        return 0
     result = engine.range_query(
         query, args.tau, verify="exact" if args.verify else "none"
     )
@@ -147,6 +151,11 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--tau", type=float, required=True, help="GED threshold")
     query.add_argument(
         "--verify", action="store_true", help="verify candidates with exact GED"
+    )
+    query.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the per-stage EXPLAIN ANALYZE report instead of results",
     )
     query.set_defaults(func=_cmd_query)
 

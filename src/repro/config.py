@@ -1,0 +1,265 @@
+"""The configuration layer: every ``REPRO_*`` knob, resolved in one place.
+
+Before this module existed, five different modules read ``os.environ`` on
+their own schedule — the SED cache at import time, the assignment and top-k
+backends per solve, the worker counts per call.  That made the effective
+configuration of a query impossible to state ("whatever the environment
+happened to contain at that instant") and unshippable to worker processes.
+
+Now the rule is simple and testable:
+
+* **this module is the only place in ``repro`` that touches
+  ``os.environ``** (a grep-based guard test enforces it);
+* environment variables provide *defaults*, read once when an
+  :class:`EngineConfig` is constructed;
+* engine constructor kwargs override the environment;
+* per-call kwargs (``range_query(k=..., verify_workers=...)``) override the
+  engine — applied with :meth:`EngineConfig.override`, which returns a new
+  frozen config rather than mutating anything.
+
+The low-level ``env_*`` helpers stay available for the legacy
+``resolve_*`` functions in :mod:`repro.perf` and :mod:`repro.core.verify`,
+which keep their call-time environment fallback for direct, engine-less use.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, fields, replace
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+# ---------------------------------------------------------------------------
+# Environment variable names (single source of truth; other modules re-export
+# these for backwards compatibility).
+# ---------------------------------------------------------------------------
+
+#: Capacity of the process-global SED memo cache (0 disables it).
+ENV_SED_CACHE_SIZE = "REPRO_SED_CACHE_SIZE"
+#: Assignment-problem backend: ``pure`` / ``scipy`` / ``auto``.
+ENV_ASSIGNMENT_BACKEND = "REPRO_ASSIGNMENT_BACKEND"
+#: Top-k sub-unit search backend: ``ta`` / ``scan`` / ``auto``.
+ENV_TOPK_BACKEND = "REPRO_TOPK_BACKEND"
+#: Worker-process count for batch range queries (1 = serial).
+ENV_BATCH_WORKERS = "REPRO_BATCH_WORKERS"
+#: Worker-process count for exact-verification A* runs (1 = in-process).
+ENV_VERIFY_WORKERS = "REPRO_VERIFY_WORKERS"
+#: Per-candidate A* state budget for exact verification.
+ENV_VERIFY_BUDGET = "REPRO_VERIFY_BUDGET"
+#: Wall-clock deadline (seconds) for one query's exact verification.
+ENV_VERIFY_DEADLINE = "REPRO_VERIFY_DEADLINE"
+
+#: Default SED-cache capacity (mirrored by ``repro.perf.sed_cache``).
+DEFAULT_SED_CACHE_SIZE = 1 << 18
+#: Default per-candidate A* state budget (the A* module's own default).
+DEFAULT_VERIFY_BUDGET = 2_000_000
+#: Default TA top-k (Table II) and CA checkpoint period (paper defaults).
+DEFAULT_K = 100
+DEFAULT_H = 1000
+#: Section V-E's 50 % rule for the Theorem-1 partial check.
+DEFAULT_PARTIAL_FRACTION = 0.5
+
+
+# ---------------------------------------------------------------------------
+# Raw environment accessors — the only os.environ reads in the package.
+# ---------------------------------------------------------------------------
+
+def env_raw(name: str) -> Optional[str]:
+    """Read one environment variable (the package's only ``os.environ`` use)."""
+    return os.environ.get(name)
+
+
+def env_str(name: str, default: str = "") -> str:
+    """String knob: the variable's value, or *default* when unset."""
+    raw = env_raw(name)
+    return raw if raw is not None else default
+
+
+def env_int(name: str, default: int) -> int:
+    """Integer knob: unset or unparsable values degrade to *default*."""
+    raw = env_raw(name)
+    if raw is None:
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        return default
+
+
+def env_float(name: str, default: Optional[float]) -> Optional[float]:
+    """Float knob: unset or unparsable values degrade to *default*."""
+    raw = env_raw(name)
+    if raw is None:
+        return default
+    try:
+        return float(raw)
+    except ValueError:
+        return default
+
+
+def _env_assignment_backend() -> Optional[str]:
+    """Environment default for the assignment backend (None = ``auto``).
+
+    Unknown names raise at :class:`EngineConfig` construction time (fail
+    fast — the same contract as an explicit kwarg), mirroring the legacy
+    per-solve behaviour where a bad export raised mid-query.
+    """
+    raw = env_raw(ENV_ASSIGNMENT_BACKEND)
+    return raw or None
+
+
+def _env_topk_backend() -> Optional[str]:
+    """Environment default for the top-k backend (None = ``auto``).
+
+    Unknown names degrade to ``auto`` so one bad shell export cannot take
+    queries down — the documented legacy behaviour of this knob.
+    """
+    raw = env_str(ENV_TOPK_BACKEND).strip().lower()
+    return raw if raw in ("ta", "scan", "auto") else None
+
+
+# ---------------------------------------------------------------------------
+# EngineConfig
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Every engine tuning knob, resolved once and immutable thereafter.
+
+    Build one with :meth:`from_env` (environment defaults, explicit kwargs
+    win) and derive per-call variants with :meth:`override`.  Instances are
+    frozen and hashable, travel to worker processes by pickling, and never
+    consult the environment after construction.
+
+    Attributes
+    ----------
+    k:
+        TA top-k per query star (Table II default 100).
+    h:
+        CA checkpoint period in list accesses (paper default 1000).
+    partial_fraction:
+        Share of a graph's stars that must be revealed before the
+        Theorem-1 partial check runs (Section V-E's 50 % rule); values
+        above 1 postpone the check until the graph is force-resolved.
+    sed_cache_size:
+        Capacity of the process-global SED memo cache; 0 disables it.
+        Env: ``REPRO_SED_CACHE_SIZE``.
+    assignment_backend:
+        ``pure`` / ``scipy`` / ``auto``; ``None`` means ``auto``.
+        Env: ``REPRO_ASSIGNMENT_BACKEND``.
+    topk_backend:
+        ``ta`` / ``scan`` / ``auto``; ``None`` means ``auto`` (the adaptive
+        planner).  Env: ``REPRO_TOPK_BACKEND``.
+    batch_workers:
+        Worker processes for batch range queries; 1 = serial.
+        Env: ``REPRO_BATCH_WORKERS``.
+    verify_workers:
+        Worker processes for exact-verification A* runs; 1 = in-process.
+        Env: ``REPRO_VERIFY_WORKERS``.
+    verify_budget:
+        Per-candidate A* state budget for exact verification.
+        Env: ``REPRO_VERIFY_BUDGET``.
+    verify_deadline:
+        Wall-clock seconds after which no further A* runs are scheduled in
+        one query's verification; ``None`` = no deadline.
+        Env: ``REPRO_VERIFY_DEADLINE``.
+    """
+
+    k: int = DEFAULT_K
+    h: int = DEFAULT_H
+    partial_fraction: float = DEFAULT_PARTIAL_FRACTION
+    sed_cache_size: int = DEFAULT_SED_CACHE_SIZE
+    assignment_backend: Optional[str] = None
+    topk_backend: Optional[str] = None
+    batch_workers: int = 1
+    verify_workers: int = 1
+    verify_budget: int = DEFAULT_VERIFY_BUDGET
+    verify_deadline: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError("k must be >= 1")
+        if self.h < 1:
+            raise ValueError("h must be >= 1")
+        if self.partial_fraction < 0.0:
+            raise ValueError("partial_fraction must be non-negative")
+        if self.sed_cache_size < 0:
+            raise ValueError("sed_cache_size must be >= 0")
+        if self.batch_workers < 1:
+            raise ValueError("batch_workers must be >= 1")
+        if self.verify_workers < 1:
+            raise ValueError("verify_workers must be >= 1")
+        if self.verify_budget < 1:
+            raise ValueError("verify_budget must be >= 1")
+        if self.verify_deadline is not None and self.verify_deadline <= 0:
+            raise ValueError("verify_deadline must be positive")
+        # Backend names fail fast at construction, not mid-query.  Imported
+        # lazily: the perf/core modules import this module at startup.
+        # Resolving ``None`` too keeps the scipy probe (an import) at
+        # construction time instead of inside the first timed query.
+        from .perf.assignment import resolve_backend
+
+        resolve_backend(self.assignment_backend)
+        if self.topk_backend is not None:
+            from .core.ta_search import resolve_topk_backend
+
+            resolve_topk_backend(self.topk_backend)
+
+    @classmethod
+    def from_env(cls, **overrides: Any) -> "EngineConfig":
+        """Build a config from the environment, with *overrides* winning.
+
+        Overrides whose value is ``None`` mean "not specified" and fall
+        back to the environment (or the built-in default) — exactly the
+        contract of the engine's optional constructor kwargs.
+        """
+        values: Dict[str, Any] = {
+            "k": DEFAULT_K,
+            "h": DEFAULT_H,
+            "partial_fraction": DEFAULT_PARTIAL_FRACTION,
+            "sed_cache_size": env_int(ENV_SED_CACHE_SIZE, DEFAULT_SED_CACHE_SIZE),
+            "assignment_backend": _env_assignment_backend(),
+            "topk_backend": _env_topk_backend(),
+            "batch_workers": env_int(ENV_BATCH_WORKERS, 1),
+            "verify_workers": env_int(ENV_VERIFY_WORKERS, 1),
+            "verify_budget": env_int(ENV_VERIFY_BUDGET, DEFAULT_VERIFY_BUDGET),
+            "verify_deadline": env_float(ENV_VERIFY_DEADLINE, None),
+        }
+        known = {f.name for f in fields(cls)}
+        for name, value in overrides.items():
+            if name not in known:
+                raise TypeError(f"unknown EngineConfig field {name!r}")
+            if value is not None:
+                values[name] = value
+        return cls(**values)
+
+    def override(self, **overrides: Any) -> "EngineConfig":
+        """Return a new config with non-``None`` *overrides* applied.
+
+        This is the per-call layer of the precedence chain: front-end
+        kwargs like ``range_query(..., k=5, verify_workers=2)`` funnel
+        through here, so every stage reads one coherent config object.
+        """
+        known = {f.name for f in fields(self)}
+        changes = {}
+        for name, value in overrides.items():
+            if name not in known:
+                raise TypeError(f"unknown EngineConfig field {name!r}")
+            if value is not None:
+                changes[name] = value
+        return replace(self, **changes) if changes else self
+
+    def knobs(self) -> Mapping[str, Any]:
+        """Field name → value mapping (stable order; for reporting/tests)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+#: Field name → environment variable for every env-backed knob.
+ENV_KNOBS: Tuple[Tuple[str, str], ...] = (
+    ("sed_cache_size", ENV_SED_CACHE_SIZE),
+    ("assignment_backend", ENV_ASSIGNMENT_BACKEND),
+    ("topk_backend", ENV_TOPK_BACKEND),
+    ("batch_workers", ENV_BATCH_WORKERS),
+    ("verify_workers", ENV_VERIFY_WORKERS),
+    ("verify_budget", ENV_VERIFY_BUDGET),
+    ("verify_deadline", ENV_VERIFY_DEADLINE),
+)

@@ -1,8 +1,20 @@
 """SEGOS core: two-level index, TA/CA search, engine facade, pipeline."""
 
+from ..config import EngineConfig
 from .bounds import SeenGraph
 from .ca_search import CAResult, ca_range_query
 from .engine import DEFAULT_K, QueryResult, SegosIndex
+from .plan import (
+    CAStage,
+    ExecutionContext,
+    QueryPlan,
+    QuerySession,
+    Stage,
+    TAStage,
+    VerifyStage,
+    execute_plan,
+    make_context,
+)
 from .explain import QueryExplanation, StarTrace, explain_range_query
 from .join import JoinResult, similarity_join, similarity_self_join
 from .knn import KnnResult, knn_query
@@ -32,7 +44,17 @@ from .ta_search import TopKResult, brute_force_top_k, top_k_stars
 
 __all__ = [
     "CAResult",
+    "CAStage",
     "DEFAULT_K",
+    "EngineConfig",
+    "ExecutionContext",
+    "QueryPlan",
+    "QuerySession",
+    "Stage",
+    "TAStage",
+    "VerifyStage",
+    "execute_plan",
+    "make_context",
     "JoinResult",
     "KnnResult",
     "PIPELINE_K",

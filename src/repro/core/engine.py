@@ -14,64 +14,45 @@ Range-query semantics mirror the paper's filter-and-verify contract:
   candidates so ``matches`` becomes the exact answer set — practical only
   for small graphs, exactly as in the paper, where verification cost is the
   reason filtering power matters.
+
+Since the staged-executor refactor, every query mode is a thin front-end
+over :mod:`repro.core.plan`: the engine resolves its tuning knobs once into
+a frozen :class:`repro.config.EngineConfig` (environment < constructor <
+per-call precedence) and delegates execution to the one TA → CA → verify
+plan.  Cache-sharing across related queries goes through the public
+:meth:`SegosIndex.session` API.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+import warnings
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set
 
+from ..config import EngineConfig
 from ..errors import GraphAlreadyIndexed, GraphNotIndexed
-from ..graphs.edit_distance import DEFAULT_BUDGET
 from ..graphs.model import Graph
 from ..graphs.star import Star, decompose, star_at
-from ..perf.assignment import resolve_backend
-from ..perf.parallel import parallel_batch_range_query, resolve_workers
+from ..perf.parallel import parallel_batch_range_query
 from ..perf.sed_cache import GLOBAL_SED_CACHE, CacheInfo
-from .ca_search import (
-    DEFAULT_H,
-    DEFAULT_PARTIAL_FRACTION,
-    CAResult,
-    ca_range_query,
-)
-from .graph_lists import build_all_lists
 from .index import GraphMeta, TwoLevelIndex
-from .stats import QueryStats, WallClock
-from .ta_search import TopKResult, resolve_topk_backend, top_k_stars
-from .verify import verify_candidates
+from .plan import QueryPlan, QueryResult, QuerySession
+from .stats import QueryStats
+from .ta_search import TopKResult, top_k_stars
 
 #: Default k for the TA stage (Table II's default).
 DEFAULT_K = 100
 
-
-@dataclass
-class QueryResult:
-    """Everything a range query produces.
-
-    Attributes
-    ----------
-    candidates:
-        gids passing every filter; superset of the true answers.
-    matches:
-        gids *known* to satisfy ``λ(q, g) ≤ τ`` (upper-bound confirmed, plus
-        exact verification when requested).
-    stats:
-        filtering counters (see :class:`repro.core.stats.QueryStats`).
-    elapsed:
-        wall-clock seconds spent inside the engine.
-    verified:
-        True when ``matches`` is exactly the answer set.
-    """
-
-    candidates: List[object]
-    matches: Set[object]
-    stats: QueryStats
-    elapsed: float
-    verified: bool
+__all__ = ["DEFAULT_K", "QueryResult", "SegosIndex"]
 
 
 class SegosIndex:
     """A SEGOS-indexed graph database supporting GED range queries.
+
+    Tuning knobs resolve once, at construction, into a frozen
+    :class:`~repro.config.EngineConfig`: ``REPRO_*`` environment variables
+    provide defaults, explicit constructor kwargs override them, and
+    per-call kwargs (``range_query(k=..., verify_workers=...)``) override
+    both.  A fully-resolved ``config`` object may also be passed directly.
 
     Examples
     --------
@@ -88,31 +69,39 @@ class SegosIndex:
         self,
         graphs: Optional[Mapping[object, Graph]] = None,
         *,
-        k: int = DEFAULT_K,
-        h: int = DEFAULT_H,
-        partial_fraction: float = DEFAULT_PARTIAL_FRACTION,
+        k: Optional[int] = None,
+        h: Optional[int] = None,
+        partial_fraction: Optional[float] = None,
         backend: str = "memory",
         sqlite_path: str = ":memory:",
         assignment_backend: Optional[str] = None,
         topk_backend: Optional[str] = None,
+        batch_workers: Optional[int] = None,
+        verify_workers: Optional[int] = None,
+        verify_budget: Optional[int] = None,
+        verify_deadline: Optional[float] = None,
+        sed_cache_size: Optional[int] = None,
+        config: Optional[EngineConfig] = None,
     ) -> None:
-        if k < 1:
-            raise ValueError("k must be >= 1")
-        if h < 1:
-            raise ValueError("h must be >= 1")
-        self.k = k
-        self.h = h
-        self.partial_fraction = partial_fraction
-        # Fail fast on unknown names; the live resolution happens per solve
-        # so the REPRO_ASSIGNMENT_BACKEND environment stays authoritative
-        # when no explicit name was given.
-        resolve_backend(assignment_backend)
-        self.assignment_backend = assignment_backend
-        # Same discipline for the top-k backend: validate now, resolve per
-        # search so REPRO_TOPK_BACKEND stays live when no name was given.
-        if topk_backend is not None:
-            resolve_topk_backend(topk_backend)
-        self.topk_backend = topk_backend
+        base = config if config is not None else EngineConfig.from_env()
+        self.config = base.override(
+            k=k,
+            h=h,
+            partial_fraction=partial_fraction,
+            assignment_backend=assignment_backend,
+            topk_backend=topk_backend,
+            batch_workers=batch_workers,
+            verify_workers=verify_workers,
+            verify_budget=verify_budget,
+            verify_deadline=verify_deadline,
+            sed_cache_size=sed_cache_size,
+        )
+        # The SED memo cache is process-global (it memoises a pure function
+        # of signature pairs); an engine only touches it when its resolved
+        # capacity differs from the live one — i.e. when the knob was set
+        # explicitly or the environment changed since process start.
+        if self.config.sed_cache_size != GLOBAL_SED_CACHE.maxsize:
+            GLOBAL_SED_CACHE.resize(self.config.sed_cache_size)
         if backend == "memory":
             self.index = TwoLevelIndex()
         elif backend == "sqlite":
@@ -128,6 +117,29 @@ class SegosIndex:
         if graphs:
             for gid, graph in graphs.items():
                 self.add(gid, graph)
+
+    # ------------------------------------------------------------------
+    # Resolved-knob accessors (read-only views over the frozen config)
+    # ------------------------------------------------------------------
+    @property
+    def k(self) -> int:
+        return self.config.k
+
+    @property
+    def h(self) -> int:
+        return self.config.h
+
+    @property
+    def partial_fraction(self) -> float:
+        return self.config.partial_fraction
+
+    @property
+    def assignment_backend(self) -> Optional[str]:
+        return self.config.assignment_backend
+
+    @property
+    def topk_backend(self) -> Optional[str]:
+        return self.config.topk_backend
 
     # ------------------------------------------------------------------
     # Database accessors
@@ -213,11 +225,24 @@ class SegosIndex:
         self._apply_mutation(gid, touched, lambda g: g.relabel_vertex(vertex, label))
 
     # ------------------------------------------------------------------
-    # Queries
+    # Queries — thin front-ends over the staged executor
     # ------------------------------------------------------------------
+    def session(self, **overrides) -> QuerySession:
+        """Open a :class:`~repro.core.plan.QuerySession` on this engine.
+
+        Related queries issued through one session share their TA top-k
+        searches (the Figure-11 stream optimisation); ``overrides`` are
+        :class:`~repro.config.EngineConfig` fields pinned for the whole
+        session.  This is the public API joins, kNN rings and batches build
+        on.
+        """
+        return QuerySession(self, config=self.config.override(**overrides))
+
     def top_k_sub_units(self, star: Star, k: Optional[int] = None) -> TopKResult:
         """TA stage on its own: the k most SED-similar database stars."""
-        return top_k_stars(self.index, star, k or self.k, backend=self.topk_backend)
+        return top_k_stars(
+            self.index, star, k or self.config.k, backend=self.config.topk_backend
+        )
 
     def range_query(
         self,
@@ -243,21 +268,18 @@ class SegosIndex:
         Exact verification is scheduled through
         :func:`repro.core.verify.verify_candidates`: most-promising
         candidates first, optionally fanned out over ``verify_workers``
-        processes (default: ``REPRO_VERIFY_WORKERS``).  ``verify_budget``
-        caps each A* run's expanded states (default: the unbounded-in-
-        practice A* default) and ``verify_deadline`` (seconds) stops
-        scheduling new runs; candidates left undecided by either stay in
-        ``candidates`` but not ``matches``, and ``verified`` turns False.
+        processes.  ``verify_budget`` caps each A* run's expanded states
+        and ``verify_deadline`` (seconds) stops scheduling new runs;
+        candidates left undecided by either stay in ``candidates`` but not
+        ``matches``, and ``verified`` turns False.  Every keyword is a
+        per-call :class:`~repro.config.EngineConfig` override.
         """
-        if verify not in ("none", "exact"):
-            raise ValueError(f"unknown verify mode {verify!r}")
-        return self._range_query_with_cache(
+        return self.session().range_query(
             query,
             tau,
+            verify=verify,
             k=k,
             h=h,
-            verify=verify,
-            topk_cache={},
             partial_fraction=partial_fraction,
             verify_workers=verify_workers,
             verify_budget=verify_budget,
@@ -283,7 +305,7 @@ class SegosIndex:
         with overlapping star vocabularies this removes most TA work after
         the first few queries.
 
-        ``workers`` (or the ``REPRO_BATCH_WORKERS`` environment variable)
+        ``workers`` (default: the engine's resolved ``batch_workers`` knob)
         above 1 fans query chunks out over worker processes; engines that
         cannot travel to a subprocess (the sqlite backend) silently fall
         back to the serial path with identical answers.  ``verify_workers``
@@ -293,7 +315,7 @@ class SegosIndex:
         """
         if verify not in ("none", "exact"):
             raise ValueError(f"unknown verify mode {verify!r}")
-        workers = resolve_workers(workers)
+        workers = self.config.override(batch_workers=workers).batch_workers
         if workers > 1 and len(queries) > 1:
             results = parallel_batch_range_query(
                 self, queries, tau, workers=workers, k=k, h=h, verify=verify
@@ -316,28 +338,19 @@ class SegosIndex:
     ) -> List[QueryResult]:
         """In-process batch execution (also the per-chunk parallel worker).
 
-        Parallel-batch chunks call this with ``verify_workers=1`` pinned
-        (see :func:`repro.perf.parallel.parallel_batch_range_query`), so a
+        One :class:`~repro.core.plan.QuerySession` serves the whole batch,
+        so the TA cache is shared across queries.  Parallel-batch chunks
+        call this with ``verify_workers=1`` pinned (see
+        :func:`repro.perf.parallel.parallel_batch_range_query`), so a
         process-parallel batch never nests a verification pool inside its
         worker processes.
         """
         if verify not in ("none", "exact"):
             raise ValueError(f"unknown verify mode {verify!r}")
-        shared_cache: Dict[str, TopKResult] = {}
-        results: List[QueryResult] = []
-        for query in queries:
-            results.append(
-                self._range_query_with_cache(
-                    query,
-                    tau,
-                    k=k,
-                    h=h,
-                    verify=verify,
-                    topk_cache=shared_cache,
-                    verify_workers=verify_workers,
-                )
-            )
-        return results
+        session = self.session(k=k, h=h, verify_workers=verify_workers)
+        return [
+            session.range_query(query, tau, verify=verify) for query in queries
+        ]
 
     def _range_query_with_cache(
         self,
@@ -353,72 +366,30 @@ class SegosIndex:
         verify_budget: Optional[int] = None,
         verify_deadline: Optional[float] = None,
     ) -> QueryResult:
-        if query.order == 0:
-            raise ValueError("query graph must not be empty")
-        if tau < 0:
-            raise ValueError("tau must be non-negative")
-        clock = WallClock.start()
-        cache_before = GLOBAL_SED_CACHE.info()
-        stats = QueryStats()
-        query_stars = decompose(query)
-        ta_results: List[TopKResult] = []
-        lists = build_all_lists(
-            self.index,
-            query_stars,
-            query.order,
-            k or self.k,
-            topk_cache=topk_cache,
-            ta_results=ta_results,
-            backend=self.topk_backend,
+        """Deprecated pre-plan entry point (kept as a warning shim).
+
+        Callers that shared a top-k cache by reaching into this private
+        method should open a :meth:`session` instead; the shim funnels into
+        the same staged executor.
+        """
+        warnings.warn(
+            "SegosIndex._range_query_with_cache is deprecated; use "
+            "SegosIndex.session() and QuerySession.range_query instead",
+            DeprecationWarning,
+            stacklevel=2,
         )
-        stats.ta_searches = len(ta_results)
-        stats.ta_accesses = sum(r.accesses for r in ta_results)
-        for r in ta_results:
-            stats.count_topk_backend(r.backend, r.scan_width)
-        result = ca_range_query(
-            self.index,
-            self._graphs,
+        session = QuerySession(self)
+        session.topk_cache = topk_cache
+        return session.range_query(
             query,
             tau,
-            lists,
-            h=h or self.h,
-            partial_fraction=(
-                partial_fraction
-                if partial_fraction is not None
-                else self.partial_fraction
-            ),
-            stats=stats,
-            assignment_backend=self.assignment_backend,
-        )
-        matches = set(result.confirmed)
-        verified = verify == "exact"
-        if verified:
-            report = verify_candidates(
-                self._graphs,
-                query,
-                result.candidates,
-                int(tau),
-                already_confirmed=matches,
-                budget_per_candidate=(
-                    verify_budget if verify_budget is not None else DEFAULT_BUDGET
-                ),
-                deadline=verify_deadline,
-                workers=verify_workers,
-                assignment_backend=self.assignment_backend,
-            )
-            matches = set(report.matches)
-            stats.settled_by_bounds = report.settled_by_bounds
-            stats.astar_runs = report.astar_runs
-            verified = report.decided()
-        cache_after = GLOBAL_SED_CACHE.info()
-        stats.sed_cache_hits = cache_after.hits - cache_before.hits
-        stats.sed_cache_misses = cache_after.misses - cache_before.misses
-        return QueryResult(
-            candidates=result.candidates,
-            matches=matches,
-            stats=stats,
-            elapsed=clock.elapsed(),
-            verified=verified,
+            verify=verify,
+            k=k,
+            h=h,
+            partial_fraction=partial_fraction,
+            verify_workers=verify_workers,
+            verify_budget=verify_budget,
+            verify_deadline=verify_deadline,
         )
 
     # ------------------------------------------------------------------

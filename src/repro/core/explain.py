@@ -15,12 +15,8 @@ from typing import Dict, List, Optional
 
 from ..graphs.model import Graph
 from ..graphs.star import decompose
-from ..perf.sed_cache import GLOBAL_SED_CACHE
-from .ca_search import ca_range_query
 from .engine import SegosIndex
-from .graph_lists import build_all_lists
-from .stats import QueryStats, WallClock
-from .ta_search import TopKResult, top_k_stars
+from .stats import QueryStats
 
 
 @dataclass(frozen=True)
@@ -118,27 +114,18 @@ def explain_range_query(
     """Execute a range query, returning its full :class:`QueryExplanation`.
 
     Functionally identical to :meth:`SegosIndex.range_query` with
-    ``verify="none"``; only the bookkeeping differs.
+    ``verify="none"`` — the query runs through the same staged executor —
+    with the star-level traces read back from the session's top-k cache
+    afterwards.
     """
-    if query.order == 0:
-        raise ValueError("query graph must not be empty")
-    if tau < 0:
-        raise ValueError("tau must be non-negative")
-    k = k or engine.k
-    h = h or engine.h
-    clock = WallClock.start()
-    cache_before = GLOBAL_SED_CACHE.info()
-    query_stars = decompose(query)
+    session = engine.session(k=k, h=h)
+    result = session.range_query(query, tau)
 
-    # TA stage, star by star, with explicit traces.
-    cache: Dict[str, TopKResult] = {}
+    query_stars = decompose(query)
     occurrences: Dict[str, int] = {}
     for star in query_stars:
         occurrences[star.signature] = occurrences.get(star.signature, 0) + 1
-        if star.signature not in cache:
-            cache[star.signature] = top_k_stars(
-                engine.index, star, k, backend=engine.topk_backend
-            )
+    cache = session.topk_cache
     traces = [
         StarTrace(
             signature=signature,
@@ -155,39 +142,16 @@ def explain_range_query(
         )
         for signature, count in occurrences.items()
     ]
-
-    stats = QueryStats()
-    stats.ta_searches = len(cache)
-    stats.ta_accesses = sum(result.accesses for result in cache.values())
-    for result in cache.values():
-        stats.count_topk_backend(result.backend, result.scan_width)
-    lists = build_all_lists(
-        engine.index, query_stars, query.order, k, topk_cache=cache
-    )
-    result = ca_range_query(
-        engine.index,
-        engine._graphs,
-        query,
-        tau,
-        lists,
-        h=h,
-        partial_fraction=engine.partial_fraction,
-        stats=stats,
-        assignment_backend=engine.assignment_backend,
-    )
-    cache_after = GLOBAL_SED_CACHE.info()
-    stats.sed_cache_hits = cache_after.hits - cache_before.hits
-    stats.sed_cache_misses = cache_after.misses - cache_before.misses
     return QueryExplanation(
         query_order=query.order,
         query_stars=len(query_stars),
         distinct_stars=len(cache),
         tau=tau,
-        k=k,
-        h=h,
+        k=session.config.k,
+        h=session.config.h,
         star_traces=traces,
-        stats=stats,
+        stats=result.stats,
         candidates=list(result.candidates),
-        confirmed=sorted(map(str, result.confirmed)),
-        elapsed=clock.elapsed(),
+        confirmed=sorted(map(str, result.matches)),
+        elapsed=result.elapsed,
     )

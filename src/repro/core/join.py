@@ -5,8 +5,9 @@ and ``S`` (or one set, for a self-join), report every pair with
 ``λ(r, s) ≤ τ``.  The SEGOS index turns the naive ``|R|·|S|`` scan into
 |R| indexed range queries, with two extra join-level savings:
 
-* the TA top-k cache is shared across all probes (stars repeat heavily
-  inside one corpus — the same effect as
+* all probes run through one :class:`~repro.core.plan.QuerySession`, so
+  the TA top-k cache is shared across them (stars repeat heavily inside
+  one corpus — the same effect as
   :meth:`~repro.core.engine.SegosIndex.batch_range_query`);
 * for self-joins each unordered pair is probed once (candidates with
   ``gid ≤ probe`` are skipped), halving the work.
@@ -25,7 +26,6 @@ from ..graphs.edit_distance import ged_within
 from ..graphs.model import Graph
 from .engine import SegosIndex
 from .stats import QueryStats
-from .ta_search import TopKResult
 
 
 @dataclass
@@ -91,7 +91,9 @@ def _join(
         probes = {gid: engine.graph(gid) for gid in engine.gids()}
 
     stats = QueryStats()
-    shared_cache: Dict[str, TopKResult] = {}
+    # One session for the whole join: every probe shares its TA top-k
+    # searches through the session cache (the public cache-sharing API).
+    session = engine.session()
     pairs: List[Tuple[object, object]] = []
     confirmed: Set[Tuple[object, object]] = set()
 
@@ -100,9 +102,7 @@ def _join(
     ordering = {gid: i for i, gid in enumerate(sorted(probes, key=str))}
     for left in sorted(probes, key=str):
         query = probes[left]
-        result = engine._range_query_with_cache(
-            query, tau, k=None, h=None, verify="none", topk_cache=shared_cache
-        )
+        result = session.range_query(query, tau)
         stats.merge(result.stats)
         for right in result.candidates:
             if self_join:

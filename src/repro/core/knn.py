@@ -3,9 +3,11 @@
 The paper studies range queries; kNN is the other classic similarity query
 and falls out of the same filter stack via the standard *expanding-ring*
 reduction: run range queries at growing τ until k answers are verified,
-then trim to the k smallest exact distances.  Every ring reuses the SEGOS
-index, so the cost is a handful of cheap range filters plus exact GED on
-the few final candidates — the same verification the paper's
+then trim to the k smallest exact distances.  All rings run through one
+:class:`~repro.core.plan.QuerySession`: TA top-k results do not depend on
+τ, so every ring after the first reuses the first ring's searches and pays
+only the CA re-scan.  The cost is a handful of cheap range filters plus
+exact GED on the few final candidates — the same verification the paper's
 filter-and-verify contract assumes.
 """
 
@@ -77,12 +79,13 @@ def knn_query(
         tau_limit = query.order + query.size + biggest
 
     stats = QueryStats()
+    session = engine.session()  # rings share the τ-independent TA cache
     distances: dict = {}
     rings = 0
     tau = tau_start
     while True:
         rings += 1
-        result = engine.range_query(query, tau)
+        result = session.range_query(query, tau)
         stats.merge(result.stats)
         for gid in result.candidates:
             if gid in distances:

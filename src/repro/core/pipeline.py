@@ -23,6 +23,13 @@ bounds every round, and the expensive work is entirely demand-driven.
 CPython's GIL means the speed-up here comes from overlapping waiting and
 from the early-halt signal rather than true parallelism; the architecture —
 and the access-number behaviour of Figure 21 — is faithfully reproduced.
+
+Execution-wise the pipeline is one *fused* plan stage: the three threads
+overlap in time, so they are timed as a single ``"ta+ca"`` entry in
+``QueryStats.stage_seconds``, followed by the same :class:`VerifyStage`
+every other query mode uses.  Plans run through
+:func:`repro.core.plan.execute_plan`, so wall-clock, per-stage timing and
+SED-cache accounting are identical to the serial engine's.
 """
 
 from __future__ import annotations
@@ -31,20 +38,19 @@ import queue
 import threading
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..graphs.model import Graph, normalization_factor
 from ..graphs.star import decompose
 from ..matching.mapping import bounds as full_bounds
-from ..perf.parallel import parallel_batch_range_query, resolve_workers
-from ..perf.sed_cache import GLOBAL_SED_CACHE
+from ..perf.parallel import parallel_batch_range_query
 from .bounds import SeenGraph
 from .ca_search import _GraphResolver
 from .engine import QueryResult, SegosIndex
-from .graph_lists import QueryStarLists, build_query_star_lists
-from .stats import QueryStats, WallClock
-from .ta_search import TopKResult, top_k_stars
-from .verify import DEFAULT_VERIFY_BUDGET, verify_candidates
+from .graph_lists import build_query_star_lists
+from .plan import ExecutionContext, QueryPlan, Stage, VerifyStage
+from .stats import QueryStats
+from .ta_search import top_k_stars
 
 #: The pipeline fixes the TA k to a small constant (Section V-E).
 PIPELINE_K = 20
@@ -58,6 +64,25 @@ class _DCItem:
     snapshot: SeenGraph
     side_bounds: List[float]
     forced: bool
+
+
+class PipelinedFilterStage(Stage):
+    """The fused threaded TA → CA → DC filter as one plan stage.
+
+    The three threads overlap, so the paper's per-thread costs cannot be
+    separated on a wall clock; the executor times the whole fused stage
+    under the ``"ta+ca"`` key instead.
+    """
+
+    name = "ta+ca"
+
+    def run(self, ctx: ExecutionContext) -> ExecutionContext:
+        run = _PipelineRun(ctx)
+        candidates, confirmed, _stats = run.execute()
+        ctx.candidates = candidates
+        ctx.confirmed = set(confirmed)
+        ctx.matches = set(confirmed)
+        return ctx
 
 
 class PipelinedSegos:
@@ -78,6 +103,13 @@ class PipelinedSegos:
         self.engine = engine
         self.k = k
 
+    def plan(self) -> QueryPlan:
+        """The pipelined plan: fused threaded filter, then shared verify."""
+        return QueryPlan(
+            stages=(PipelinedFilterStage(), VerifyStage()),
+            description="ta+ca (threaded) -> verify",
+        )
+
     # ------------------------------------------------------------------
     def range_query(
         self,
@@ -86,7 +118,7 @@ class PipelinedSegos:
         *,
         verify: str = "none",
         verify_workers: Optional[int] = None,
-        verify_budget: int = DEFAULT_VERIFY_BUDGET,
+        verify_budget: Optional[int] = None,
         verify_deadline: Optional[float] = None,
     ) -> QueryResult:
         """Pipelined equivalent of :meth:`SegosIndex.range_query`.
@@ -97,45 +129,20 @@ class PipelinedSegos:
         cannot hang a pipelined query, and optionally fanned out over
         ``verify_workers`` processes.  A candidate left undecided stays in
         ``candidates`` but not ``matches``, and ``verified`` turns False.
+        All keywords are per-call :class:`~repro.config.EngineConfig`
+        overrides on top of the wrapped engine's resolved config.
         """
-        if query.order == 0:
-            raise ValueError("query graph must not be empty")
-        if tau < 0:
-            raise ValueError("tau must be non-negative")
-        if verify not in ("none", "exact"):
-            raise ValueError(f"unknown verify mode {verify!r}")
-        clock = WallClock.start()
-        cache_before = GLOBAL_SED_CACHE.info()
-        run = _PipelineRun(self.engine, query, tau, self.k)
-        candidates, confirmed, stats = run.execute()
-        matches = set(confirmed)
-        verified = verify == "exact"
-        if verified:
-            report = verify_candidates(
-                {gid: self.engine.graph(gid) for gid in candidates},
-                query,
-                candidates,
-                int(tau),
-                already_confirmed=matches,
-                budget_per_candidate=verify_budget,
-                deadline=verify_deadline,
-                workers=verify_workers,
-                assignment_backend=self.engine.assignment_backend,
-            )
-            matches = set(report.matches)
-            stats.settled_by_bounds = report.settled_by_bounds
-            stats.astar_runs = report.astar_runs
-            verified = report.decided()
-        cache_after = GLOBAL_SED_CACHE.info()
-        stats.sed_cache_hits = cache_after.hits - cache_before.hits
-        stats.sed_cache_misses = cache_after.misses - cache_before.misses
-        return QueryResult(
-            candidates=candidates,
-            matches=matches,
-            stats=stats,
-            elapsed=clock.elapsed(),
-            verified=verified,
+        session = self.engine.session(
+            k=self.k,
+            verify_workers=verify_workers,
+            verify_budget=verify_budget,
+            verify_deadline=verify_deadline,
         )
+        return self._run(session, query, tau, verify=verify)
+
+    def _run(self, session, query: Graph, tau: float, *, verify: str) -> QueryResult:
+        ctx = session.context(query, tau, verify=verify)
+        return session.execute(self.plan(), ctx).to_result()
 
     def batch_range_query(
         self,
@@ -148,16 +155,18 @@ class PipelinedSegos:
     ) -> List[QueryResult]:
         """Pipelined equivalent of :meth:`SegosIndex.batch_range_query`.
 
-        With ``workers > 1`` (or ``REPRO_BATCH_WORKERS``) query chunks run
-        in worker processes, each executing the full three-stage pipeline
-        per query; otherwise the batch runs serially in-process.  Answers
-        are identical either way.  ``verify_workers`` parallelises exact
-        verification per query on the serial path only (parallel chunks pin
-        it to 1 — one pool, not pools of pools).
+        With ``workers > 1`` (default: the engine's resolved
+        ``batch_workers`` knob) query chunks run in worker processes, each
+        executing the full three-stage pipeline per query; otherwise the
+        batch runs serially in-process through one session, so queries
+        share their TA top-k searches.  Answers are identical either way.
+        ``verify_workers`` parallelises exact verification per query on the
+        serial path only (parallel chunks pin it to 1 — one pool, not pools
+        of pools).
         """
         if verify not in ("none", "exact"):
             raise ValueError(f"unknown verify mode {verify!r}")
-        workers = resolve_workers(workers)
+        workers = self.engine.config.override(batch_workers=workers).batch_workers
         if workers > 1 and len(queries) > 1:
             results = parallel_batch_range_query(
                 self, queries, tau, workers=workers, verify=verify
@@ -184,49 +193,51 @@ class PipelinedSegos:
         engine's serial batch (the parallel chunk runner passes them); the
         pipeline fixes its own k and has no checkpoint period.
         """
+        session = self.engine.session(k=self.k, verify_workers=verify_workers)
         return [
-            self.range_query(query, tau, verify=verify, verify_workers=verify_workers)
-            for query in queries
+            self._run(session, query, tau, verify=verify) for query in queries
         ]
 
 
 class _PipelineRun:
-    """State of one pipelined query execution."""
+    """State of one pipelined query execution (one fused plan stage)."""
 
-    def __init__(
-        self, engine: SegosIndex, query: Graph, tau: float, k: int
-    ) -> None:
-        self.engine = engine
-        self.index = engine.index
-        self.query = query
-        self.tau = tau
-        self.k = k
-        self.query_stars = decompose(query)
+    def __init__(self, ctx: ExecutionContext) -> None:
+        self.engine = ctx.engine
+        self.index = ctx.engine.index
+        self.query = ctx.query
+        self.tau = ctx.tau
+        self.config = ctx.config
+        self.k = ctx.config.k
+        self.query_stars = decompose(ctx.query)
         self.m = len(self.query_stars)
-        self.stats = QueryStats()
+        self.stats = ctx.stats
+        #: session-shared signature → TopKResult cache (only the TA thread
+        #: writes during a run; batch queries run sequentially, so reuse
+        #: across queries is race-free)
+        self.topk_cache = ctx.topk_cache
         self.ta_queue: "queue.Queue" = queue.Queue()
         self.dc_queues: List["queue.Queue"] = [queue.Queue(), queue.Queue()]
         self.result_queue: "queue.Queue" = queue.Queue()
         self.stop_ta = threading.Event()
-        self.global_threshold = tau * normalization_factor(
-            query, database_max=self.index.database_max_degree()
+        self.global_threshold = ctx.tau * normalization_factor(
+            ctx.query, database_max=self.index.database_max_degree()
         )
 
     # ------------------------------------------------------------------
     # Stage 1: TA
     # ------------------------------------------------------------------
     def _ta_stage(self) -> None:
-        cache: Dict[str, TopKResult] = {}
         try:
             for j, star in enumerate(self.query_stars):
                 if self.stop_ta.is_set():
                     break
-                result = cache.get(star.signature)
+                result = self.topk_cache.get(star.signature)
                 if result is None:
                     result = top_k_stars(
-                        self.index, star, self.k, backend=self.engine.topk_backend
+                        self.index, star, self.k, backend=self.config.topk_backend
                     )
-                    cache[star.signature] = result
+                    self.topk_cache[star.signature] = result
                     self.stats.ta_searches += 1
                     self.stats.ta_accesses += result.accesses
                     self.stats.count_topk_backend(result.backend, result.scan_width)
@@ -263,7 +274,7 @@ class _PipelineRun:
                 self.tau,
                 partial_fraction=0.5,
                 stats=QueryStats(),
-                assignment_backend=self.engine.assignment_backend,
+                assignment_backend=self.config.assignment_backend,
             )
             for _ in range(2)
         ]
@@ -361,7 +372,7 @@ class _PipelineRun:
             self.tau,
             partial_fraction=0.5,
             stats=self.stats,
-            assignment_backend=self.engine.assignment_backend,
+            assignment_backend=self.config.assignment_backend,
         )
         ta_finished = False
         while True:
@@ -482,7 +493,7 @@ class _PipelineRun:
                 self.stats.full_mapping_computations += 1
                 graph = self.engine.graph(gid)
                 l_m, u_m, _ = full_bounds(
-                    self.query, graph, backend=self.engine.assignment_backend
+                    self.query, graph, backend=self.config.assignment_backend
                 )
                 if l_m > self.tau:
                     self.stats.count_prune("l_m")

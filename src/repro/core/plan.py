@@ -1,0 +1,354 @@
+"""The staged query executor: one TA → CA → verify path for every query mode.
+
+The paper's pipeline is a single conceptual dataflow — top-k sub-unit
+search (Algorithm 2) → CA graph pruning (Algorithm 3) → exact verification
+— but it used to be executed through five divergent code paths (plain
+range queries, batches, the pipelined scheduler, kNN rings and similarity
+joins), each hand-threading its own counters, wall clocks and cache
+snapshots.  This module makes the dataflow explicit:
+
+* a :class:`Stage` is a composable unit with a uniform
+  ``run(ctx) -> ctx`` contract (:class:`TAStage`, :class:`CAStage`,
+  :class:`VerifyStage`, and the pipelined fused stage in
+  :mod:`repro.core.pipeline`);
+* a :class:`QueryPlan` is an ordered tuple of stages;
+* :func:`execute_plan` runs a plan over an :class:`ExecutionContext`,
+  capturing per-stage wall clock into ``QueryStats.stage_seconds`` and the
+  SED-cache delta automatically — no stage does its own timing;
+* a :class:`QuerySession` owns the state *shared across related queries*
+  (the top-k sub-unit cache plus a resolved :class:`EngineConfig`) and is
+  the public API batches, joins and kNN rings build on.
+
+Every front-end — ``SegosIndex.range_query``, ``batch_range_query``,
+``PipelinedSegos``, ``knn_query``, ``similarity_join``,
+``SubgraphSearch`` — builds a plan and hands it to this one executor.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from ..config import EngineConfig
+from ..graphs.model import Graph
+from ..graphs.star import Star, decompose
+from ..perf.sed_cache import GLOBAL_SED_CACHE
+from .ca_search import ca_range_query
+from .graph_lists import QueryStarLists, build_all_lists
+from .stats import QueryStats, WallClock
+from .ta_search import TopKResult
+from .verify import verify_candidates
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (engine imports us)
+    from .engine import SegosIndex
+
+
+@dataclass
+class QueryResult:
+    """Everything a range query produces.
+
+    Attributes
+    ----------
+    candidates:
+        gids passing every filter; superset of the true answers.
+    matches:
+        gids *known* to satisfy ``λ(q, g) ≤ τ`` (upper-bound confirmed,
+        plus exact verification when requested).
+    stats:
+        filtering counters (see :class:`repro.core.stats.QueryStats`),
+        including the executor's per-stage ``stage_seconds``.
+    elapsed:
+        wall-clock seconds spent inside the executor.
+    verified:
+        True when ``matches`` is exactly the answer set.
+    """
+
+    candidates: List[object]
+    matches: Set[object]
+    stats: QueryStats
+    elapsed: float
+    verified: bool
+
+
+@dataclass
+class ExecutionContext:
+    """Mutable state threaded through the stages of one query execution.
+
+    Stages read their knobs exclusively from ``config`` (already resolved:
+    env < engine < per-call) and communicate through the fields below —
+    ``lists`` flows TA → CA, ``candidates``/``confirmed`` flow CA → verify.
+    """
+
+    engine: "SegosIndex"
+    query: Graph
+    tau: float
+    config: EngineConfig
+    verify: str = "none"
+    #: signature → TopKResult, shared across queries via a QuerySession
+    topk_cache: Dict[str, TopKResult] = field(default_factory=dict)
+    stats: QueryStats = field(default_factory=QueryStats)
+    # --- stage outputs -------------------------------------------------
+    query_stars: List[Star] = field(default_factory=list)
+    lists: List[QueryStarLists] = field(default_factory=list)
+    candidates: List[object] = field(default_factory=list)
+    confirmed: Set[object] = field(default_factory=set)
+    matches: Set[object] = field(default_factory=set)
+    verified: bool = False
+    elapsed: float = 0.0
+
+    def to_result(self) -> QueryResult:
+        """Package the context's outcome as the public result object."""
+        return QueryResult(
+            candidates=self.candidates,
+            matches=self.matches,
+            stats=self.stats,
+            elapsed=self.elapsed,
+            verified=self.verified,
+        )
+
+
+def make_context(
+    engine: "SegosIndex",
+    query: Graph,
+    tau: float,
+    *,
+    config: EngineConfig,
+    verify: str = "none",
+    topk_cache: Optional[Dict[str, TopKResult]] = None,
+) -> ExecutionContext:
+    """Validate the public query arguments and assemble a fresh context."""
+    if query.order == 0:
+        raise ValueError("query graph must not be empty")
+    if tau < 0:
+        raise ValueError("tau must be non-negative")
+    if verify not in ("none", "exact"):
+        raise ValueError(f"unknown verify mode {verify!r}")
+    return ExecutionContext(
+        engine=engine,
+        query=query,
+        tau=tau,
+        config=config,
+        verify=verify,
+        topk_cache=topk_cache if topk_cache is not None else {},
+    )
+
+
+class Stage:
+    """One composable step of a query plan.
+
+    Subclasses set ``name`` (the key under which the executor records the
+    stage's wall clock in ``QueryStats.stage_seconds``) and implement
+    :meth:`run`, mutating and returning the context.
+    """
+
+    name = "stage"
+
+    def run(self, ctx: ExecutionContext) -> ExecutionContext:
+        raise NotImplementedError
+
+
+class TAStage(Stage):
+    """Top-k sub-unit search (Algorithm 2) + graph score-list construction.
+
+    Decomposes the query into stars and builds, per star occurrence, the
+    two size-side graph lists — memoising top-k searches by signature in
+    the context's (possibly session-shared) cache.
+    """
+
+    name = "ta"
+
+    def run(self, ctx: ExecutionContext) -> ExecutionContext:
+        ctx.query_stars = decompose(ctx.query)
+        ta_results: List[TopKResult] = []
+        ctx.lists = build_all_lists(
+            ctx.engine.index,
+            ctx.query_stars,
+            ctx.query.order,
+            ctx.config.k,
+            topk_cache=ctx.topk_cache,
+            ta_results=ta_results,
+            backend=ctx.config.topk_backend,
+        )
+        ctx.stats.ta_searches = len(ta_results)
+        ctx.stats.ta_accesses = sum(r.accesses for r in ta_results)
+        for result in ta_results:
+            ctx.stats.count_topk_backend(result.backend, result.scan_width)
+        return ctx
+
+
+class CAStage(Stage):
+    """CA round-robin scan + DC bound chain (Algorithm 3, Sections V-C/D)."""
+
+    name = "ca"
+
+    def __init__(self, disabled_bounds: frozenset = frozenset()) -> None:
+        self.disabled_bounds = disabled_bounds
+
+    def run(self, ctx: ExecutionContext) -> ExecutionContext:
+        result = ca_range_query(
+            ctx.engine.index,
+            ctx.engine._graphs,
+            ctx.query,
+            ctx.tau,
+            ctx.lists,
+            h=ctx.config.h,
+            partial_fraction=ctx.config.partial_fraction,
+            stats=ctx.stats,
+            disabled_bounds=self.disabled_bounds,
+            assignment_backend=ctx.config.assignment_backend,
+        )
+        ctx.candidates = result.candidates
+        ctx.confirmed = set(result.confirmed)
+        ctx.matches = set(result.confirmed)
+        return ctx
+
+
+class VerifyStage(Stage):
+    """Exact verification via the scheduled verifier (bounds first, budgeted
+    A* in ascending-``L_m`` order, optional process fan-out and deadline).
+
+    A no-op when the context asks for ``verify="none"`` — the stage is part
+    of every plan so the two modes share one code path, and its recorded
+    wall clock is ~0 in filter-only runs.
+    """
+
+    name = "verify"
+
+    def run(self, ctx: ExecutionContext) -> ExecutionContext:
+        if ctx.verify != "exact":
+            ctx.verified = False
+            return ctx
+        report = verify_candidates(
+            ctx.engine._graphs,
+            ctx.query,
+            ctx.candidates,
+            int(ctx.tau),
+            already_confirmed=ctx.matches,
+            budget_per_candidate=ctx.config.verify_budget,
+            deadline=ctx.config.verify_deadline,
+            workers=ctx.config.verify_workers,
+            assignment_backend=ctx.config.assignment_backend,
+        )
+        ctx.matches = set(report.matches)
+        ctx.stats.settled_by_bounds = report.settled_by_bounds
+        ctx.stats.astar_runs = report.astar_runs
+        ctx.verified = report.decided()
+        return ctx
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """An ordered, immutable sequence of stages plus a human-readable label."""
+
+    stages: Tuple[Stage, ...]
+    description: str = ""
+
+    @classmethod
+    def range_query(
+        cls, *, disabled_bounds: frozenset = frozenset()
+    ) -> "QueryPlan":
+        """The serial filter-and-verify plan every non-pipelined mode uses."""
+        return cls(
+            stages=(TAStage(), CAStage(disabled_bounds), VerifyStage()),
+            description="ta -> ca -> verify",
+        )
+
+
+def execute_plan(plan: QueryPlan, ctx: ExecutionContext) -> ExecutionContext:
+    """Run *plan*'s stages in order over *ctx* — the one executor.
+
+    Uniform bookkeeping lives here and nowhere else: per-stage wall clock
+    (``stats.stage_seconds``), total elapsed time, and the process-global
+    SED-cache hit/miss delta attributable to this execution.
+    """
+    clock = WallClock.start()
+    cache_before = GLOBAL_SED_CACHE.info()
+    for stage in plan.stages:
+        started = time.perf_counter()
+        ctx = stage.run(ctx)
+        seconds = time.perf_counter() - started
+        ctx.stats.stage_seconds[stage.name] = (
+            ctx.stats.stage_seconds.get(stage.name, 0.0) + seconds
+        )
+    cache_after = GLOBAL_SED_CACHE.info()
+    ctx.stats.sed_cache_hits = cache_after.hits - cache_before.hits
+    ctx.stats.sed_cache_misses = cache_after.misses - cache_before.misses
+    ctx.elapsed = clock.elapsed()
+    return ctx
+
+
+class QuerySession:
+    """Shared execution state for a group of related queries.
+
+    A session pins one resolved :class:`EngineConfig` and one top-k
+    sub-unit cache, so successive queries reuse each other's TA searches —
+    the optimisation behind batch queries (Figure 11's streams), similarity
+    joins (stars repeat heavily inside one corpus) and kNN ring expansion
+    (top-k results do not depend on τ).  Sessions are the *public* route to
+    cache-sharing; no caller needs the engine's internals any more.
+
+    Examples
+    --------
+    >>> from repro.graphs.model import Graph
+    >>> engine_graphs = {"g": Graph(["a", "b"], [(0, 1)])}
+    >>> from repro.core.engine import SegosIndex
+    >>> session = SegosIndex(engine_graphs).session()
+    >>> session.range_query(Graph(["a", "b"], [(0, 1)]), 0).candidates
+    ['g']
+    >>> session.range_query(Graph(["a", "b"], [(0, 1)]), 1).stats.ta_searches
+    0
+    """
+
+    def __init__(
+        self, engine: "SegosIndex", *, config: Optional[EngineConfig] = None
+    ) -> None:
+        self.engine = engine
+        self.config = config if config is not None else engine.config
+        self.topk_cache: Dict[str, TopKResult] = {}
+
+    def plan(
+        self, *, disabled_bounds: frozenset = frozenset()
+    ) -> QueryPlan:
+        """The plan this session would execute (introspection/extension)."""
+        return QueryPlan.range_query(disabled_bounds=disabled_bounds)
+
+    def context(
+        self, query: Graph, tau: float, *, verify: str = "none", **overrides
+    ) -> ExecutionContext:
+        """Build a context bound to this session's cache and config."""
+        return make_context(
+            self.engine,
+            query,
+            tau,
+            config=self.config.override(**overrides),
+            verify=verify,
+            topk_cache=self.topk_cache,
+        )
+
+    def execute(
+        self, plan: QueryPlan, ctx: ExecutionContext
+    ) -> ExecutionContext:
+        """Run *plan* over *ctx* through the shared executor."""
+        return execute_plan(plan, ctx)
+
+    def range_query(
+        self, query: Graph, tau: float, *, verify: str = "none", **overrides
+    ) -> QueryResult:
+        """One range query through the staged executor.
+
+        ``overrides`` are per-call :class:`EngineConfig` fields (``k``,
+        ``h``, ``partial_fraction``, ``verify_workers``, ``verify_budget``,
+        ``verify_deadline``, ...) — the innermost layer of the precedence
+        chain.
+        """
+        ctx = self.context(query, tau, verify=verify, **overrides)
+        return self.execute(self.plan(), ctx).to_result()

@@ -77,6 +77,11 @@ class QueryStats:
     settled_by_bounds: int = 0
     #: verification-stage A* GED runs actually dispatched
     astar_runs: int = 0
+    #: stage name → wall-clock seconds, captured uniformly by the plan
+    #: executor (``ta``/``ca``/``verify`` on the serial path, ``ta+ca``/
+    #: ``verify`` on the pipelined path — the threaded stages overlap, so
+    #: they are timed as one fused stage)
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
 
     @property
     def sed_cache_hit_rate(self) -> float:
@@ -125,6 +130,12 @@ class QueryStats:
                 f"verify: {self.astar_runs} A* runs, "
                 f"{self.settled_by_bounds} settled by bounds"
             )
+        if self.stage_seconds:
+            timed = " ".join(
+                f"{name}={seconds * 1000:.1f}ms"
+                for name, seconds in self.stage_seconds.items()
+            )
+            parts.append(f"stages: {timed}")
         return " | ".join(parts)
 
     def merge(self, other: "QueryStats") -> None:
@@ -148,6 +159,8 @@ class QueryStats:
             self.pruned_by[key] = self.pruned_by.get(key, 0) + value
         for key, value in other.topk_backends.items():
             self.topk_backends[key] = self.topk_backends.get(key, 0) + value
+        for key, value in other.stage_seconds.items():
+            self.stage_seconds[key] = self.stage_seconds.get(key, 0.0) + value
 
     @classmethod
     def merged(cls, runs: Iterable["QueryStats"]) -> "QueryStats":

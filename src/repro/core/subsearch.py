@@ -53,6 +53,7 @@ from ..graphs.subgraph_distance import subgraph_within
 from ..matching.hungarian import hungarian
 from .engine import SegosIndex
 from .merge import merge_groups
+from .plan import ExecutionContext, QueryPlan, Stage, execute_plan, make_context
 from .stats import QueryStats
 
 
@@ -97,6 +98,8 @@ class SubgraphQueryResult:
     matches: Set[object] = field(default_factory=set)
     stats: QueryStats = field(default_factory=QueryStats)
     verified: bool = False
+    #: wall-clock seconds inside the staged executor
+    elapsed: float = 0.0
 
 
 class SubgraphSearch:
@@ -195,6 +198,20 @@ class SubgraphSearch:
         return sorted(((-s, -d) for d, s in heap), key=lambda p: (p[1], p[0]))
 
     # ------------------------------------------------------------------
+    def plan(self) -> QueryPlan:
+        """The adapted-bounds plan, executed by the shared staged executor.
+
+        Same three-stage shape as every other query mode — only the
+        aggregation functions differ, exactly as the paper's conclusion
+        suggests.  The TA stage hands its ζ_sub accumulators to the CA
+        stage through the stage objects (a plan is built per query).
+        """
+        ta = _SubTAStage(self)
+        return QueryPlan(
+            stages=(ta, _SubCAStage(self, ta), _SubVerifyStage()),
+            description="sub-ta -> sub-ca -> verify",
+        )
+
     def range_query(
         self, query: Graph, tau: float, *, verify: str = "none"
     ) -> SubgraphQueryResult:
@@ -203,46 +220,79 @@ class SubgraphSearch:
         ``verify="exact"`` confirms candidates with the A* subgraph edit
         distance so ``matches`` is the exact answer set.
         """
-        if query.order == 0:
-            raise ValueError("query graph must not be empty")
-        if tau < 0:
-            raise ValueError("tau must be non-negative")
-        if verify not in ("none", "exact"):
-            raise ValueError(f"unknown verify mode {verify!r}")
-        stats = QueryStats()
-        index = self.engine.index
-        query_stars = decompose(query)
-        delta_prime = normalization_factor(
-            query, database_max=index.database_max_degree()
+        ctx = make_context(
+            self.engine, query, tau, config=self.engine.config, verify=verify
         )
-        threshold = tau * delta_prime
+        ctx = execute_plan(self.plan(), ctx)
+        return SubgraphQueryResult(
+            candidates=ctx.candidates,
+            matches=ctx.matches,
+            stats=ctx.stats,
+            verified=ctx.verified,
+            elapsed=ctx.elapsed,
+        )
 
-        # Aggregate ζ_sub over per-query-star graph lists built from the
-        # adapted top-k.  ζ_sub(q, g) ≤ µ_sub(q, g) by the same argument as
-        # Theorem 2's ζ bound (list floors for stars beyond the top-k).
-        zeta: Dict[object, Dict[int, float]] = {}
-        floors: List[float] = []
-        topk_cache: Dict[str, List[Tuple[int, int]]] = {}
-        for j, star in enumerate(query_stars):
+
+class _SubTAStage(Stage):
+    """Adapted TA: top-k sub-star searches + ζ_sub accumulator construction.
+
+    ζ_sub(q, g) ≤ µ_sub(q, g) by the same argument as Theorem 2's ζ bound
+    (list floors stand in for stars beyond the top-k).
+    """
+
+    name = "ta"
+
+    def __init__(self, search: "SubgraphSearch") -> None:
+        self.search = search
+        self.zeta: Dict[object, Dict[int, float]] = {}
+        self.floors: List[float] = []
+
+    def run(self, ctx: ExecutionContext) -> ExecutionContext:
+        ctx.query_stars = decompose(ctx.query)
+        index = ctx.engine.index
+        topk_cache: Dict[str, List[Tuple[int, int]]] = ctx.topk_cache
+        for j, star in enumerate(ctx.query_stars):
             entries = topk_cache.get(star.signature)
             if entries is None:
-                entries = self.top_k_sub_stars(star)
+                entries = self.search.top_k_sub_stars(star)
                 topk_cache[star.signature] = entries
-                stats.ta_searches += 1
-            kth = float(entries[-1][1]) if len(entries) >= self.k else float("inf")
-            floors.append(min(kth, float(1 + 2 * star.leaf_size)))
+                ctx.stats.ta_searches += 1
+            kth = (
+                float(entries[-1][1])
+                if len(entries) >= self.search.k
+                else float("inf")
+            )
+            self.floors.append(min(kth, float(1 + 2 * star.leaf_size)))
             for sid, sed in entries:
                 for posting in index.upper.postings(sid):
-                    per_graph = zeta.setdefault(posting.gid, {})
+                    per_graph = self.zeta.setdefault(posting.gid, {})
                     best = per_graph.get(j)
                     if best is None or sed < best:
                         per_graph[j] = float(sed)
+        return ctx
 
-        m = len(query_stars)
+
+class _SubCAStage(Stage):
+    """Adapted CA: ζ_sub screening plus the full-µ_sub tightening pass."""
+
+    name = "ca"
+
+    def __init__(self, search: "SubgraphSearch", ta: _SubTAStage) -> None:
+        self.search = search
+        self.ta = ta
+
+    def run(self, ctx: ExecutionContext) -> ExecutionContext:
+        index = ctx.engine.index
+        delta_prime = normalization_factor(
+            ctx.query, database_max=index.database_max_degree()
+        )
+        threshold = ctx.tau * delta_prime
+        m = len(ctx.query_stars)
+        floors = self.ta.floors
         unseen_floor = sum(floors)
         candidates: List[object] = []
         for gid in index.gids():
-            per_graph = zeta.get(gid)
+            per_graph = self.ta.zeta.get(gid)
             if per_graph is None:
                 score = unseen_floor
             else:
@@ -254,27 +304,35 @@ class SubgraphSearch:
                     for j in range(m)
                 )
             if score > threshold:
-                stats.count_prune("zeta_sub")
+                ctx.stats.count_prune("zeta_sub")
                 continue
             # Tighten with the full µ_sub (one Hungarian, C-Star style).
-            stats.graphs_accessed += 1
-            stats.full_mapping_computations += 1
-            graph = self.engine.graph(gid)
-            if sub_mapping_distance(query, graph) / normalization_factor(
-                query, graph
-            ) > tau:
-                stats.count_prune("l_sub")
+            ctx.stats.graphs_accessed += 1
+            ctx.stats.full_mapping_computations += 1
+            graph = ctx.engine.graph(gid)
+            if sub_mapping_distance(ctx.query, graph) / normalization_factor(
+                ctx.query, graph
+            ) > ctx.tau:
+                ctx.stats.count_prune("l_sub")
                 continue
             candidates.append(gid)
+        ctx.candidates = candidates
+        ctx.stats.candidates = len(candidates)
+        return ctx
 
+
+class _SubVerifyStage(Stage):
+    """Exact confirmation via the A* subgraph edit distance."""
+
+    name = "verify"
+
+    def run(self, ctx: ExecutionContext) -> ExecutionContext:
         matches: Set[object] = set()
-        verified = verify == "exact"
-        if verified:
-            for gid in candidates:
-                if subgraph_within(query, self.engine.graph(gid), int(tau)):
+        ctx.verified = ctx.verify == "exact"
+        if ctx.verified:
+            for gid in ctx.candidates:
+                if subgraph_within(ctx.query, ctx.engine.graph(gid), int(ctx.tau)):
                     matches.add(gid)
-        stats.candidates = len(candidates)
-        stats.confirmed_matches = len(matches)
-        return SubgraphQueryResult(
-            candidates=candidates, matches=matches, stats=stats, verified=verified
-        )
+        ctx.matches = matches
+        ctx.stats.confirmed_matches = len(matches)
+        return ctx

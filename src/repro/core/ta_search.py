@@ -38,18 +38,15 @@ cost model weighs live-star count, k and label selectivity.
 from __future__ import annotations
 
 import heapq
-import os
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
+from ..config import ENV_TOPK_BACKEND, env_str
 from ..graphs.star import Star, star_edit_distance
 from ..perf.columnar import columnar_snapshot, numpy_available
 from ..perf.sed_cache import cached_star_edit_distance
 from .index import LowerEntry, TwoLevelIndex
 from .merge import merge_groups
-
-#: Environment variable selecting the top-k backend (``ta``/``scan``/``auto``).
-ENV_TOPK_BACKEND = "REPRO_TOPK_BACKEND"
 
 #: Recognised backend names.
 TOPK_BACKENDS = ("ta", "scan", "auto")
@@ -143,7 +140,7 @@ def resolve_topk_backend(backend: Optional[str] = None) -> str:
                 f"unknown top-k backend {backend!r} (expected one of {TOPK_BACKENDS})"
             )
         return backend
-    env = os.environ.get(ENV_TOPK_BACKEND, "").strip().lower()
+    env = env_str(ENV_TOPK_BACKEND).strip().lower()
     return env if env in TOPK_BACKENDS else "auto"
 
 

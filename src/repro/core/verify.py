@@ -23,7 +23,6 @@ schedulable step:
 
 from __future__ import annotations
 
-import os
 import pickle
 import time
 from concurrent.futures import ProcessPoolExecutor
@@ -35,26 +34,18 @@ from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 from ..errors import SearchBudgetExceeded
 from ..graphs.edit_distance import graph_edit_distance
 from ..graphs.model import Graph
+from ..config import ENV_VERIFY_WORKERS, env_int
 from ..matching.mapping import bounds as mapping_bounds
 
-#: Environment variable supplying the default A* worker count (1 = serial).
-ENV_VERIFY_WORKERS = "REPRO_VERIFY_WORKERS"
-
-#: Default per-candidate A* state budget.
+#: Default per-candidate A* state budget for *direct* verify_candidates
+#: calls; engine-driven verification uses ``EngineConfig.verify_budget``.
 DEFAULT_VERIFY_BUDGET = 200_000
 
 
 def resolve_verify_workers(workers: Optional[int] = None) -> int:
     """Resolve the verify worker count from argument / environment / serial."""
     if workers is None:
-        raw = os.environ.get(ENV_VERIFY_WORKERS)
-        if raw is not None:
-            try:
-                workers = int(raw)
-            except ValueError:
-                workers = 1
-    if workers is None:
-        return 1
+        workers = env_int(ENV_VERIFY_WORKERS, 1)
     if workers < 1:
         raise ValueError("workers must be >= 1")
     return workers

@@ -29,14 +29,17 @@ distance) routes through here.
 
 from __future__ import annotations
 
-import os
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..config import ENV_ASSIGNMENT_BACKEND, env_raw
 
 Matrix = Sequence[Sequence[float]]
 AssignmentFn = Callable[[Matrix], Tuple[float, List[int]]]
 
 #: Environment variable naming the default backend (pure / scipy / auto).
-ENV_BACKEND = "REPRO_ASSIGNMENT_BACKEND"
+#: Alias of :data:`repro.config.ENV_ASSIGNMENT_BACKEND` (the config layer
+#: owns the name; this module keeps its historical spelling).
+ENV_BACKEND = ENV_ASSIGNMENT_BACKEND
 
 _REGISTRY: Dict[str, AssignmentFn] = {}
 
@@ -115,7 +118,7 @@ def resolve_backend(backend: Optional[str] = None) -> str:
     Raises ``ValueError`` for names absent from the registry, so engines can
     fail fast at construction time instead of mid-query.
     """
-    name = backend or os.environ.get(ENV_BACKEND) or "auto"
+    name = backend or env_raw(ENV_BACKEND) or "auto"
     if name == "auto":
         return "scipy" if scipy_available() else "pure"
     if name not in _REGISTRY:

@@ -28,31 +28,26 @@ Worker count precedence: explicit ``workers=`` argument, then the
 
 from __future__ import annotations
 
-import os
 import pickle
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence
+
+from ..config import ENV_BATCH_WORKERS, env_int
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine imports us)
     from ..core.engine import QueryResult, SegosIndex
     from ..graphs.model import Graph
 
 #: Environment variable supplying the default worker count (1 = serial).
-ENV_WORKERS = "REPRO_BATCH_WORKERS"
+#: Alias of :data:`repro.config.ENV_BATCH_WORKERS`.
+ENV_WORKERS = ENV_BATCH_WORKERS
 
 
 def resolve_workers(workers: Optional[int] = None) -> int:
     """Resolve the worker count from argument / environment / serial."""
     if workers is None:
-        raw = os.environ.get(ENV_WORKERS)
-        if raw is not None:
-            try:
-                workers = int(raw)
-            except ValueError:
-                workers = 1
-    if workers is None:
-        return 1
+        workers = env_int(ENV_WORKERS, 1)
     if workers < 1:
         raise ValueError("workers must be >= 1")
     return workers

@@ -27,12 +27,12 @@ report per-query hit rates.
 
 from __future__ import annotations
 
-import os
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Tuple
 
+from ..config import ENV_SED_CACHE_SIZE, env_int
 from ..graphs.star import Star, star_edit_distance
 
 #: Default maximum number of signature pairs kept (a pair is ~100 bytes of
@@ -40,7 +40,8 @@ from ..graphs.star import Star, star_edit_distance
 DEFAULT_CAPACITY = 1 << 18
 
 #: Environment variable overriding the global cache capacity (0 disables).
-ENV_CAPACITY = "REPRO_SED_CACHE_SIZE"
+#: Alias of :data:`repro.config.ENV_SED_CACHE_SIZE`.
+ENV_CAPACITY = ENV_SED_CACHE_SIZE
 
 
 @dataclass(frozen=True)
@@ -140,13 +141,7 @@ class SEDCache:
 
 
 def _capacity_from_env() -> int:
-    raw = os.environ.get(ENV_CAPACITY)
-    if raw is None:
-        return DEFAULT_CAPACITY
-    try:
-        return int(raw)
-    except ValueError:
-        return DEFAULT_CAPACITY
+    return env_int(ENV_CAPACITY, DEFAULT_CAPACITY)
 
 
 #: The process-global cache every engine query path goes through.

@@ -93,3 +93,37 @@ class TestProbeJoin:
         _, engine = join_world
         result = similarity_join(engine, {}, 1)
         assert result.pairs == []
+
+
+class TestPublicPlanRouting:
+    """The join runs through the public session API — no private reach-ins."""
+
+    @pytest.mark.filterwarnings("error::DeprecationWarning")
+    def test_join_emits_no_deprecation_warnings(self, join_world):
+        _, engine = join_world
+        similarity_self_join(engine, 1)
+
+    def test_join_identical_to_independent_range_queries(self, join_world):
+        graphs, engine = join_world
+        result = similarity_self_join(engine, 1)
+        # Rebuild the join with one public range query per probe (no shared
+        # session): the shared-cache path must not change a single pair.
+        ordering = {gid: i for i, gid in enumerate(sorted(graphs, key=str))}
+        expected = []
+        for left in sorted(graphs, key=str):
+            probe = engine.range_query(graphs[left], 1)
+            for right in probe.candidates:
+                if ordering[right] <= ordering[left]:
+                    continue
+                expected.append((left, right))
+        assert sorted(result.pairs, key=str) == sorted(expected, key=str)
+
+    def test_probe_join_shares_one_session(self, join_world):
+        graphs, engine = join_world
+        probes = {f"p{i}": graphs[key].copy() for i, key in enumerate(graphs)}
+        shared = similarity_join(engine, probes, 1)
+        solo = sum(
+            engine.range_query(g, 1).stats.ta_searches for g in probes.values()
+        )
+        # Cache sharing must strictly reduce TA work on this clone-heavy set.
+        assert shared.stats.ta_searches < solo

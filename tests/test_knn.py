@@ -87,3 +87,23 @@ class TestKnn:
         result = knn_query(engine, query, 3, tau_limit=0)
         assert result.rings == 1
         assert len(result.neighbours) <= 3
+
+
+class TestRingCacheReuse:
+    """τ expansion reuses the first ring's TA searches via the session."""
+
+    def test_ta_searches_do_not_regress_across_radii(self, knn_setup):
+        _, graphs, engine = knn_setup
+        query = graphs["g0"].copy()
+        result = knn_query(engine, query, 5, tau_start=0, tau_step=1)
+        assert result.rings > 1  # τ really expanded
+        one_ring = engine.range_query(query, 0).stats.ta_searches
+        # Merged stats over all rings: TA searches paid exactly once.
+        assert result.stats.ta_searches == one_ring
+
+    def test_ta_accesses_equal_single_ring(self, knn_setup):
+        _, graphs, engine = knn_setup
+        query = graphs["g1"].copy()
+        result = knn_query(engine, query, 5, tau_start=0, tau_step=1)
+        single = engine.range_query(query, 0).stats.ta_accesses
+        assert result.stats.ta_accesses == single
