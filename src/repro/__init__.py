@@ -26,11 +26,14 @@ from .core.plan import QuerySession
 from .core.stats import QueryStats
 from .perf.assignment import available_backends, solve_assignment
 from .perf.sed_cache import sed_cache_clear, sed_cache_info
+from .resilience import DegradationEvent, FaultPlan
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "DegradationEvent",
     "EngineConfig",
+    "FaultPlan",
     "Graph",
     "QueryResult",
     "QuerySession",

@@ -47,6 +47,14 @@ ENV_VERIFY_WORKERS = "REPRO_VERIFY_WORKERS"
 ENV_VERIFY_BUDGET = "REPRO_VERIFY_BUDGET"
 #: Wall-clock deadline (seconds) for one query's exact verification.
 ENV_VERIFY_DEADLINE = "REPRO_VERIFY_DEADLINE"
+#: Seconds one supervised worker task may run before its worker is killed.
+ENV_TASK_TIMEOUT = "REPRO_TASK_TIMEOUT"
+#: Consecutive no-progress pool failures before the circuit breaker opens.
+ENV_MAX_POOL_RETRIES = "REPRO_MAX_POOL_RETRIES"
+#: Base (seconds) of the exponential backoff slept before pool retries.
+ENV_RETRY_BACKOFF = "REPRO_RETRY_BACKOFF"
+#: Scripted fault plan for the resilience layer (see repro.resilience.faults).
+ENV_FAULT_PLAN = "REPRO_FAULT_PLAN"
 
 #: Default SED-cache capacity (mirrored by ``repro.perf.sed_cache``).
 DEFAULT_SED_CACHE_SIZE = 1 << 18
@@ -57,6 +65,10 @@ DEFAULT_K = 100
 DEFAULT_H = 1000
 #: Section V-E's 50 % rule for the Theorem-1 partial check.
 DEFAULT_PARTIAL_FRACTION = 0.5
+#: Default consecutive-failure budget of the supervised pool's breaker.
+DEFAULT_MAX_POOL_RETRIES = 2
+#: Default exponential-backoff base (seconds) between pool retries.
+DEFAULT_RETRY_BACKOFF = 0.05
 
 
 # ---------------------------------------------------------------------------
@@ -162,6 +174,21 @@ class EngineConfig:
         Wall-clock seconds after which no further A* runs are scheduled in
         one query's verification; ``None`` = no deadline.
         Env: ``REPRO_VERIFY_DEADLINE``.
+    task_timeout:
+        Seconds one supervised worker task may run before its worker is
+        killed and the task retried; ``None`` = no per-task timeout.
+        Env: ``REPRO_TASK_TIMEOUT``.
+    max_pool_retries:
+        Consecutive no-progress pool failures the supervised executor
+        tolerates before its circuit breaker opens and execution falls
+        back to serial.  Env: ``REPRO_MAX_POOL_RETRIES``.
+    retry_backoff:
+        Base (seconds) of the exponential backoff slept before each pool
+        retry round.  Env: ``REPRO_RETRY_BACKOFF``.
+    fault_plan:
+        Scripted fault-injection plan (see
+        :mod:`repro.resilience.faults`); ``None`` = faults disabled.
+        Env: ``REPRO_FAULT_PLAN``.
     """
 
     k: int = DEFAULT_K
@@ -174,6 +201,10 @@ class EngineConfig:
     verify_workers: int = 1
     verify_budget: int = DEFAULT_VERIFY_BUDGET
     verify_deadline: Optional[float] = None
+    task_timeout: Optional[float] = None
+    max_pool_retries: int = DEFAULT_MAX_POOL_RETRIES
+    retry_backoff: float = DEFAULT_RETRY_BACKOFF
+    fault_plan: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.k < 1:
@@ -192,6 +223,19 @@ class EngineConfig:
             raise ValueError("verify_budget must be >= 1")
         if self.verify_deadline is not None and self.verify_deadline <= 0:
             raise ValueError("verify_deadline must be positive")
+        if self.task_timeout is not None and self.task_timeout <= 0:
+            raise ValueError("task_timeout must be positive")
+        if self.max_pool_retries < 0:
+            raise ValueError("max_pool_retries must be >= 0")
+        if self.retry_backoff < 0:
+            raise ValueError("retry_backoff must be non-negative")
+        if self.fault_plan is not None:
+            # A typo'd fault plan fails fast here, not by silently never
+            # firing mid-experiment.  Imported lazily (resilience imports
+            # this module at startup).
+            from .resilience.faults import FaultPlan
+
+            FaultPlan.parse(self.fault_plan)
         # Backend names fail fast at construction, not mid-query.  Imported
         # lazily: the perf/core modules import this module at startup.
         # Resolving ``None`` too keeps the scipy probe (an import) at
@@ -223,6 +267,12 @@ class EngineConfig:
             "verify_workers": env_int(ENV_VERIFY_WORKERS, 1),
             "verify_budget": env_int(ENV_VERIFY_BUDGET, DEFAULT_VERIFY_BUDGET),
             "verify_deadline": env_float(ENV_VERIFY_DEADLINE, None),
+            "task_timeout": env_float(ENV_TASK_TIMEOUT, None),
+            "max_pool_retries": env_int(
+                ENV_MAX_POOL_RETRIES, DEFAULT_MAX_POOL_RETRIES
+            ),
+            "retry_backoff": env_float(ENV_RETRY_BACKOFF, DEFAULT_RETRY_BACKOFF),
+            "fault_plan": env_raw(ENV_FAULT_PLAN) or None,
         }
         known = {f.name for f in fields(cls)}
         for name, value in overrides.items():
@@ -262,4 +312,8 @@ ENV_KNOBS: Tuple[Tuple[str, str], ...] = (
     ("verify_workers", ENV_VERIFY_WORKERS),
     ("verify_budget", ENV_VERIFY_BUDGET),
     ("verify_deadline", ENV_VERIFY_DEADLINE),
+    ("task_timeout", ENV_TASK_TIMEOUT),
+    ("max_pool_retries", ENV_MAX_POOL_RETRIES),
+    ("retry_backoff", ENV_RETRY_BACKOFF),
+    ("fault_plan", ENV_FAULT_PLAN),
 )

@@ -81,6 +81,10 @@ class SegosIndex:
         verify_budget: Optional[int] = None,
         verify_deadline: Optional[float] = None,
         sed_cache_size: Optional[int] = None,
+        task_timeout: Optional[float] = None,
+        max_pool_retries: Optional[int] = None,
+        retry_backoff: Optional[float] = None,
+        fault_plan: Optional[str] = None,
         config: Optional[EngineConfig] = None,
     ) -> None:
         base = config if config is not None else EngineConfig.from_env()
@@ -95,6 +99,10 @@ class SegosIndex:
             verify_budget=verify_budget,
             verify_deadline=verify_deadline,
             sed_cache_size=sed_cache_size,
+            task_timeout=task_timeout,
+            max_pool_retries=max_pool_retries,
+            retry_backoff=retry_backoff,
+            fault_plan=fault_plan,
         )
         # The SED memo cache is process-global (it memoises a pure function
         # of signature pairs); an engine only touches it when its resolved
@@ -306,25 +314,35 @@ class SegosIndex:
         the first few queries.
 
         ``workers`` (default: the engine's resolved ``batch_workers`` knob)
-        above 1 fans query chunks out over worker processes; engines that
-        cannot travel to a subprocess (the sqlite backend) silently fall
-        back to the serial path with identical answers.  ``verify_workers``
-        parallelises exact verification *within* each query; when the batch
-        itself runs in worker processes the per-query verification stays
-        serial (one pool, not pools of pools).
+        above 1 fans query chunks out over the supervised worker pool
+        (:mod:`repro.resilience.pool`): engines that cannot travel to a
+        subprocess (the sqlite backend) fall back to the serial path with
+        identical answers, broken pools are re-spawned with completed
+        chunks salvaged, and every degradation is recorded in the first
+        result's ``stats.degradations`` — loud, not silent.
+        ``verify_workers`` parallelises exact verification *within* each
+        query; when the batch itself runs in worker processes the
+        per-query verification stays serial (one pool, not pools of
+        pools).
         """
         if verify not in ("none", "exact"):
             raise ValueError(f"unknown verify mode {verify!r}")
         workers = self.config.override(batch_workers=workers).batch_workers
+        degradations: List = []
         if workers > 1 and len(queries) > 1:
-            results = parallel_batch_range_query(
+            results, degradations = parallel_batch_range_query(
                 self, queries, tau, workers=workers, k=k, h=h, verify=verify
             )
             if results is not None:
+                if degradations:
+                    results[0].stats.degradations.extend(degradations)
                 return results
-        return self._serial_batch_range_query(
+        results = self._serial_batch_range_query(
             queries, tau, k=k, h=h, verify=verify, verify_workers=verify_workers
         )
+        if degradations and results:
+            results[0].stats.degradations.extend(degradations)
+        return results
 
     def _serial_batch_range_query(
         self,

@@ -96,6 +96,8 @@ class QueryExplanation:
                 f"({self.stats.sed_cache_hit_rate:.0%} hit rate)"
             )
         lines.append("DC stage: " + self.stats.summary())
+        for event in self.stats.degradations:
+            lines.append(f"resilience: {event.summary()}")
         lines.append(
             f"result: {len(self.candidates)} candidates "
             f"({len(self.confirmed)} confirmed) in {self.elapsed * 1000:.1f} ms"

@@ -124,6 +124,22 @@ class StarCatalog:
         return False
 
 
+# Sort keys are module-level functions (not lambdas) so indexes — and the
+# engines holding them — stay picklable for the process-pool paths.
+def _upper_sort_key(entry: UpperEntry) -> Tuple[int, str]:
+    return (entry.order, str(entry.gid))
+
+
+def _size_sort_key(entry: LowerEntry) -> Tuple[int, int]:
+    return (entry.leaf_size, entry.sid)
+
+
+def _lower_sort_key(entry: LowerEntry) -> Tuple[int, int, int]:
+    # Group by leaf size asc; inside a group frequency desc, then sid asc
+    # for determinism (Figure 6's order).
+    return (entry.leaf_size, -entry.freq, entry.sid)
+
+
 class _LazySortedList:
     """A dict of postings with a lazily rebuilt sorted materialisation."""
 
@@ -159,9 +175,7 @@ class UpperLevelIndex:
         """Op1/Op3: insert a posting, creating the list if needed."""
         postings = self._lists.get(sid)
         if postings is None:
-            postings = self._lists[sid] = _LazySortedList(
-                key=lambda e: (e.order, str(e.gid))
-            )
+            postings = self._lists[sid] = _LazySortedList(key=_upper_sort_key)
         if gid in postings.data:
             raise IndexCorruptionError(f"duplicate upper posting ({sid}, {gid})")
         postings.data[gid] = UpperEntry(gid, freq, order)
@@ -212,7 +226,7 @@ class LowerLevelIndex:
         self._catalog = catalog
         self._lists: Dict[str, _LazySortedList] = {}
         # Size list: every live star ordered by leaf size.
-        self._size_list = _LazySortedList(key=lambda e: (e.leaf_size, e.sid))
+        self._size_list = _LazySortedList(key=_size_sort_key)
 
     def labels(self) -> Iterable[str]:
         return self._lists.keys()
@@ -222,11 +236,7 @@ class LowerLevelIndex:
         for label, freq in sorted(Counter(star.leaves).items()):
             postings = self._lists.get(label)
             if postings is None:
-                postings = self._lists[label] = _LazySortedList(
-                    # Group by leaf size asc; inside a group frequency desc,
-                    # then sid asc for determinism (Figure 6's order).
-                    key=lambda e: (e.leaf_size, -e.freq, e.sid)
-                )
+                postings = self._lists[label] = _LazySortedList(key=_lower_sort_key)
             postings.data[sid] = LowerEntry(sid, freq, star.leaf_size)
             postings.invalidate()
         self._size_list.data[sid] = LowerEntry(sid, 0, star.leaf_size)

@@ -167,15 +167,21 @@ class PipelinedSegos:
         if verify not in ("none", "exact"):
             raise ValueError(f"unknown verify mode {verify!r}")
         workers = self.engine.config.override(batch_workers=workers).batch_workers
+        degradations: List = []
         if workers > 1 and len(queries) > 1:
-            results = parallel_batch_range_query(
+            results, degradations = parallel_batch_range_query(
                 self, queries, tau, workers=workers, verify=verify
             )
             if results is not None:
+                if degradations:
+                    results[0].stats.degradations.extend(degradations)
                 return results
-        return self._serial_batch_range_query(
+        results = self._serial_batch_range_query(
             queries, tau, verify=verify, verify_workers=verify_workers
         )
+        if degradations and results:
+            results[0].stats.degradations.extend(degradations)
+        return results
 
     def _serial_batch_range_query(
         self,

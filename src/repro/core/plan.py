@@ -42,6 +42,7 @@ from ..config import EngineConfig
 from ..graphs.model import Graph
 from ..graphs.star import Star, decompose
 from ..perf.sed_cache import GLOBAL_SED_CACHE
+from ..resilience.pool import ResiliencePolicy
 from .ca_search import ca_range_query
 from .graph_lists import QueryStarLists, build_all_lists
 from .stats import QueryStats, WallClock
@@ -237,10 +238,13 @@ class VerifyStage(Stage):
             deadline=ctx.config.verify_deadline,
             workers=ctx.config.verify_workers,
             assignment_backend=ctx.config.assignment_backend,
+            resilience=ResiliencePolicy.from_config(ctx.config),
+            fault_plan=ctx.config.fault_plan,
         )
         ctx.matches = set(report.matches)
         ctx.stats.settled_by_bounds = report.settled_by_bounds
         ctx.stats.astar_runs = report.astar_runs
+        ctx.stats.degradations.extend(report.degradations)
         ctx.verified = report.decided()
         return ctx
 

@@ -14,7 +14,9 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterable
+from typing import Dict, Iterable, List
+
+from ..resilience.telemetry import DegradationEvent
 
 
 @dataclass
@@ -82,6 +84,10 @@ class QueryStats:
     #: ``verify`` on the pipelined path — the threaded stages overlap, so
     #: they are timed as one fused stage)
     stage_seconds: Dict[str, float] = field(default_factory=dict)
+    #: degradation telemetry: every pool failure, injected fault, retry or
+    #: fallback recorded while answering this query (see
+    #: :mod:`repro.resilience`); silent degradation is a bug
+    degradations: List[DegradationEvent] = field(default_factory=list)
 
     @property
     def sed_cache_hit_rate(self) -> float:
@@ -136,6 +142,11 @@ class QueryStats:
                 for name, seconds in self.stage_seconds.items()
             )
             parts.append(f"stages: {timed}")
+        if self.degradations:
+            parts.append(
+                f"degraded: {len(self.degradations)} event(s), "
+                f"{sum(e.retries for e in self.degradations)} retries"
+            )
         return " | ".join(parts)
 
     def merge(self, other: "QueryStats") -> None:
@@ -161,6 +172,7 @@ class QueryStats:
             self.topk_backends[key] = self.topk_backends.get(key, 0) + value
         for key, value in other.stage_seconds.items():
             self.stage_seconds[key] = self.stage_seconds.get(key, 0.0) + value
+        self.degradations.extend(other.degradations)
 
     @classmethod
     def merged(cls, runs: Iterable["QueryStats"]) -> "QueryStats":

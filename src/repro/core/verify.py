@@ -14,20 +14,21 @@ schedulable step:
 * each A* run gets a state budget; blown budgets are reported as
   ``undecided`` rather than crashing the batch;
 * with ``workers > 1`` (or ``REPRO_VERIFY_WORKERS``) the A* runs fan out
-  over a process pool.  The bounds stage stays in-process (it is cheap and
-  prunes most of the batch); the surviving runs are dispatched in the same
-  ``L_m``-ascending priority order, each with its budget intact, and the
-  deadline bounds how long results are awaited.  Engines or graphs that
-  cannot be pickled degrade to the serial path with identical answers.
+  over the **supervised** process pool (:mod:`repro.resilience.pool`).
+  The bounds stage stays in-process (it is cheap and prunes most of the
+  batch); the surviving runs are dispatched in the same ``L_m``-ascending
+  priority order, each with its budget intact.  Hung workers are killed
+  after ``task_timeout``, broken pools are re-spawned with completed runs
+  salvaged, and a blown ``deadline`` terminates the worker processes
+  outright so it actually bounds wall-clock.  Engines or graphs that
+  cannot be pickled degrade to the serial path with identical answers,
+  and every degradation lands in :attr:`VerificationReport.degradations`.
 """
 
 from __future__ import annotations
 
 import pickle
 import time
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures import TimeoutError as FutureTimeoutError
-from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
@@ -36,10 +37,16 @@ from ..graphs.edit_distance import graph_edit_distance
 from ..graphs.model import Graph
 from ..config import ENV_VERIFY_WORKERS, env_int
 from ..matching.mapping import bounds as mapping_bounds
+from ..resilience.faults import FaultPlan, resolve_fault_plan
+from ..resilience.pool import PoolTask, ResiliencePolicy, run_supervised
+from ..resilience.telemetry import DegradationEvent
 
 #: Default per-candidate A* state budget for *direct* verify_candidates
 #: calls; engine-driven verification uses ``EngineConfig.verify_budget``.
 DEFAULT_VERIFY_BUDGET = 200_000
+
+#: Exceptions that mean "this payload cannot travel to a worker process".
+PICKLE_ERRORS = (pickle.PicklingError, TypeError, AttributeError, NotImplementedError)
 
 
 def resolve_verify_workers(workers: Optional[int] = None) -> int:
@@ -64,6 +71,8 @@ class VerificationReport:
     elapsed: float = 0.0
     #: worker processes the A* stage actually ran on (1 = in-process)
     workers_used: int = 1
+    #: degradation telemetry from the supervised pool (empty = clean run)
+    degradations: List[DegradationEvent] = field(default_factory=list)
 
     def decided(self) -> bool:
         """True when no candidate was left undecided."""
@@ -105,66 +114,80 @@ def _parallel_astar(
     started: float,
     workers: int,
     report: VerificationReport,
-) -> bool:
-    """Fan the scheduled A* runs out over *workers* processes.
+    policy: ResiliencePolicy,
+    faults: FaultPlan,
+) -> List[Tuple[float, object]]:
+    """Fan the scheduled A* runs out over the supervised worker pool.
 
-    Returns False when parallel execution is impossible (unpicklable
-    payload, broken pool) so the caller falls back to the serial loop.
+    Folds every completed run into *report* and returns the scheduled
+    items still unsettled — the unpicklable-payload fallback (everything),
+    the circuit-breaker remainder, or deadline-abandoned stragglers — for
+    the caller's serial loop, which preserves today's semantics for each
+    (serial execution, or ``undecided`` once the deadline has passed).
     Priority is preserved by submitting in ``L_m`` order: the pool pops
     tasks FIFO, so the most promising candidates still run first.
     """
-    try:
-        ctx_blob = pickle.dumps(
-            (query, tau, budget), protocol=pickle.HIGHEST_PROTOCOL
+    injected = faults.fire("pickle.engine", stage="verify")
+    if injected is not None:
+        report.degradations.append(
+            DegradationEvent(
+                point="pickle.engine",
+                stage="verify",
+                cause="injected fault: pickle.engine",
+                injected=True,
+                lost=len(scheduled),
+                fallback="serial",
+            )
         )
+        return list(scheduled)
+    try:
+        ctx_blob = pickle.dumps((query, tau, budget), protocol=pickle.HIGHEST_PROTOCOL)
         task_args = [(gid, graphs[gid]) for _, gid in scheduled]
         pickle.dumps(task_args[0], protocol=pickle.HIGHEST_PROTOCOL)
-    except Exception:
-        return False
-    outcomes: Dict[object, str] = {}
-    try:
-        with ProcessPoolExecutor(
-            max_workers=min(workers, len(scheduled)),
-            initializer=_init_verify_worker,
-            initargs=(ctx_blob,),
-        ) as pool:
-            futures = [
-                pool.submit(_run_verify_task, gid, graph) for gid, graph in task_args
-            ]
-            for future in futures:
-                if deadline is not None:
-                    remaining = deadline - (time.perf_counter() - started)
-                    if remaining <= 0:
-                        # Past the deadline: whatever has not produced a
-                        # result yet is undecided, exactly as the serial
-                        # path stops scheduling new runs.
-                        if not future.done():
-                            future.cancel()
-                            continue
-                    try:
-                        gid, outcome = future.result(timeout=max(remaining, 0))
-                    except FutureTimeoutError:
-                        future.cancel()
-                        continue
-                else:
-                    gid, outcome = future.result()
-                outcomes[gid] = outcome
-    except (BrokenProcessPool, OSError, pickle.PicklingError):
-        return False
-    for _, gid in scheduled:
-        outcome = outcomes.get(gid)
-        if outcome is None:
-            report.undecided.add(gid)
-            continue
-        report.astar_runs += 1
-        if outcome == "match":
-            report.matches.add(gid)
-        elif outcome == "rejected":
-            report.rejected.add(gid)
+    except PICKLE_ERRORS as exc:
+        report.degradations.append(
+            DegradationEvent(
+                point="pickle.engine",
+                stage="verify",
+                cause=repr(exc),
+                lost=len(scheduled),
+                fallback="serial",
+            )
+        )
+        return list(scheduled)
+
+    tasks = [
+        PoolTask(index, _run_verify_task, (gid, graph))
+        for index, (gid, graph) in enumerate(task_args)
+    ]
+    outcome = run_supervised(
+        tasks,
+        workers=min(workers, len(scheduled)),
+        policy=policy,
+        initializer=_init_verify_worker,
+        initargs=(ctx_blob,),
+        faults=faults,
+        stage="verify",
+        deadline=deadline,
+        started=started,
+    )
+    report.degradations.extend(outcome.events)
+    report.workers_used = max(outcome.workers_used, 1)
+
+    remaining: List[Tuple[float, object]] = []
+    for index, (l_m, gid) in enumerate(scheduled):
+        if index in outcome.results:
+            _, verdict = outcome.results[index]
+            report.astar_runs += 1
+            if verdict == "match":
+                report.matches.add(gid)
+            elif verdict == "rejected":
+                report.rejected.add(gid)
+            else:
+                report.undecided.add(gid)
         else:
-            report.undecided.add(gid)
-    report.workers_used = min(workers, len(scheduled))
-    return True
+            remaining.append((l_m, gid))
+    return remaining
 
 
 def verify_candidates(
@@ -178,6 +201,8 @@ def verify_candidates(
     deadline: Optional[float] = None,
     workers: Optional[int] = None,
     assignment_backend: Optional[str] = None,
+    resilience: Optional[ResiliencePolicy] = None,
+    fault_plan=None,
 ) -> VerificationReport:
     """Verify *candidates* against ``λ(query, ·) ≤ tau``.
 
@@ -185,7 +210,12 @@ def verify_candidates(
     are admitted directly.  ``deadline`` (seconds) stops scheduling new A*
     runs once exceeded; unprocessed candidates end up ``undecided``.
     ``workers`` (default: the ``REPRO_VERIFY_WORKERS`` environment
-    variable) above 1 dispatches the A* runs to a process pool.
+    variable) above 1 dispatches the A* runs to the supervised process
+    pool, governed by *resilience* (default: the ``REPRO_TASK_TIMEOUT`` /
+    ``REPRO_MAX_POOL_RETRIES`` / ``REPRO_RETRY_BACKOFF`` environment
+    knobs) and *fault_plan* (a spec string, a parsed
+    :class:`~repro.resilience.faults.FaultPlan`, or ``None`` for the
+    ``REPRO_FAULT_PLAN`` environment default).
 
     Examples
     --------
@@ -220,8 +250,11 @@ def verify_candidates(
     scheduled.sort(key=lambda item: (item[0], str(item[1])))
 
     workers = resolve_verify_workers(workers)
+    remaining: Sequence[Tuple[float, object]] = scheduled
     if workers > 1 and len(scheduled) > 1:
-        if _parallel_astar(
+        policy = resilience if resilience is not None else ResiliencePolicy.from_env()
+        faults = resolve_fault_plan(fault_plan)
+        remaining = _parallel_astar(
             graphs,
             query,
             scheduled,
@@ -231,11 +264,11 @@ def verify_candidates(
             started,
             workers,
             report,
-        ):
-            report.elapsed = time.perf_counter() - started
-            return report
+            policy,
+            faults,
+        )
 
-    for l_m, gid in scheduled:
+    for l_m, gid in remaining:
         if deadline is not None and time.perf_counter() - started > deadline:
             report.undecided.add(gid)
             continue

@@ -81,6 +81,33 @@ class ParseError(ReproError, ValueError):
         self.line_number = line_number
 
 
+class PoolBrokenError(ReproError):
+    """Recorded when a worker process pool dies mid-flight.
+
+    The supervised executor (:mod:`repro.resilience.pool`) converts a
+    ``BrokenProcessPool`` into this library error, kills the remains of the
+    pool, and re-spawns; callers see it in the ``cause`` of a
+    :class:`~repro.resilience.telemetry.DegradationEvent` rather than as a
+    raised exception.
+    """
+
+
+class WorkerTimeout(ReproError):
+    """Recorded when a supervised worker task exceeds its ``task_timeout``.
+
+    A running task cannot be cancelled (``future.cancel()`` is a no-op once
+    execution starts), so the supervisor terminates the worker processes
+    and retries the unfinished remainder on a fresh pool.
+    """
+
+    def __init__(self, task_id: object, timeout: float | None) -> None:
+        super().__init__(
+            f"worker task {task_id!r} exceeded its timeout of {timeout} s"
+        )
+        self.task_id = task_id
+        self.timeout = timeout
+
+
 class SearchBudgetExceeded(ReproError):
     """Raised when an exact computation exceeds its configured budget.
 

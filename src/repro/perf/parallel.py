@@ -1,4 +1,4 @@
-"""Process-parallel batch range queries (chunked ``concurrent.futures``).
+"""Process-parallel batch range queries (supervised worker pool).
 
 The batch API of :meth:`repro.core.engine.SegosIndex.batch_range_query` is
 embarrassingly parallel across queries: each range query only reads the
@@ -7,15 +7,22 @@ CPU-bound work, so the parallel path ships the engine to worker *processes*
 once (via an executor initializer) and fans contiguous query chunks out to
 them, preserving input order in the results.
 
-Robustness contract:
+Robustness contract (all supervised by :mod:`repro.resilience.pool`):
 
 * engines that cannot be pickled (e.g. the sqlite backend holds a live
-  connection) are detected up front and the caller falls back to the serial
-  path — same answers, no crash;
-* a broken pool (worker killed, fork unavailable) likewise degrades to
-  serial rather than raising;
-* genuine query errors (empty query graph, negative τ) propagate exactly as
-  they would serially.
+  connection) are detected up front and the caller falls back to the
+  serial path — same answers, with the cause recorded as a
+  :class:`~repro.resilience.telemetry.DegradationEvent` instead of being
+  swallowed (a non-pickling-related error from a genuine bug propagates);
+* a broken pool (worker killed, fork unavailable) is killed and
+  re-spawned with bounded exponential-backoff retries; completed chunk
+  results are **salvaged** — only the failed remainder is re-queued, or
+  run serially in-process once the circuit breaker opens;
+* hung workers are bounded by ``task_timeout`` (the worker is terminated,
+  the task retried);
+* genuine query errors (empty query graph, negative τ) propagate exactly
+  as they would serially;
+* every degradation is observable in ``QueryStats.degradations``.
 
 Each chunk runs the engine's serial batch internally, so the shared-TA-cache
 optimisation still applies within a chunk; per-query :class:`QueryStats`
@@ -29,11 +36,12 @@ Worker count precedence: explicit ``workers=`` argument, then the
 from __future__ import annotations
 
 import pickle
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures.process import BrokenProcessPool
-from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple
 
-from ..config import ENV_BATCH_WORKERS, env_int
+from ..config import ENV_BATCH_WORKERS, EngineConfig, env_int
+from ..resilience.faults import FaultPlan
+from ..resilience.pool import PoolTask, ResiliencePolicy, run_supervised
+from ..resilience.telemetry import DegradationEvent
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine imports us)
     from ..core.engine import QueryResult, SegosIndex
@@ -42,6 +50,10 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine imports us)
 #: Environment variable supplying the default worker count (1 = serial).
 #: Alias of :data:`repro.config.ENV_BATCH_WORKERS`.
 ENV_WORKERS = ENV_BATCH_WORKERS
+
+#: Exceptions that mean "this object cannot travel to a worker process".
+#: Anything else raised while pickling is a genuine bug and propagates.
+PICKLE_ERRORS = (pickle.PicklingError, TypeError, AttributeError, NotImplementedError)
 
 
 def resolve_workers(workers: Optional[int] = None) -> int:
@@ -85,6 +97,14 @@ def _run_chunk(
     return _WORKER_ENGINE._serial_batch_range_query(queries, tau, **kwargs)
 
 
+def _engine_config(engine) -> EngineConfig:
+    """The resolved config of a batch front-end (engine or pipeline)."""
+    config = getattr(engine, "config", None)
+    if config is None:
+        config = engine.engine.config  # PipelinedSegos wraps an engine
+    return config
+
+
 def parallel_batch_range_query(
     engine: "SegosIndex",
     queries: Sequence["Graph"],
@@ -94,28 +114,75 @@ def parallel_batch_range_query(
     k: Optional[int] = None,
     h: Optional[int] = None,
     verify: str = "none",
-) -> Optional[List["QueryResult"]]:
+) -> Tuple[Optional[List["QueryResult"]], List[DegradationEvent]]:
     """Fan a batch of range queries out over *workers* processes.
 
-    Returns results in input order, or ``None`` when process-parallel
-    execution is impossible (unpicklable engine, broken pool) and the caller
-    should run serially instead.
+    Returns ``(results, degradations)``.  ``results`` is in input order;
+    chunks the supervised pool could not finish (circuit breaker open) are
+    salvaged by running only that remainder serially in-process.
+    ``results`` is ``None`` only when process-parallel execution was
+    impossible from the start (unpicklable engine) and the caller should
+    run the whole batch serially — the cause is in ``degradations`` either
+    way, for the caller to attach to its stats.
     """
+    config = _engine_config(engine)
+    faults = FaultPlan.parse(config.fault_plan)
+    policy = ResiliencePolicy.from_config(config)
+    events: List[DegradationEvent] = []
+
+    injected = faults.fire("pickle.engine", stage="batch")
+    if injected is not None:
+        events.append(
+            DegradationEvent(
+                point="pickle.engine",
+                stage="batch",
+                cause="injected fault: pickle.engine",
+                injected=True,
+                lost=len(queries),
+                fallback="serial",
+            )
+        )
+        return None, events
     try:
         engine_blob = pickle.dumps(engine, protocol=pickle.HIGHEST_PROTOCOL)
-    except Exception:
-        return None  # e.g. sqlite backend: connections don't pickle
+    except PICKLE_ERRORS as exc:  # e.g. sqlite backend: connections don't pickle
+        events.append(
+            DegradationEvent(
+                point="pickle.engine",
+                stage="batch",
+                cause=repr(exc),
+                lost=len(queries),
+                fallback="serial",
+            )
+        )
+        return None, events
+
     chunks = chunk_evenly(queries, workers)
     # verify_workers pinned to 1: the batch already owns the process fan-out,
-    # and REPRO_VERIFY_WORKERS is inherited by workers — without the pin each
-    # chunk would nest a second pool per query.
+    # and the verify-worker knob is inherited by workers — without the pin
+    # each chunk would nest a second pool per query.
     kwargs = {"k": k, "h": h, "verify": verify, "verify_workers": 1}
-    try:
-        with ProcessPoolExecutor(
-            max_workers=len(chunks), initializer=_init_worker, initargs=(engine_blob,)
-        ) as pool:
-            futures = [pool.submit(_run_chunk, chunk, tau, kwargs) for chunk in chunks]
-            per_chunk = [future.result() for future in futures]
-    except (BrokenProcessPool, OSError, pickle.PicklingError):
-        return None
-    return [result for chunk_results in per_chunk for result in chunk_results]
+    tasks = [
+        PoolTask(index, _run_chunk, (chunk, tau, kwargs))
+        for index, chunk in enumerate(chunks)
+    ]
+    outcome = run_supervised(
+        tasks,
+        workers=len(chunks),
+        policy=policy,
+        initializer=_init_worker,
+        initargs=(engine_blob,),
+        faults=faults,
+        stage="batch",
+    )
+    events.extend(outcome.events)
+
+    results: List["QueryResult"] = []
+    for index, chunk in enumerate(chunks):
+        if index in outcome.results:
+            results.extend(outcome.results[index])
+        else:
+            # Per-chunk salvage: only the unfinished remainder runs
+            # serially; every completed chunk's results are reused.
+            results.extend(engine._serial_batch_range_query(chunk, tau, **kwargs))
+    return results, events

@@ -1,0 +1,579 @@
+"""Tests for the resilience layer: fault plans, the supervised pool,
+partial-result salvage, and degradation telemetry.
+
+The deterministic pool tests run ``run_supervised`` directly with
+``workers=1`` so worker death cannot race sibling futures; the end-to-end
+acceptance tests go through the public engine API with scripted
+``EngineConfig.fault_plan`` specs.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import random
+import time
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import EngineConfig
+from repro.core.engine import SegosIndex
+from repro.core.stats import QueryStats
+from repro.core.verify import verify_candidates
+from repro.datasets import aids_like, sample_queries
+from repro.errors import PoolBrokenError, ReproError, WorkerTimeout
+from repro.graphs.model import Graph
+from repro.perf.parallel import parallel_batch_range_query
+from repro.resilience import (
+    EMPTY_PLAN,
+    DegradationEvent,
+    FaultInjected,
+    FaultPlan,
+    FaultRule,
+    PoolTask,
+    ResiliencePolicy,
+    random_spec,
+    resolve_fault_plan,
+    run_supervised,
+)
+from repro.resilience.faults import INJECTION_POINTS
+
+
+# ----------------------------------------------------------------------
+# Fault plans
+# ----------------------------------------------------------------------
+class TestFaultPlan:
+    def test_empty_specs_are_falsy_noops(self):
+        for spec in (None, "", "   ", " ; "):
+            plan = FaultPlan.parse(spec)
+            assert not plan
+            assert plan.fire("worker.crash") is None
+
+    def test_unknown_point_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault injection point"):
+            FaultPlan.parse("worker.explode")
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault rule key"):
+            FaultPlan.parse("worker.crash:color=red")
+
+    def test_malformed_token_rejected(self):
+        with pytest.raises(ValueError, match="malformed"):
+            FaultPlan.parse("worker.crash:times")
+
+    def test_times_counts_down(self):
+        plan = FaultPlan.parse("worker.crash:times=2")
+        assert plan.fire("worker.crash") is not None
+        assert plan.fire("worker.crash") is not None
+        assert plan.fire("worker.crash") is None
+
+    def test_times_inf_never_burns_out(self):
+        plan = FaultPlan.parse("chunk.result:times=inf")
+        for _ in range(10):
+            assert plan.fire("chunk.result") is not None
+
+    def test_task_filter(self):
+        plan = FaultPlan.parse("worker.crash:chunk=1")
+        assert plan.fire("worker.crash", task=0) is None
+        rule = plan.fire("worker.crash", task=1)
+        assert rule is not None and rule.task == 1
+
+    def test_stage_filter(self):
+        plan = FaultPlan.parse("pickle.engine:stage=verify")
+        assert plan.fire("pickle.engine", stage="batch") is None
+        assert plan.fire("pickle.engine", stage="verify") is not None
+
+    def test_seconds_parsed_for_hang(self):
+        plan = FaultPlan.parse("worker.hang:seconds=2.5")
+        rule = plan.fire("worker.hang")
+        assert rule is not None and rule.seconds == 2.5
+
+    def test_multi_rule_plans(self):
+        plan = FaultPlan.parse("pool.spawn:times=1; chunk.result:stage=verify")
+        assert plan.fire("pool.spawn") is not None
+        assert plan.fire("chunk.result", stage="batch") is None
+        assert plan.fire("chunk.result", stage="verify") is not None
+
+    def test_resolve_passthrough_keeps_countdown_state(self):
+        plan = FaultPlan.parse("worker.crash:times=1")
+        plan.fire("worker.crash")
+        assert resolve_fault_plan(plan) is plan
+        assert resolve_fault_plan(plan).fire("worker.crash") is None
+
+    def test_resolve_falls_back_to_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT_PLAN", "pool.spawn:times=3")
+        plan = resolve_fault_plan(None)
+        assert plan and plan.rules[0].point == "pool.spawn"
+        monkeypatch.delenv("REPRO_FAULT_PLAN")
+        assert not resolve_fault_plan(None)
+
+    def test_random_spec_deterministic_and_valid(self):
+        for seed in range(50):
+            spec = random_spec(seed)
+            assert spec == random_spec(seed)
+            plan = FaultPlan.parse(spec)
+            assert plan and plan.rules[0].point in INJECTION_POINTS
+
+    def test_fault_injected_is_a_repro_error(self):
+        assert issubclass(FaultInjected, ReproError)
+
+
+# ----------------------------------------------------------------------
+# Policy resolution
+# ----------------------------------------------------------------------
+class TestResiliencePolicy:
+    def test_defaults(self):
+        policy = ResiliencePolicy()
+        assert policy.task_timeout is None
+        assert policy.max_pool_retries == 2
+        assert policy.retry_backoff == pytest.approx(0.05)
+
+    def test_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TASK_TIMEOUT", "7.5")
+        monkeypatch.setenv("REPRO_MAX_POOL_RETRIES", "4")
+        monkeypatch.setenv("REPRO_RETRY_BACKOFF", "0.25")
+        policy = ResiliencePolicy.from_env()
+        assert policy == ResiliencePolicy(7.5, 4, 0.25)
+
+    def test_from_config_and_engine_kwargs(self):
+        engine = SegosIndex(task_timeout=3.0, max_pool_retries=5, retry_backoff=0.1)
+        policy = ResiliencePolicy.from_config(engine.config)
+        assert policy == ResiliencePolicy(3.0, 5, 0.1)
+
+    def test_backoff_is_exponential(self):
+        policy = ResiliencePolicy(retry_backoff=0.1)
+        assert policy.backoff_seconds(1) == pytest.approx(0.1)
+        assert policy.backoff_seconds(2) == pytest.approx(0.2)
+        assert policy.backoff_seconds(3) == pytest.approx(0.4)
+        assert ResiliencePolicy(retry_backoff=0.0).backoff_seconds(5) == 0.0
+
+
+# ----------------------------------------------------------------------
+# Config knobs
+# ----------------------------------------------------------------------
+class TestConfigKnobs:
+    def test_env_then_kwarg_precedence(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TASK_TIMEOUT", "9")
+        monkeypatch.setenv("REPRO_FAULT_PLAN", "pool.spawn")
+        config = EngineConfig.from_env()
+        assert config.task_timeout == 9.0
+        assert config.fault_plan == "pool.spawn"
+        config = EngineConfig.from_env(task_timeout=1.0, fault_plan=None)
+        assert config.task_timeout == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EngineConfig.from_env(task_timeout=0)
+        with pytest.raises(ValueError):
+            EngineConfig.from_env(max_pool_retries=-1)
+        with pytest.raises(ValueError):
+            EngineConfig.from_env(retry_backoff=-0.1)
+        with pytest.raises(ValueError):
+            EngineConfig.from_env(fault_plan="worker.explode")
+
+
+# ----------------------------------------------------------------------
+# The supervised pool (workers=1 keeps worker death deterministic)
+# ----------------------------------------------------------------------
+def _double(x):
+    return 2 * x
+
+
+def _sleep_forever(x):  # pragma: no cover - killed by the supervisor
+    time.sleep(60)
+    return x
+
+
+def _counted_double(marker_dir, task_id, x):
+    """Append one line per *execution* so tests can prove non-recomputation."""
+    path = pathlib.Path(marker_dir) / f"calls-{task_id}.txt"
+    with open(path, "a") as fh:
+        fh.write("x\n")
+    return 2 * x
+
+
+def _executions(marker_dir, task_id):
+    path = pathlib.Path(marker_dir) / f"calls-{task_id}.txt"
+    return len(path.read_text().splitlines()) if path.exists() else 0
+
+
+FAST = ResiliencePolicy(task_timeout=None, max_pool_retries=2, retry_backoff=0.0)
+
+
+def _tasks(n=3):
+    return [PoolTask(i, _double, (i,)) for i in range(n)]
+
+
+class TestRunSupervised:
+    def test_healthy_run(self):
+        outcome = run_supervised(_tasks(), workers=1, policy=FAST)
+        assert outcome.ok
+        assert outcome.results == {0: 0, 1: 2, 2: 4}
+        assert outcome.rounds == 1
+        assert outcome.retries == 0
+        assert outcome.events == []
+
+    def test_chunk_result_fault_retried(self):
+        faults = FaultPlan.parse("chunk.result:times=1")
+        outcome = run_supervised(_tasks(), workers=1, policy=FAST, faults=faults)
+        assert outcome.ok
+        assert outcome.results == {0: 0, 1: 2, 2: 4}
+        assert outcome.retries == 1
+        (event,) = outcome.events
+        assert event.point == "chunk.result" and event.injected
+        assert event.fallback == "retry" and event.lost == 0
+
+    def test_pool_spawn_fault_respawned(self):
+        faults = FaultPlan.parse("pool.spawn:times=1")
+        outcome = run_supervised(_tasks(), workers=1, policy=FAST, faults=faults)
+        assert outcome.ok
+        (event,) = outcome.events
+        assert event.point == "pool.spawn" and event.injected
+        assert event.fallback == "respawn" and event.requeued == 3
+
+    def test_worker_crash_salvages_completed_tasks(self, tmp_path):
+        """Satellite: crash one of three tasks; the other two are *reused*.
+
+        With one worker the tasks run strictly in order: task 0 completes,
+        the crash directive kills the worker on task 1, task 2 never
+        starts.  The retry round must re-run only tasks 1 and 2 — the
+        worker-side execution counter proves task 0 was salvaged, not
+        recomputed.
+        """
+        marker = str(tmp_path)
+        tasks = [PoolTask(i, _counted_double, (marker, i, i)) for i in range(3)]
+        faults = FaultPlan.parse("worker.crash:chunk=1:times=1")
+        outcome = run_supervised(tasks, workers=1, policy=FAST, faults=faults)
+        assert outcome.ok
+        assert outcome.results == {0: 0, 1: 2, 2: 4}
+        assert [_executions(marker, i) for i in range(3)] == [1, 1, 1]
+        (event,) = outcome.events
+        assert event.point == "worker.crash" and event.injected
+        assert event.salvaged == 1 and event.requeued == 2 and event.lost == 0
+        assert event.fallback == "respawn" and event.retries == 1
+
+    def test_worker_hang_bounded_by_task_timeout(self):
+        policy = ResiliencePolicy(task_timeout=1.0, max_pool_retries=2, retry_backoff=0.0)
+        faults = FaultPlan.parse("worker.hang:times=1:seconds=60")
+        started = time.perf_counter()
+        outcome = run_supervised(_tasks(), workers=1, policy=policy, faults=faults)
+        elapsed = time.perf_counter() - started
+        assert outcome.ok
+        assert elapsed < 30, f"hung worker not reaped in time ({elapsed:.1f}s)"
+        assert any(e.point == "worker.hang" and e.injected for e in outcome.events)
+
+    def test_circuit_breaker_opens_after_no_progress(self):
+        policy = ResiliencePolicy(task_timeout=None, max_pool_retries=1, retry_backoff=0.0)
+        faults = FaultPlan.parse("chunk.result:chunk=0:times=inf")
+        outcome = run_supervised(_tasks(), workers=1, policy=policy, faults=faults)
+        assert not outcome.ok
+        assert outcome.unfinished == [0]
+        assert outcome.results == {1: 2, 2: 4}  # healthy siblings salvaged
+        terminal = outcome.events[-1]
+        assert terminal.fallback == "serial" and terminal.lost == 1
+
+    def test_deadline_kills_pool_and_abandons(self):
+        tasks = [PoolTask(i, _sleep_forever, (i,)) for i in range(2)]
+        started = time.perf_counter()
+        outcome = run_supervised(
+            tasks, workers=1, policy=FAST, deadline=0.3, started=started
+        )
+        elapsed = time.perf_counter() - started
+        assert outcome.deadline_blown
+        assert elapsed < 30, f"deadline did not bound wall-clock ({elapsed:.1f}s)"
+        assert set(outcome.unfinished) == {0, 1}
+        (event,) = outcome.events
+        assert event.point == "deadline" and event.fallback == "abandon"
+        assert event.lost == 2
+
+    def test_errors_exported(self):
+        assert issubclass(PoolBrokenError, ReproError)
+        assert issubclass(WorkerTimeout, ReproError)
+        exc = WorkerTimeout(3, 1.5)
+        assert exc.task_id == 3 and exc.timeout == 1.5
+
+
+# ----------------------------------------------------------------------
+# End-to-end: batch queries under faults
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def corpus():
+    data = aids_like(16, seed=5, mean_order=6, stddev=1)
+    graphs = {str(gid): g for gid, g in data.graphs.items()}
+    queries = sample_queries(data, 6, seed=9)
+    return graphs, queries
+
+
+def _answers(results):
+    return [
+        (sorted(map(str, r.candidates)), sorted(map(str, r.matches)))
+        for r in results
+    ]
+
+
+class TestBatchUnderFaults:
+    def test_worker_crash_acceptance(self, corpus):
+        """The ISSUE's acceptance bar: one scripted crash must yield one
+        retry, zero lost tasks, exactly one event, and identical results."""
+        graphs, queries = corpus
+        clean = SegosIndex(graphs).batch_range_query(queries, 2)
+        engine = SegosIndex(
+            graphs, fault_plan="worker.crash:times=1", retry_backoff=0.0
+        )
+        faulted = engine.batch_range_query(queries, 2, workers=2)
+        assert _answers(faulted) == _answers(clean)
+        events = faulted[0].stats.degradations
+        assert len(events) == 1
+        (event,) = events
+        assert event.point == "worker.crash" and event.injected
+        assert event.retries == 1
+        assert event.lost == 0
+        assert event.fallback == "respawn"
+
+    def test_injected_pickle_fault_falls_back_serial(self, corpus):
+        graphs, queries = corpus
+        clean = SegosIndex(graphs).batch_range_query(queries, 2)
+        engine = SegosIndex(graphs, fault_plan="pickle.engine")
+        faulted = engine.batch_range_query(queries, 2, workers=2)
+        assert _answers(faulted) == _answers(clean)
+        (event,) = faulted[0].stats.degradations
+        assert event.point == "pickle.engine" and event.injected
+        assert event.fallback == "serial"
+
+    def test_real_pickle_failure_recorded_not_swallowed(self, corpus):
+        """The sqlite backend cannot travel to workers; the fallback must
+        say so (this used to be a silent bare-except)."""
+        graphs, queries = corpus
+        engine = SegosIndex(graphs, backend="sqlite")
+        results = engine.batch_range_query(queries, 2, workers=2)
+        (event,) = results[0].stats.degradations
+        assert event.point == "pickle.engine" and not event.injected
+        assert "pickle" in event.cause.lower() or "Connection" in event.cause
+
+    def test_unrelated_pickle_time_error_propagates(self, corpus):
+        """Only pickling-related errors mean "fall back serially"; a
+        genuine bug raised while serialising must propagate."""
+        graphs, queries = corpus
+        engine = _BrokenGetstateIndex(graphs)
+        with pytest.raises(RuntimeError, match="corrupted state"):
+            parallel_batch_range_query(engine, queries, 2, workers=2)
+
+    def test_circuit_breaker_salvages_whole_batch_serially(self, corpus):
+        graphs, queries = corpus
+        clean = SegosIndex(graphs).batch_range_query(queries, 2)
+        engine = SegosIndex(
+            graphs,
+            fault_plan="worker.crash:times=inf",
+            max_pool_retries=1,
+            retry_backoff=0.0,
+        )
+        faulted = engine.batch_range_query(queries, 2, workers=2)
+        assert _answers(faulted) == _answers(clean)
+        events = faulted[0].stats.degradations
+        assert events[-1].fallback == "serial" and events[-1].lost > 0
+
+
+class _BrokenGetstateIndex(SegosIndex):
+    def __getstate__(self):
+        raise RuntimeError("corrupted state")
+
+
+# ----------------------------------------------------------------------
+# End-to-end: verification under faults
+# ----------------------------------------------------------------------
+def _rand_graph(n, seed, extra=3, labels="abcd"):
+    rng = random.Random(seed)
+    ls = [rng.choice(labels) for _ in range(n)]
+    edges = [(i, i + 1) for i in range(n - 1)]
+    for _ in range(extra):
+        u, v = rng.sample(range(n), 2)
+        edge = (min(u, v), max(u, v))
+        if edge not in edges:
+            edges.append(edge)
+    return Graph(ls, edges)
+
+
+@pytest.fixture(scope="module")
+def verify_corpus():
+    """A corpus/query pair whose bounds stay inconclusive, so several A*
+    runs actually reach the worker pool."""
+    graphs = {f"v{i}": _rand_graph(7, seed=i) for i in range(14)}
+    query = _rand_graph(7, seed=99)
+    baseline = verify_candidates(graphs, query, sorted(graphs), 4)
+    assert baseline.astar_runs > 1  # precondition for every pool test below
+    return graphs, query, baseline
+
+
+class TestVerifyUnderFaults:
+    def test_worker_crash_identical_verdicts(self, verify_corpus):
+        graphs, query, baseline = verify_corpus
+        report = verify_candidates(
+            graphs,
+            query,
+            sorted(graphs),
+            4,
+            workers=2,
+            resilience=ResiliencePolicy(retry_backoff=0.0),
+            fault_plan="worker.crash:times=1",
+        )
+        assert report.matches == baseline.matches
+        assert report.rejected == baseline.rejected
+        (event,) = report.degradations
+        assert event.point == "worker.crash" and event.stage == "verify"
+
+    def test_pickle_fault_serial_fallback(self, verify_corpus):
+        graphs, query, baseline = verify_corpus
+        report = verify_candidates(
+            graphs, query, sorted(graphs), 4, workers=2, fault_plan="pickle.engine"
+        )
+        assert report.matches == baseline.matches
+        assert report.rejected == baseline.rejected
+        (event,) = report.degradations
+        assert event.point == "pickle.engine" and event.fallback == "serial"
+
+    def test_blown_deadline_bounds_wall_clock(self, verify_corpus):
+        """Satellite: a hung worker must not make verify_deadline a lie."""
+        graphs, query, _ = verify_corpus
+        started = time.perf_counter()
+        report = verify_candidates(
+            graphs,
+            query,
+            sorted(graphs),
+            4,
+            workers=2,
+            deadline=0.5,
+            resilience=ResiliencePolicy(retry_backoff=0.0),
+            fault_plan="worker.hang:times=inf:seconds=60",
+        )
+        elapsed = time.perf_counter() - started
+        assert elapsed < 30, f"deadline did not bound wall-clock ({elapsed:.1f}s)"
+        assert report.undecided  # abandoned runs are undecided, not lost
+        assert any(e.point == "deadline" for e in report.degradations)
+
+    def test_session_config_reaches_verify_pool(self, verify_corpus):
+        graphs, query, _ = verify_corpus
+        engine = SegosIndex(graphs, retry_backoff=0.0)
+        clean = engine.range_query(query, 4.0, verify="exact")
+        session = engine.session(
+            verify_workers=2, fault_plan="worker.crash:times=1:stage=verify"
+        )
+        faulted = session.range_query(query, 4.0, verify="exact")
+        assert faulted.matches == clean.matches
+        (event,) = faulted.stats.degradations
+        assert event.point == "worker.crash" and event.stage == "verify"
+
+
+# ----------------------------------------------------------------------
+# Property: any scripted single fault leaves answers byte-identical
+# ----------------------------------------------------------------------
+SINGLE_FAULTS = (
+    "pickle.engine:times=1",
+    "pool.spawn:times=1",
+    "worker.crash:times=1",
+    "worker.hang:times=1:seconds=60",
+    "chunk.result:times=1",
+)
+
+
+class TestSingleFaultProperty:
+    @settings(deadline=None, max_examples=len(SINGLE_FAULTS))
+    @given(spec=st.sampled_from(SINGLE_FAULTS))
+    def test_batch_identical_to_serial_under_any_fault(self, corpus, spec):
+        graphs, queries = corpus
+        serial = SegosIndex(graphs)._serial_batch_range_query(queries, 2)
+        engine = SegosIndex(
+            graphs, fault_plan=spec, task_timeout=1.0, retry_backoff=0.0
+        )
+        faulted = engine.batch_range_query(queries, 2, workers=2)
+        assert _answers(faulted) == _answers(serial)
+        events = faulted[0].stats.degradations
+        assert events, f"fault {spec!r} left no telemetry"
+        assert all(e.injected for e in events)
+
+    @settings(deadline=None, max_examples=len(SINGLE_FAULTS))
+    @given(spec=st.sampled_from(SINGLE_FAULTS))
+    def test_verify_identical_to_serial_under_any_fault(self, verify_corpus, spec):
+        graphs, query, baseline = verify_corpus
+        report = verify_candidates(
+            graphs,
+            query,
+            sorted(graphs),
+            4,
+            workers=2,
+            resilience=ResiliencePolicy(task_timeout=1.0, retry_backoff=0.0),
+            fault_plan=spec,
+        )
+        assert report.matches == baseline.matches
+        assert report.rejected == baseline.rejected
+        assert not report.undecided
+        assert report.degradations, f"fault {spec!r} left no telemetry"
+
+
+# ----------------------------------------------------------------------
+# Telemetry surfaces
+# ----------------------------------------------------------------------
+class TestTelemetry:
+    def test_event_summary_mentions_the_story(self):
+        event = DegradationEvent(
+            point="worker.crash",
+            stage="batch",
+            injected=True,
+            retries=1,
+            salvaged=2,
+            requeued=1,
+            fallback="respawn",
+        )
+        line = event.summary()
+        assert "worker.crash[batch]" in line
+        assert "retry #1" in line and "salvaged 2" in line
+        assert "requeued 1" in line and "respawn" in line
+
+    def test_stats_summary_and_merge_fold_degradations(self):
+        stats = QueryStats()
+        assert "degraded" not in stats.summary()
+        stats.degradations.append(DegradationEvent(point="pool.broken", retries=1))
+        other = QueryStats()
+        other.degradations.append(DegradationEvent(point="deadline"))
+        stats.merge(other)
+        assert len(stats.degradations) == 2
+        assert "degraded: 2 event(s), 1 retries" in stats.summary()
+
+    def test_explain_renders_resilience_lines(self, corpus):
+        from repro.core.explain import explain_range_query
+
+        graphs, queries = corpus
+        engine = SegosIndex(graphs)
+        explanation = explain_range_query(engine, queries[0], 1)
+        explanation.stats.degradations.append(
+            DegradationEvent(point="worker.crash", stage="batch", fallback="respawn")
+        )
+        assert "resilience: worker.crash[batch]" in explanation.render()
+
+    def test_empty_plan_shared_instance_never_fires(self):
+        assert not EMPTY_PLAN
+        assert EMPTY_PLAN.fire("worker.crash") is None
+        assert EMPTY_PLAN.rules == []
+
+    def test_fault_rule_defaults(self):
+        rule = FaultRule(point="worker.hang")
+        assert rule.times == 1 and rule.seconds == 60.0
+
+
+# ----------------------------------------------------------------------
+# Guard: the supervised pool owns every ProcessPoolExecutor
+# ----------------------------------------------------------------------
+class TestPoolOwnershipGuard:
+    def test_no_process_pool_outside_resilience(self):
+        src = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro"
+        offenders = []
+        for path in sorted(src.rglob("*.py")):
+            if path.parent.name == "resilience":
+                continue
+            if "ProcessPoolExecutor" in path.read_text():
+                offenders.append(str(path.relative_to(src)))
+        assert offenders == [], (
+            "hand-rolled pools found outside repro.resilience.pool: "
+            f"{offenders}"
+        )
