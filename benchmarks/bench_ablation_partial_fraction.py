@@ -36,7 +36,7 @@ def test_ablation_partial_fraction(benchmark, aids_dataset, grid, report):
         )
         total_time = total_access = total_pruned = 0.0
         for query in queries:
-            result = engine.range_query(query, tau)
+            result = engine.range_query(query, tau=tau)
             total_time += result.elapsed
             total_access += result.stats.graphs_accessed
             total_pruned += result.stats.pruned_by.get("partial_mu", 0)

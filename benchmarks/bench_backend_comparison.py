@@ -39,14 +39,14 @@ def test_backend_comparison(benchmark, aids_dataset, grid, report):
         engines[backend] = engine
         total = 0.0
         for query in queries:
-            result = engine.range_query(query, tau)
+            result = engine.range_query(query, tau=tau)
             total += result.elapsed
         query_time.add(backend, total / len(queries))
 
     # Both backends must give identical candidate sets.
     for query in queries:
-        a = engines["memory"].range_query(query, tau)
-        b = engines["sqlite"].range_query(query, tau)
+        a = engines["memory"].range_query(query, tau=tau)
+        b = engines["sqlite"].range_query(query, tau=tau)
         assert set(map(str, a.candidates)) == set(b.candidates)
 
     report(
@@ -59,7 +59,7 @@ def test_backend_comparison(benchmark, aids_dataset, grid, report):
         ),
     )
     benchmark.pedantic(
-        lambda: engines["sqlite"].range_query(queries[0], tau),
+        lambda: engines["sqlite"].range_query(queries[0], tau=tau),
         rounds=1,
         iterations=1,
     )

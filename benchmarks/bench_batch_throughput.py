@@ -32,10 +32,10 @@ def test_batch_throughput(benchmark, aids_dataset, grid, report):
     tau = grid.default_tau
 
     started = time.perf_counter()
-    solo = [engine.range_query(q, tau) for q in workload]
+    solo = [engine.range_query(q, tau=tau) for q in workload]
     solo_time = time.perf_counter() - started
     started = time.perf_counter()
-    batch = engine.batch_range_query(workload, tau)
+    batch = engine.batch_range_query(workload, tau=tau)
     batch_time = time.perf_counter() - started
     for a, b in zip(solo, batch):
         assert set(a.candidates) == set(b.candidates)
@@ -56,6 +56,6 @@ def test_batch_throughput(benchmark, aids_dataset, grid, report):
         ),
     )
     benchmark.pedantic(
-        lambda: engine.batch_range_query(workload[:3], tau), rounds=1, iterations=1
+        lambda: engine.batch_range_query(workload[:3], tau=tau), rounds=1, iterations=1
     )
     assert searches.points["batch"] <= searches.points["individual"]

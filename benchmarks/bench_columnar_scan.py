@@ -138,7 +138,7 @@ def bench_parallel_verify(
     queries = sample_queries(data, 2 if smoke else 6, seed=seed + 2, edits=2)
     jobs = []
     for query in queries:
-        result = engine.range_query(query, tau)
+        result = engine.range_query(query, tau=tau)
         jobs.append((query, list(result.candidates), set(result.matches)))
 
     def timed(n_workers: int):

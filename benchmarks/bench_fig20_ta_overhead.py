@@ -34,7 +34,7 @@ def test_fig20_ta_overhead(benchmark, aids_dataset, grid, report):
                 engine.top_k_sub_units(star, k)
             ta_time += time.perf_counter() - started
             started = time.perf_counter()
-            engine.range_query(query, tau, k=k)
+            engine.range_query(query, tau=tau, k=k)
             total_time += time.perf_counter() - started
         ta_series.add(k, ta_time / len(queries))
         share_series.add(k, ta_time / total_time if total_time else 0.0)

@@ -32,8 +32,8 @@ def test_fig21_pipeline(benchmark, which, aids_dataset, pdg_dataset, grid, repor
         plain_time = piped_time = 0.0
         accesses = 0
         for query in queries:
-            plain = engine.range_query(query, tau)
-            piped = pipeline.range_query(query, tau)
+            plain = engine.range_query(query, tau=tau)
+            piped = pipeline.range_query(query, tau=tau)
             plain_time += plain.elapsed
             piped_time += piped.elapsed
             accesses += piped.stats.graphs_accessed
@@ -53,7 +53,7 @@ def test_fig21_pipeline(benchmark, which, aids_dataset, pdg_dataset, grid, repor
         ),
     )
     benchmark.pedantic(
-        lambda: pipeline.range_query(queries[0], grid.default_tau),
+        lambda: pipeline.range_query(queries[0], tau=grid.default_tau),
         rounds=1,
         iterations=1,
     )

@@ -81,7 +81,7 @@ def bench_sed_memoization(engine, workload, tau: float, repeats: int) -> dict:
         GLOBAL_SED_CACHE.clear()
         GLOBAL_SED_CACHE.resize(0)
         started = time.perf_counter()
-        uncached_results = [engine.range_query(q, tau) for q in workload]
+        uncached_results = [engine.range_query(q, tau=tau) for q in workload]
         elapsed = time.perf_counter() - started
         time_uncached = elapsed if time_uncached is None else min(time_uncached, elapsed)
 
@@ -94,7 +94,7 @@ def bench_sed_memoization(engine, workload, tau: float, repeats: int) -> dict:
         GLOBAL_SED_CACHE.resize(DEFAULT_CAPACITY)
         GLOBAL_SED_CACHE.clear()
         started = time.perf_counter()
-        cached_results = [engine.range_query(q, tau) for q in workload]
+        cached_results = [engine.range_query(q, tau=tau) for q in workload]
         elapsed = time.perf_counter() - started
         time_cached = elapsed if time_cached is None else min(time_cached, elapsed)
     info = GLOBAL_SED_CACHE.info()
@@ -166,7 +166,7 @@ def bench_batch_parallel(
         for _ in range(repeats):
             GLOBAL_SED_CACHE.clear()
             started = time.perf_counter()
-            results = engine.batch_range_query(workload, tau, workers=n_workers)
+            results = engine.batch_range_query(workload, tau=tau, workers=n_workers)
             elapsed = time.perf_counter() - started
             best = elapsed if best is None else min(best, elapsed)
         return best, results

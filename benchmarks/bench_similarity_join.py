@@ -32,7 +32,7 @@ def test_similarity_join(benchmark, grid, report):
 
     engine = SegosIndex(graphs, k=grid.default_k, h=grid.default_h)
     started = time.perf_counter()
-    joined = similarity_self_join(engine, tau)
+    joined = similarity_self_join(engine, tau=tau)
     indexed_time = time.perf_counter() - started
     indexed_accessed = joined.stats.graphs_accessed
 
@@ -71,6 +71,6 @@ def test_similarity_join(benchmark, grid, report):
         ),
     )
     benchmark.pedantic(
-        lambda: similarity_self_join(engine, tau), rounds=1, iterations=1
+        lambda: similarity_self_join(engine, tau=tau), rounds=1, iterations=1
     )
     assert indexed_accessed < naive_accessed

@@ -42,7 +42,7 @@ def main() -> None:
     print(f"\nclone search with tau={tau}:")
     found_total = 0
     for gid, clones in families.items():
-        result = db.range_query(graphs[gid], tau, verify="exact")
+        result = db.range_query(graphs[gid], tau=tau, verify="exact")
         hits = sorted(m for m in result.matches if m != gid)
         found = [c for c in clones if c in result.matches]
         found_total += len(found)

@@ -22,7 +22,7 @@ def main() -> None:
     # 1) insert a brand-new graph
     probe = Graph(["C00", "C01", "C00"], [(0, 1), (1, 2)])
     db.add("probe", probe)
-    hit = db.range_query(probe, 0, verify="exact")
+    hit = db.range_query(probe, tau=0, verify="exact")
     print(f"inserted 'probe'; self-query matches: {sorted(hit.matches)}")
 
     # 3-7) mutate it in place, step by step
@@ -38,13 +38,13 @@ def main() -> None:
 
     # Query with the *current* shape of the probe graph.
     current = db.graph("probe").copy()
-    hit = db.range_query(current, 0, verify="exact")
+    hit = db.range_query(current, tau=0, verify="exact")
     assert "probe" in hit.matches
     print(f"self-query after mutations still matches: {sorted(hit.matches)}")
 
     # 2) delete it again
     db.remove("probe")
-    hit = db.range_query(current, 0, verify="exact")
+    hit = db.range_query(current, tau=0, verify="exact")
     print(f"after removal, matches: {sorted(hit.matches)} (probe gone)")
     print(f"final index size: {db.index_size()} entries")
 

@@ -27,7 +27,7 @@ def main() -> None:
     probe = mutate(rng, data.graphs[source_gid], 2, data.labels)
     print(f"probe: a 2-edit mutation of {source_gid}")
 
-    result = knn_query(engine, probe, 5)
+    result = knn_query(engine, probe, k=5)
     print(f"\n5 nearest neighbours (found in {result.rings} rings):")
     for gid, distance in result.neighbours:
         marker = "  <- source" if gid == source_gid else ""

@@ -33,8 +33,8 @@ def main(corpus_size: int = 300) -> None:
     print(f"\nrange queries with tau={tau} (queries are 2-edit mutations):")
     print(f"{'query':>6} {'cands':>6} {'confirmed':>9} {'accessed':>9} {'cstar-accessed':>14}")
     for i, query in enumerate(queries):
-        result = db.range_query(query, tau)
-        baseline = cstar.range_query(query, tau)
+        result = db.range_query(query, tau=tau)
+        baseline = cstar.range_query(query, tau=tau)
         print(
             f"{i:>6} {len(result.candidates):>6} {len(result.matches):>9} "
             f"{result.stats.graphs_accessed:>9} {baseline.graphs_accessed:>14}"

@@ -21,7 +21,7 @@ def main() -> None:
     explanation = explain_range_query(engine, query, tau=3)
     print(explanation.render())
 
-    result = engine.range_query(query, 3, verify="exact")
+    result = engine.range_query(query, tau=3, verify="exact")
     if result.matches:
         gid = sorted(result.matches)[0]
         script = extract_edit_script(query, engine.graph(gid))

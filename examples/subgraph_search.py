@@ -28,7 +28,7 @@ def main() -> None:
     print(f"\npattern: {pattern.order} vertices, {pattern.size} edges")
 
     for tau in (0, 1):
-        result = search.range_query(pattern, tau, verify="exact")
+        result = search.range_query(pattern, tau=tau, verify="exact")
         print(
             f"tau={tau}: {len(result.matches)} graphs contain the pattern "
             f"(within {tau} edits); filter accessed "
@@ -36,7 +36,7 @@ def main() -> None:
         )
 
     # Exact containment mirrors classic subgraph-isomorphism search.
-    exact = search.range_query(pattern, 0, verify="exact")
+    exact = search.range_query(pattern, tau=0, verify="exact")
     sample = sorted(exact.matches)[:5]
     print(f"\nfirst containing graphs: {sample}")
 

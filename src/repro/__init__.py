@@ -22,8 +22,23 @@ from .graphs.star import Star, decompose, star_edit_distance
 from .graphs.edit_distance import ged_within, graph_edit_distance
 from .matching.mapping import mapping_distance
 from .core.engine import QueryResult, SegosIndex
+from .core.explain import QueryExplanation, explain_range_query
+from .core.join import JoinResult, similarity_join, similarity_self_join
+from .core.knn import KnnResult, knn_query
+from .core.pipeline import PipelinedSegos
 from .core.plan import QuerySession
 from .core.stats import QueryStats
+from .core.subsearch import SubgraphQueryResult, SubgraphSearch
+from .core.ta_search import TopKResult
+from .obs import (
+    GLOBAL_METRICS,
+    MetricsRegistry,
+    Trace,
+    prometheus_text,
+    trace_query,
+    write_chrome_trace,
+    write_spans_jsonl,
+)
 from .perf.assignment import available_backends, solve_assignment
 from .perf.sed_cache import sed_cache_clear, sed_cache_info
 from .resilience import DegradationEvent, FaultPlan
@@ -34,20 +49,38 @@ __all__ = [
     "DegradationEvent",
     "EngineConfig",
     "FaultPlan",
+    "GLOBAL_METRICS",
     "Graph",
+    "JoinResult",
+    "KnnResult",
+    "MetricsRegistry",
+    "PipelinedSegos",
+    "QueryExplanation",
     "QueryResult",
     "QuerySession",
     "QueryStats",
     "SegosIndex",
     "Star",
+    "SubgraphQueryResult",
+    "SubgraphSearch",
+    "TopKResult",
+    "Trace",
     "available_backends",
     "decompose",
+    "explain_range_query",
     "ged_within",
     "graph_edit_distance",
+    "knn_query",
     "mapping_distance",
+    "prometheus_text",
     "sed_cache_clear",
     "sed_cache_info",
+    "similarity_join",
+    "similarity_self_join",
     "solve_assignment",
     "star_edit_distance",
+    "trace_query",
+    "write_chrome_trace",
+    "write_spans_jsonl",
     "__version__",
 ]

@@ -44,7 +44,7 @@ class RangeQueryMethod(abc.ABC):
         self.graphs: Dict[object, Graph] = dict(graphs)
 
     @abc.abstractmethod
-    def range_query(self, query: Graph, tau: float) -> FilterResult:
+    def range_query(self, query: Graph, *, tau: float) -> FilterResult:
         """Return a sound candidate set for ``{g : λ(q, g) ≤ τ}``."""
 
     @abc.abstractmethod
@@ -54,6 +54,6 @@ class RangeQueryMethod(abc.ABC):
     def timed_range_query(self, query: Graph, tau: float) -> FilterResult:
         """Run :meth:`range_query` and stamp the elapsed wall-clock time."""
         started = time.perf_counter()
-        result = self.range_query(query, tau)
+        result = self.range_query(query, tau=tau)
         result.elapsed = time.perf_counter() - started
         return result

@@ -22,7 +22,7 @@ class CStar(RangeQueryMethod):
 
     name = "C-Star"
 
-    def range_query(self, query: Graph, tau: float) -> FilterResult:
+    def range_query(self, query: Graph, *, tau: float) -> FilterResult:
         if query.order == 0:
             raise ValueError("query graph must not be empty")
         if tau < 0:

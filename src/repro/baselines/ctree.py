@@ -136,7 +136,7 @@ class CTree(RangeQueryMethod):
             nodes = grouped
         return nodes[0]
 
-    def range_query(self, query: Graph, tau: float) -> FilterResult:
+    def range_query(self, query: Graph, *, tau: float) -> FilterResult:
         if query.order == 0:
             raise ValueError("query graph must not be empty")
         if tau < 0:

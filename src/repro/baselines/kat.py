@@ -88,7 +88,7 @@ class KappaAT(RangeQueryMethod):
                 self._postings.setdefault(pattern, []).append((gid, freq))
         self._db_max_degree = database_max_degree(self.graphs.values())
 
-    def range_query(self, query: Graph, tau: float) -> FilterResult:
+    def range_query(self, query: Graph, *, tau: float) -> FilterResult:
         if query.order == 0:
             raise ValueError("query graph must not be empty")
         if tau < 0:

@@ -19,7 +19,7 @@ class LinearScan(RangeQueryMethod):
 
     name = "Linear-Exact"
 
-    def range_query(self, query: Graph, tau: float) -> FilterResult:
+    def range_query(self, query: Graph, *, tau: float) -> FilterResult:
         if query.order == 0:
             raise ValueError("query graph must not be empty")
         if tau < 0:

@@ -33,8 +33,8 @@ class SegosMethod(RangeQueryMethod):
             kwargs["h"] = h
         self.engine = SegosIndex(self.graphs, **kwargs)
 
-    def range_query(self, query: Graph, tau: float) -> FilterResult:
-        result = self.engine.range_query(query, tau)
+    def range_query(self, query: Graph, *, tau: float) -> FilterResult:
+        result = self.engine.range_query(query, tau=tau)
         return FilterResult(
             candidates=result.candidates,
             confirmed=set(result.matches),

@@ -55,7 +55,7 @@ def measure_quality(
     candidate_total = truth_total = 0
     for i, query in enumerate(queries):
         truth = truths[i] if truths else ground_truth(graphs, query, tau)
-        candidates = set(method.range_query(query, tau).candidates)
+        candidates = set(method.range_query(query, tau=tau).candidates)
         candidate_total += len(candidates)
         truth_total += len(truth)
         if candidates:

@@ -6,6 +6,7 @@ Installed as ``python -m repro`` (see ``__main__.py``).  Subcommands::
     stats   <db.segos>                     index statistics
     query   <db.segos> <query.txt> --tau N range query (first graph of file)
     knn     <db.segos> <query.txt> -k N    k nearest neighbours
+    trace   <db.segos> <query.txt> --tau N traced query + span-tree export
     generate {aids,pdg} <out.txt> -n N     write a synthetic corpus
 
 The query file is the usual transaction format; its first graph is the
@@ -27,6 +28,12 @@ from .core.persistence import load_index, save_index
 from .datasets import aids_like, pdg_like
 from .errors import ReproError
 from .graphs import io as gio
+from .obs import (
+    GLOBAL_METRICS,
+    prometheus_text,
+    write_chrome_trace,
+    write_spans_jsonl,
+)
 
 
 def _load_query(path: str):
@@ -68,10 +75,16 @@ def _cmd_query(args: argparse.Namespace) -> int:
     engine = load_index(args.database)
     query = _load_query(args.query)
     if args.explain:
-        print(explain_range_query(engine, query, args.tau).render())
+        print(explain_range_query(engine, query, tau=args.tau).render())
         return 0
+    if args.metrics:
+        # EngineConfig is frozen; swap in a metered copy for this run.
+        engine.config = engine.config.override(metrics=True)
     result = engine.range_query(
-        query, args.tau, verify="exact" if args.verify else "none"
+        query,
+        tau=args.tau,
+        verify="exact" if args.verify else "none",
+        trace=True if args.trace else None,
     )
     kind = "matches" if args.verify else "candidates"
     hits = sorted(result.matches) if args.verify else sorted(map(str, result.candidates))
@@ -87,13 +100,40 @@ def _cmd_query(args: argparse.Namespace) -> int:
     # be visible to the operator, not only in programmatic stats.
     for event in result.stats.degradations:
         print(f"degraded: {event.summary()}")
+    if args.trace and result.trace is not None:
+        print("trace:")
+        print(result.trace.render())
+    if args.metrics:
+        print(prometheus_text(GLOBAL_METRICS), end="")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    engine = load_index(args.database)
+    query = _load_query(args.query)
+    result = engine.range_query(
+        query,
+        tau=args.tau,
+        verify="exact" if args.verify else "none",
+        trace=True,
+    )
+    trace = result.trace
+    assert trace is not None  # trace=True guarantees a handle
+    print(trace.render())
+    spans = trace.spans
+    if args.output:
+        if args.format == "chrome":
+            write_chrome_trace(spans, args.output)
+        else:
+            write_spans_jsonl(spans, args.output, append=False)
+        print(f"wrote {len(spans)} spans ({args.format}) -> {args.output}")
     return 0
 
 
 def _cmd_knn(args: argparse.Namespace) -> int:
     engine = load_index(args.database)
     query = _load_query(args.query)
-    result = knn_query(engine, query, args.k)
+    result = knn_query(engine, query, k=args.k)
     print(f"{args.k}-nearest neighbours ({result.rings} rings):")
     for gid, distance in result.neighbours:
         print(f"  {gid}  ged={distance}")
@@ -103,7 +143,7 @@ def _cmd_knn(args: argparse.Namespace) -> int:
 def _cmd_join(args: argparse.Namespace) -> int:
     engine = load_index(args.database)
     result = similarity_self_join(
-        engine, args.tau, verify="exact" if args.verify else "none"
+        engine, tau=args.tau, verify="exact" if args.verify else "none"
     )
     pairs = sorted(result.matches) if args.verify else sorted(
         (str(a), str(b)) for a, b in result.pairs
@@ -161,7 +201,37 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the per-stage EXPLAIN ANALYZE report instead of results",
     )
+    query.add_argument(
+        "--trace",
+        action="store_true",
+        help="record a span tree for the query and print it after the results",
+    )
+    query.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print Prometheus-format query metrics after the results",
+    )
     query.set_defaults(func=_cmd_query)
+
+    trace = sub.add_parser(
+        "trace", help="run a traced range query and export its span tree"
+    )
+    trace.add_argument("database")
+    trace.add_argument("query", help="file whose first graph is the query")
+    trace.add_argument("--tau", type=float, required=True, help="GED threshold")
+    trace.add_argument(
+        "--verify", action="store_true", help="verify candidates with exact GED"
+    )
+    trace.add_argument(
+        "-o", "--output", help="write the span tree to this file"
+    )
+    trace.add_argument(
+        "--format",
+        choices=["jsonl", "chrome"],
+        default="jsonl",
+        help="export format: JSONL spans or Chrome trace_event (default jsonl)",
+    )
+    trace.set_defaults(func=_cmd_trace)
 
     knn = sub.add_parser("knn", help="k nearest neighbours by exact GED")
     knn.add_argument("database")

@@ -55,6 +55,12 @@ ENV_MAX_POOL_RETRIES = "REPRO_MAX_POOL_RETRIES"
 ENV_RETRY_BACKOFF = "REPRO_RETRY_BACKOFF"
 #: Scripted fault plan for the resilience layer (see repro.resilience.faults).
 ENV_FAULT_PLAN = "REPRO_FAULT_PLAN"
+#: Span tracing on/off (truthy: 1/true/yes/on; falsy: 0/false/no/off).
+ENV_TRACE = "REPRO_TRACE"
+#: Path appended with one JSON span per line after every traced query.
+ENV_TRACE_PATH = "REPRO_TRACE_PATH"
+#: Metrics registry on/off (same truthy grammar as ``REPRO_TRACE``).
+ENV_METRICS = "REPRO_METRICS"
 
 #: Default SED-cache capacity (mirrored by ``repro.perf.sed_cache``).
 DEFAULT_SED_CACHE_SIZE = 1 << 18
@@ -106,6 +112,23 @@ def env_float(name: str, default: Optional[float]) -> Optional[float]:
         return float(raw)
     except ValueError:
         return default
+
+
+def env_bool(name: str, default: bool = False) -> bool:
+    """Boolean knob: ``1/true/yes/on`` ↦ True, ``0/false/no/off`` ↦ False.
+
+    Unset or unrecognised values degrade to *default*, matching the other
+    ``env_*`` accessors' refusal to let one bad export take queries down.
+    """
+    raw = env_raw(name)
+    if raw is None:
+        return default
+    lowered = raw.strip().lower()
+    if lowered in ("1", "true", "yes", "on"):
+        return True
+    if lowered in ("0", "false", "no", "off", ""):
+        return False
+    return default
 
 
 def _env_assignment_backend() -> Optional[str]:
@@ -189,6 +212,19 @@ class EngineConfig:
         Scripted fault-injection plan (see
         :mod:`repro.resilience.faults`); ``None`` = faults disabled.
         Env: ``REPRO_FAULT_PLAN``.
+    trace:
+        Span tracing on/off.  When off (the default) the executor carries
+        the null tracer, whose span context manager is a shared no-op —
+        the hot loops pay one truthiness test.  Env: ``REPRO_TRACE``.
+    trace_path:
+        When set, every traced query appends its spans to this file as
+        JSON lines (see :mod:`repro.obs.export`).  Implies nothing about
+        ``trace`` — both knobs must be on to write.
+        Env: ``REPRO_TRACE_PATH``.
+    metrics:
+        Feed the process-global metrics registry
+        (:data:`repro.obs.metrics.GLOBAL_METRICS`) after every executed
+        query.  Env: ``REPRO_METRICS``.
     """
 
     k: int = DEFAULT_K
@@ -205,6 +241,9 @@ class EngineConfig:
     max_pool_retries: int = DEFAULT_MAX_POOL_RETRIES
     retry_backoff: float = DEFAULT_RETRY_BACKOFF
     fault_plan: Optional[str] = None
+    trace: bool = False
+    trace_path: Optional[str] = None
+    metrics: bool = False
 
     def __post_init__(self) -> None:
         if self.k < 1:
@@ -273,6 +312,9 @@ class EngineConfig:
             ),
             "retry_backoff": env_float(ENV_RETRY_BACKOFF, DEFAULT_RETRY_BACKOFF),
             "fault_plan": env_raw(ENV_FAULT_PLAN) or None,
+            "trace": env_bool(ENV_TRACE, False),
+            "trace_path": env_raw(ENV_TRACE_PATH) or None,
+            "metrics": env_bool(ENV_METRICS, False),
         }
         known = {f.name for f in fields(cls)}
         for name, value in overrides.items():
@@ -316,4 +358,7 @@ ENV_KNOBS: Tuple[Tuple[str, str], ...] = (
     ("max_pool_retries", ENV_MAX_POOL_RETRIES),
     ("retry_backoff", ENV_RETRY_BACKOFF),
     ("fault_plan", ENV_FAULT_PLAN),
+    ("trace", ENV_TRACE),
+    ("trace_path", ENV_TRACE_PATH),
+    ("metrics", ENV_METRICS),
 )

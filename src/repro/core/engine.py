@@ -6,7 +6,7 @@ of Section IV-C, and ask GED range queries.
 
 Range-query semantics mirror the paper's filter-and-verify contract:
 
-* ``range_query(q, tau)`` returns a :class:`QueryResult` whose
+* ``range_query(q, tau=tau)`` returns a :class:`QueryResult` whose
   ``candidates`` are guaranteed to be a superset of the true answer set
   ``{g : λ(q, g) ≤ τ}`` and whose ``matches`` are the candidates already
   *confirmed* by an upper bound (no exact GED needed);
@@ -25,17 +25,17 @@ plan.  Cache-sharing across related queries goes through the public
 
 from __future__ import annotations
 
-import warnings
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set
 
 from ..config import EngineConfig
 from ..errors import GraphAlreadyIndexed, GraphNotIndexed
 from ..graphs.model import Graph
 from ..graphs.star import Star, decompose, star_at
+from ..obs.trace import Trace
 from ..perf.parallel import parallel_batch_range_query
 from ..perf.sed_cache import GLOBAL_SED_CACHE, CacheInfo
 from .index import GraphMeta, TwoLevelIndex
-from .plan import QueryPlan, QueryResult, QuerySession
+from .plan import QueryResult, QuerySession, traced_scope
 from .stats import QueryStats
 from .ta_search import TopKResult, top_k_stars
 
@@ -85,6 +85,9 @@ class SegosIndex:
         max_pool_retries: Optional[int] = None,
         retry_backoff: Optional[float] = None,
         fault_plan: Optional[str] = None,
+        trace: Optional[bool] = None,
+        trace_path: Optional[str] = None,
+        metrics: Optional[bool] = None,
         config: Optional[EngineConfig] = None,
     ) -> None:
         base = config if config is not None else EngineConfig.from_env()
@@ -103,6 +106,9 @@ class SegosIndex:
             max_pool_retries=max_pool_retries,
             retry_backoff=retry_backoff,
             fault_plan=fault_plan,
+            trace=trace,
+            trace_path=trace_path,
+            metrics=metrics,
         )
         # The SED memo cache is process-global (it memoises a pure function
         # of signature pairs); an engine only touches it when its resolved
@@ -255,19 +261,22 @@ class SegosIndex:
     def range_query(
         self,
         query: Graph,
-        tau: float,
         *,
+        tau: float,
         k: Optional[int] = None,
         h: Optional[int] = None,
         verify: str = "none",
         partial_fraction: Optional[float] = None,
+        workers: Optional[int] = None,
+        timeout: Optional[float] = None,
         verify_workers: Optional[int] = None,
         verify_budget: Optional[int] = None,
         verify_deadline: Optional[float] = None,
+        trace: Optional[bool] = None,
     ) -> QueryResult:
         """Answer ``{g : λ(query, g) ≤ tau}`` with filter(-and-verify).
 
-        ``verify``:
+        Everything but the query graph is keyword-only.  ``verify``:
 
         * ``"none"`` — return candidates + upper-bound-confirmed matches;
         * ``"exact"`` — additionally run A* GED on unconfirmed candidates so
@@ -275,35 +284,41 @@ class SegosIndex:
 
         Exact verification is scheduled through
         :func:`repro.core.verify.verify_candidates`: most-promising
-        candidates first, optionally fanned out over ``verify_workers``
-        processes.  ``verify_budget`` caps each A* run's expanded states
-        and ``verify_deadline`` (seconds) stops scheduling new runs;
-        candidates left undecided by either stay in ``candidates`` but not
-        ``matches``, and ``verified`` turns False.  Every keyword is a
-        per-call :class:`~repro.config.EngineConfig` override.
+        candidates first, optionally fanned out over ``workers``
+        (= ``verify_workers``) processes.  ``verify_budget`` caps each A*
+        run's expanded states and ``timeout`` (= ``verify_deadline``,
+        seconds) stops scheduling new runs; candidates left undecided by
+        either stay in ``candidates`` but not ``matches``, and
+        ``verified`` turns False.  ``trace=True`` records a span tree for
+        this call (``result.trace``).  Every keyword is a per-call
+        :class:`~repro.config.EngineConfig` override.
         """
         return self.session().range_query(
             query,
-            tau,
+            tau=tau,
             verify=verify,
             k=k,
             h=h,
             partial_fraction=partial_fraction,
+            workers=workers,
+            timeout=timeout,
             verify_workers=verify_workers,
             verify_budget=verify_budget,
             verify_deadline=verify_deadline,
+            trace=trace,
         )
 
     def batch_range_query(
         self,
         queries: Sequence[Graph],
-        tau: float,
         *,
+        tau: float,
         k: Optional[int] = None,
         h: Optional[int] = None,
         verify: str = "none",
         workers: Optional[int] = None,
         verify_workers: Optional[int] = None,
+        trace: Optional[bool] = None,
     ) -> List[QueryResult]:
         """Answer a batch of range queries with a shared TA cache.
 
@@ -324,24 +339,46 @@ class SegosIndex:
         query; when the batch itself runs in worker processes the
         per-query verification stays serial (one pool, not pools of
         pools).
+
+        On traced runs (``trace=True``, the engine's ``trace`` knob, or an
+        ambient :func:`~repro.obs.trace.trace_query`) the whole batch —
+        including worker-process spans shipped home by the pool — lands in
+        one span tree, shared by every result's ``trace`` handle.
         """
         if verify not in ("none", "exact"):
             raise ValueError(f"unknown verify mode {verify!r}")
-        workers = self.config.override(batch_workers=workers).batch_workers
-        degradations: List = []
-        if workers > 1 and len(queries) > 1:
-            results, degradations = parallel_batch_range_query(
-                self, queries, tau, workers=workers, k=k, h=h, verify=verify
-            )
-            if results is not None:
-                if degradations:
-                    results[0].stats.degradations.extend(degradations)
-                return results
-        results = self._serial_batch_range_query(
-            queries, tau, k=k, h=h, verify=verify, verify_workers=verify_workers
-        )
-        if degradations and results:
-            results[0].stats.degradations.extend(degradations)
+        config = self.config.override(batch_workers=workers, trace=trace)
+        with traced_scope(
+            config, "batch", queries=len(queries), tau=tau
+        ) as tracer:
+            degradations: List = []
+            results: Optional[List[QueryResult]] = None
+            if config.batch_workers > 1 and len(queries) > 1:
+                results, degradations = parallel_batch_range_query(
+                    self,
+                    queries,
+                    tau,
+                    workers=config.batch_workers,
+                    k=k,
+                    h=h,
+                    verify=verify,
+                    tracer=tracer,
+                )
+            if results is None:
+                results = self._serial_batch_range_query(
+                    queries,
+                    tau,
+                    k=k,
+                    h=h,
+                    verify=verify,
+                    verify_workers=verify_workers,
+                )
+            if degradations and results:
+                results[0].stats.degradations.extend(degradations)
+        if tracer.enabled:
+            shared = Trace(tracer.snapshot(), tracer.trace_id)
+            for result in results:
+                result.trace = shared
         return results
 
     def _serial_batch_range_query(
@@ -367,48 +404,8 @@ class SegosIndex:
             raise ValueError(f"unknown verify mode {verify!r}")
         session = self.session(k=k, h=h, verify_workers=verify_workers)
         return [
-            session.range_query(query, tau, verify=verify) for query in queries
+            session.range_query(query, tau=tau, verify=verify) for query in queries
         ]
-
-    def _range_query_with_cache(
-        self,
-        query: Graph,
-        tau: float,
-        *,
-        k: Optional[int],
-        h: Optional[int],
-        verify: str,
-        topk_cache: Dict[str, TopKResult],
-        partial_fraction: Optional[float] = None,
-        verify_workers: Optional[int] = None,
-        verify_budget: Optional[int] = None,
-        verify_deadline: Optional[float] = None,
-    ) -> QueryResult:
-        """Deprecated pre-plan entry point (kept as a warning shim).
-
-        Callers that shared a top-k cache by reaching into this private
-        method should open a :meth:`session` instead; the shim funnels into
-        the same staged executor.
-        """
-        warnings.warn(
-            "SegosIndex._range_query_with_cache is deprecated; use "
-            "SegosIndex.session() and QuerySession.range_query instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        session = QuerySession(self)
-        session.topk_cache = topk_cache
-        return session.range_query(
-            query,
-            tau,
-            verify=verify,
-            k=k,
-            h=h,
-            partial_fraction=partial_fraction,
-            verify_workers=verify_workers,
-            verify_budget=verify_budget,
-            verify_deadline=verify_deadline,
-        )
 
     # ------------------------------------------------------------------
     # Introspection

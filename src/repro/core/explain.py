@@ -108,8 +108,8 @@ class QueryExplanation:
 def explain_range_query(
     engine: SegosIndex,
     query: Graph,
-    tau: float,
     *,
+    tau: float,
     k: Optional[int] = None,
     h: Optional[int] = None,
 ) -> QueryExplanation:
@@ -121,7 +121,7 @@ def explain_range_query(
     afterwards.
     """
     session = engine.session(k=k, h=h)
-    result = session.range_query(query, tau)
+    result = session.range_query(query, tau=tau)
 
     query_stars = decompose(query)
     occurrences: Dict[str, int] = {}

@@ -19,30 +19,35 @@ Results are *candidate* pairs (sound, no false negatives) unless
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Set, Tuple
 
-from ..graphs.edit_distance import ged_within
 from ..graphs.model import Graph
 from .engine import SegosIndex
+from .plan import QueryResult, traced_scope
 from .stats import QueryStats
+from .verify import verify_candidates
 
 
 @dataclass
-class JoinResult:
-    """Outcome of a similarity join."""
+class JoinResult(QueryResult):
+    """Outcome of a similarity join.
 
-    #: candidate pairs ``(left gid, right gid)``; superset of true pairs
-    pairs: List[Tuple[object, object]]
-    #: pairs confirmed ``λ ≤ τ`` (all of them, when verified)
-    matches: Set[Tuple[object, object]] = field(default_factory=set)
-    stats: QueryStats = field(default_factory=QueryStats)
-    elapsed: float = 0.0
-    verified: bool = False
+    A :class:`~repro.core.plan.QueryResult` over *pairs*: ``candidates``
+    holds the candidate ``(left gid, right gid)`` pairs (a superset of the
+    true pairs), ``matches`` the pairs confirmed ``λ ≤ τ`` (all of them,
+    when verified), and ``stats`` / ``elapsed`` / ``trace`` the merged
+    filter counters, wall clock and span-tree handle.
+    """
+
+    @property
+    def pairs(self) -> List[Tuple[object, object]]:
+        """The candidate pairs — alias of ``candidates``."""
+        return self.candidates
 
 
 def similarity_self_join(
-    engine: SegosIndex, tau: float, *, verify: str = "none"
+    engine: SegosIndex, *, tau: float, verify: str = "none"
 ) -> JoinResult:
     """All unordered pairs of indexed graphs within GED τ.
 
@@ -53,7 +58,7 @@ def similarity_self_join(
     >>> db.add("a", Graph(["x", "y"], [(0, 1)]))
     >>> db.add("b", Graph(["x", "y"], [(0, 1)]))
     >>> db.add("c", Graph(["q", "q", "q"]))
-    >>> similarity_self_join(db, 0, verify="exact").matches
+    >>> similarity_self_join(db, tau=0, verify="exact").matches
     {('a', 'b')}
     """
     return _join(engine, None, tau, verify=verify)
@@ -62,8 +67,8 @@ def similarity_self_join(
 def similarity_join(
     engine: SegosIndex,
     probes: Mapping[object, Graph],
-    tau: float,
     *,
+    tau: float,
     verify: str = "none",
 ) -> JoinResult:
     """All ``(probe, indexed)`` pairs within GED τ.
@@ -96,38 +101,53 @@ def _join(
     session = engine.session()
     pairs: List[Tuple[object, object]] = []
     confirmed: Set[Tuple[object, object]] = set()
+    verified = verify == "exact"
 
-    # Deterministic probe order; for self-joins it also defines the pair
-    # ordering used to halve the work.
-    ordering = {gid: i for i, gid in enumerate(sorted(probes, key=str))}
-    for left in sorted(probes, key=str):
-        query = probes[left]
-        result = session.range_query(query, tau)
-        stats.merge(result.stats)
-        for right in result.candidates:
-            if self_join:
-                if right not in ordering or ordering[right] <= ordering[left]:
+    with traced_scope(session.config, "join", probes=len(probes)) as tracer:
+        # Deterministic probe order; for self-joins it also defines the
+        # pair ordering used to halve the work.
+        ordering = {gid: i for i, gid in enumerate(sorted(probes, key=str))}
+        pending: Dict[object, List[object]] = {}
+        for left in sorted(probes, key=str):
+            query = probes[left]
+            result = session.range_query(query, tau=tau)
+            stats.merge(result.stats)
+            for right in result.candidates:
+                if self_join and (
+                    right not in ordering or ordering[right] <= ordering[left]
+                ):
                     continue  # own reflection, or the mirrored pair
                 pair = (left, right)
-            else:
-                pair = (left, right)
-            pairs.append(pair)
-            if right in result.matches:
-                confirmed.add(pair)
+                pairs.append(pair)
+                if right in result.matches:
+                    confirmed.add(pair)
+                else:
+                    pending.setdefault(left, []).append(right)
 
-    verified = verify == "exact"
-    if verified:
-        for pair in pairs:
-            if pair in confirmed:
-                continue
-            left, right = pair
-            if ged_within(probes[left] if left in probes else engine.graph(left),
-                          engine.graph(right), int(tau)):
-                confirmed.add(pair)
+        if verified:
+            # Confirmation goes through the scheduled verifier, grouped
+            # per probe: bounds settle most pairs without A*, the rest run
+            # budgeted and most-promising-first — and the runs land in the
+            # shared stats/trace like every other verification.
+            for left, rights in pending.items():
+                report = verify_candidates(
+                    {gid: engine.graph(gid) for gid in rights},
+                    probes[left],
+                    rights,
+                    int(tau),
+                    assignment_backend=session.config.assignment_backend,
+                    tracer=tracer,
+                )
+                stats.settled_by_bounds += report.settled_by_bounds
+                stats.astar_runs += report.astar_runs
+                stats.astar_expansions += report.astar_expansions
+                confirmed.update((left, right) for right in report.matches)
+                verified = verified and report.decided()
     return JoinResult(
-        pairs=pairs,
+        candidates=pairs,
         matches=confirmed,
         stats=stats,
         elapsed=time.perf_counter() - started,
         verified=verified,
+        trace=tracer.to_trace() if tracer.enabled else None,
     )

@@ -13,6 +13,7 @@ filter-and-verify contract assumes.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
@@ -20,27 +21,33 @@ from ..errors import SearchBudgetExceeded
 from ..graphs.edit_distance import DEFAULT_BUDGET, graph_edit_distance
 from ..graphs.model import Graph
 from .engine import SegosIndex
+from .plan import QueryResult, traced_scope
 from .stats import QueryStats
 
 
 @dataclass
-class KnnResult:
+class KnnResult(QueryResult):
     """Result of a k-nearest-neighbour query.
+
+    A :class:`~repro.core.plan.QueryResult` — ``candidates`` lists the
+    neighbour gids by distance, ``matches`` is the same set, ``stats`` /
+    ``elapsed`` / ``trace`` carry the merged filter counters, wall clock
+    and span-tree handle — plus the kNN-specific fields:
 
     ``neighbours`` holds ``(gid, exact_ged)`` sorted by distance then gid;
     ties at the k-th distance are all included, so the list may exceed k.
+    ``rings`` counts the range-query rounds needed.
     """
 
-    neighbours: List[Tuple[object, int]]
-    rings: int  # how many range-query rounds were needed
-    stats: QueryStats = field(default_factory=QueryStats)
+    neighbours: List[Tuple[object, int]] = field(default_factory=list)
+    rings: int = 0  # how many range-query rounds were needed
 
 
 def knn_query(
     engine: SegosIndex,
     query: Graph,
-    k: int,
     *,
+    k: int,
     tau_start: int = 0,
     tau_step: int = 2,
     tau_limit: Optional[int] = None,
@@ -58,7 +65,7 @@ def knn_query(
     >>> db = SegosIndex()
     >>> db.add("near", Graph(["a", "b"], [(0, 1)]))
     >>> db.add("far", Graph(["x", "y", "z"], [(0, 1), (1, 2)]))
-    >>> knn_query(db, Graph(["a", "b"], [(0, 1)]), 1).neighbours
+    >>> knn_query(db, Graph(["a", "b"], [(0, 1)]), k=1).neighbours
     [('near', 0)]
     """
     if k < 1:
@@ -78,32 +85,43 @@ def knn_query(
         )
         tau_limit = query.order + query.size + biggest
 
+    started = time.perf_counter()
     stats = QueryStats()
     session = engine.session()  # rings share the τ-independent TA cache
     distances: dict = {}
     rings = 0
     tau = tau_start
-    while True:
-        rings += 1
-        result = session.range_query(query, tau)
-        stats.merge(result.stats)
-        for gid in result.candidates:
-            if gid in distances:
-                continue
-            try:
-                exact = graph_edit_distance(
-                    query, engine.graph(gid), threshold=tau, budget=budget
-                )
-            except SearchBudgetExceeded:
-                exact = None  # treat as beyond this ring; retried later
-            if exact is not None:
-                distances[gid] = exact
-        if len(distances) >= k or tau >= tau_limit:
-            break
-        tau += tau_step
+    with traced_scope(session.config, "knn", k=k) as tracer:
+        while True:
+            rings += 1
+            result = session.range_query(query, tau=tau)
+            stats.merge(result.stats)
+            for gid in result.candidates:
+                if gid in distances:
+                    continue
+                try:
+                    exact = graph_edit_distance(
+                        query, engine.graph(gid), threshold=tau, budget=budget
+                    )
+                except SearchBudgetExceeded:
+                    exact = None  # treat as beyond this ring; retried later
+                if exact is not None:
+                    distances[gid] = exact
+            if len(distances) >= k or tau >= tau_limit:
+                break
+            tau += tau_step
 
     ordered = sorted(distances.items(), key=lambda item: (item[1], str(item[0])))
     if len(ordered) > k:
         cutoff = ordered[k - 1][1]
         ordered = [item for item in ordered if item[1] <= cutoff]
-    return KnnResult(neighbours=ordered, rings=rings, stats=stats)
+    return KnnResult(
+        candidates=[gid for gid, _ in ordered],
+        matches={gid for gid, _ in ordered},
+        stats=stats,
+        elapsed=time.perf_counter() - started,
+        verified=True,
+        trace=tracer.to_trace() if tracer.enabled else None,
+        neighbours=ordered,
+        rings=rings,
+    )

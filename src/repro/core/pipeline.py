@@ -43,12 +43,20 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from ..graphs.model import Graph, normalization_factor
 from ..graphs.star import decompose
 from ..matching.mapping import bounds as full_bounds
+from ..obs.trace import Trace
 from ..perf.parallel import parallel_batch_range_query
 from .bounds import SeenGraph
 from .ca_search import _GraphResolver
 from .engine import QueryResult, SegosIndex
 from .graph_lists import build_query_star_lists
-from .plan import ExecutionContext, QueryPlan, Stage, VerifyStage
+from .plan import (
+    ExecutionContext,
+    QueryPlan,
+    Stage,
+    VerifyStage,
+    apply_call_aliases,
+    traced_scope,
+)
 from .stats import QueryStats
 from .ta_search import top_k_stars
 
@@ -93,7 +101,7 @@ class PipelinedSegos:
     >>> from repro.graphs.model import Graph
     >>> engine = SegosIndex()
     >>> engine.add("g", Graph(["a", "b"], [(0, 1)]))
-    >>> PipelinedSegos(engine).range_query(Graph(["a", "b"], [(0, 1)]), 0).candidates
+    >>> PipelinedSegos(engine).range_query(Graph(["a", "b"], [(0, 1)]), tau=0).candidates
     ['g']
     """
 
@@ -114,30 +122,40 @@ class PipelinedSegos:
     def range_query(
         self,
         query: Graph,
-        tau: float,
         *,
+        tau: float,
         verify: str = "none",
+        workers: Optional[int] = None,
+        timeout: Optional[float] = None,
         verify_workers: Optional[int] = None,
         verify_budget: Optional[int] = None,
         verify_deadline: Optional[float] = None,
+        trace: Optional[bool] = None,
     ) -> QueryResult:
         """Pipelined equivalent of :meth:`SegosIndex.range_query`.
 
-        Exact verification runs through the scheduler of
+        Everything but the query graph is keyword-only.  Exact
+        verification runs through the scheduler of
         :mod:`repro.core.verify` — bounds-first, most-promising candidates
         first, each A* capped by ``verify_budget`` so one pathological pair
         cannot hang a pipelined query, and optionally fanned out over
-        ``verify_workers`` processes.  A candidate left undecided stays in
-        ``candidates`` but not ``matches``, and ``verified`` turns False.
-        All keywords are per-call :class:`~repro.config.EngineConfig`
-        overrides on top of the wrapped engine's resolved config.
+        ``workers`` (= ``verify_workers``) processes.  A candidate left
+        undecided stays in ``candidates`` but not ``matches``, and
+        ``verified`` turns False.  All keywords are per-call
+        :class:`~repro.config.EngineConfig` overrides on top of the
+        wrapped engine's resolved config.
         """
-        session = self.engine.session(
-            k=self.k,
-            verify_workers=verify_workers,
-            verify_budget=verify_budget,
-            verify_deadline=verify_deadline,
+        overrides = apply_call_aliases(
+            {
+                "workers": workers,
+                "timeout": timeout,
+                "verify_workers": verify_workers,
+                "verify_budget": verify_budget,
+                "verify_deadline": verify_deadline,
+                "trace": trace,
+            }
         )
+        session = self.engine.session(k=self.k, **overrides)
         return self._run(session, query, tau, verify=verify)
 
     def _run(self, session, query: Graph, tau: float, *, verify: str) -> QueryResult:
@@ -147,11 +165,12 @@ class PipelinedSegos:
     def batch_range_query(
         self,
         queries: Sequence[Graph],
-        tau: float,
         *,
+        tau: float,
         verify: str = "none",
         workers: Optional[int] = None,
         verify_workers: Optional[int] = None,
+        trace: Optional[bool] = None,
     ) -> List[QueryResult]:
         """Pipelined equivalent of :meth:`SegosIndex.batch_range_query`.
 
@@ -162,25 +181,36 @@ class PipelinedSegos:
         share their TA top-k searches.  Answers are identical either way.
         ``verify_workers`` parallelises exact verification per query on the
         serial path only (parallel chunks pin it to 1 — one pool, not pools
-        of pools).
+        of pools).  Traced runs collect the whole batch — worker spans
+        included — into one span tree shared by every result.
         """
         if verify not in ("none", "exact"):
             raise ValueError(f"unknown verify mode {verify!r}")
-        workers = self.engine.config.override(batch_workers=workers).batch_workers
-        degradations: List = []
-        if workers > 1 and len(queries) > 1:
-            results, degradations = parallel_batch_range_query(
-                self, queries, tau, workers=workers, verify=verify
-            )
-            if results is not None:
-                if degradations:
-                    results[0].stats.degradations.extend(degradations)
-                return results
-        results = self._serial_batch_range_query(
-            queries, tau, verify=verify, verify_workers=verify_workers
-        )
-        if degradations and results:
-            results[0].stats.degradations.extend(degradations)
+        config = self.engine.config.override(batch_workers=workers, trace=trace)
+        with traced_scope(
+            config, "batch", queries=len(queries), tau=tau
+        ) as tracer:
+            degradations: List = []
+            results: Optional[List[QueryResult]] = None
+            if config.batch_workers > 1 and len(queries) > 1:
+                results, degradations = parallel_batch_range_query(
+                    self,
+                    queries,
+                    tau,
+                    workers=config.batch_workers,
+                    verify=verify,
+                    tracer=tracer,
+                )
+            if results is None:
+                results = self._serial_batch_range_query(
+                    queries, tau, verify=verify, verify_workers=verify_workers
+                )
+            if degradations and results:
+                results[0].stats.degradations.extend(degradations)
+        if tracer.enabled:
+            shared = Trace(tracer.snapshot(), tracer.trace_id)
+            for result in results:
+                result.trace = shared
         return results
 
     def _serial_batch_range_query(
@@ -218,6 +248,10 @@ class _PipelineRun:
         self.query_stars = decompose(ctx.query)
         self.m = len(self.query_stars)
         self.stats = ctx.stats
+        #: spans opened on the TA/DC threads have no ambient stack of
+        #: their own, so they attach under the fused stage span explicitly
+        self.tracer = ctx.tracer
+        self.span_parent = ctx.tracer.current_context()
         #: session-shared signature → TopKResult cache (only the TA thread
         #: writes during a run; batch queries run sequentially, so reuse
         #: across queries is race-free)
@@ -235,22 +269,27 @@ class _PipelineRun:
     # ------------------------------------------------------------------
     def _ta_stage(self) -> None:
         try:
-            for j, star in enumerate(self.query_stars):
-                if self.stop_ta.is_set():
-                    break
-                result = self.topk_cache.get(star.signature)
-                if result is None:
-                    result = top_k_stars(
-                        self.index, star, self.k, backend=self.config.topk_backend
+            with self.tracer.span(
+                "pipeline.ta", parent=self.span_parent, stars=self.m
+            ):
+                for j, star in enumerate(self.query_stars):
+                    if self.stop_ta.is_set():
+                        break
+                    result = self.topk_cache.get(star.signature)
+                    if result is None:
+                        result = top_k_stars(
+                            self.index, star, self.k, backend=self.config.topk_backend
+                        )
+                        self.topk_cache[star.signature] = result
+                        self.stats.ta_searches += 1
+                        self.stats.ta_accesses += result.accesses
+                        self.stats.count_topk_backend(
+                            result.backend, result.scan_width
+                        )
+                    lists = build_query_star_lists(
+                        self.index, star, self.query.order, result
                     )
-                    self.topk_cache[star.signature] = result
-                    self.stats.ta_searches += 1
-                    self.stats.ta_accesses += result.accesses
-                    self.stats.count_topk_backend(result.backend, result.scan_width)
-                lists = build_query_star_lists(
-                    self.index, star, self.query.order, result
-                )
-                self.ta_queue.put((j, lists))
+                    self.ta_queue.put((j, lists))
         finally:
             self.ta_queue.put(_SENTINEL)
 
@@ -259,13 +298,18 @@ class _PipelineRun:
     # ------------------------------------------------------------------
     def _dc_stage(self, worker: int, resolver: _GraphResolver) -> None:
         dc_queue = self.dc_queues[worker]
-        while True:
-            item = dc_queue.get()
-            if item is _SENTINEL:
-                return
-            assert isinstance(item, _DCItem)
-            resolver.resolve(item.snapshot, item.side_bounds, item.forced)
-            self.result_queue.put((item.gid, item.snapshot.resolution, item.forced))
+        with self.tracer.span(
+            "pipeline.dc", parent=self.span_parent, worker=worker
+        ):
+            while True:
+                item = dc_queue.get()
+                if item is _SENTINEL:
+                    return
+                assert isinstance(item, _DCItem)
+                resolver.resolve(item.snapshot, item.side_bounds, item.forced)
+                self.result_queue.put(
+                    (item.gid, item.snapshot.resolution, item.forced)
+                )
 
     # ------------------------------------------------------------------
     # Stage 2 + orchestration
@@ -295,7 +339,8 @@ class _PipelineRun:
         for t in dc_threads:
             t.start()
 
-        seen, unresolved, sides = self._ca_stage()
+        with self.tracer.span("pipeline.ca"):
+            seen, unresolved, sides = self._ca_stage()
 
         # Final forced pass: everything still unresolved goes to DC.
         pending = 0

@@ -27,11 +27,14 @@ Every front-end — ``SegosIndex.range_query``, ``batch_range_query``,
 from __future__ import annotations
 
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import (
     TYPE_CHECKING,
     Dict,
+    Iterator,
     List,
+    Mapping,
     Optional,
     Sequence,
     Set,
@@ -41,7 +44,9 @@ from typing import (
 from ..config import EngineConfig
 from ..graphs.model import Graph
 from ..graphs.star import Star, decompose
-from ..perf.sed_cache import GLOBAL_SED_CACHE
+from ..obs.metrics import GLOBAL_METRICS, record_query_metrics
+from ..obs.trace import NULL_TRACER, Trace, Tracer, activate, current_tracer
+from ..perf.sed_cache import GLOBAL_SED_CACHE, publish_cache_metrics
 from ..resilience.pool import ResiliencePolicy
 from .ca_search import ca_range_query
 from .graph_lists import QueryStarLists, build_all_lists
@@ -71,6 +76,9 @@ class QueryResult:
         wall-clock seconds spent inside the executor.
     verified:
         True when ``matches`` is exactly the answer set.
+    trace:
+        span-tree handle for traced executions (see
+        :mod:`repro.obs.trace`); ``None`` when tracing was off.
     """
 
     candidates: List[object]
@@ -78,6 +86,7 @@ class QueryResult:
     stats: QueryStats
     elapsed: float
     verified: bool
+    trace: Optional[Trace] = None
 
 
 @dataclass
@@ -94,6 +103,16 @@ class ExecutionContext:
     tau: float
     config: EngineConfig
     verify: str = "none"
+    #: metrics label for this execution's mode (range / subsearch / ...)
+    mode: str = "range"
+    #: the tracer carried through every stage (NULL_TRACER when off)
+    tracer: object = NULL_TRACER
+    #: True when this context created its tracer (and so owns exporting
+    #: to ``config.trace_path``); False under an ambient ``trace_query``
+    #: or a worker-side tracer, whose owner exports instead
+    owns_tracer: bool = False
+    #: span-tree handle filled in by the executor on traced runs
+    trace: Optional[Trace] = None
     #: signature → TopKResult, shared across queries via a QuerySession
     topk_cache: Dict[str, TopKResult] = field(default_factory=dict)
     stats: QueryStats = field(default_factory=QueryStats)
@@ -114,7 +133,83 @@ class ExecutionContext:
             stats=self.stats,
             elapsed=self.elapsed,
             verified=self.verified,
+            trace=self.trace,
         )
+
+
+#: Public per-call aliases for the tuning knobs: every query front-end
+#: accepts the short names and maps them onto the canonical
+#: :class:`EngineConfig` fields before overriding.
+CALL_ALIASES: Mapping[str, str] = {
+    "workers": "verify_workers",
+    "timeout": "verify_deadline",
+}
+
+
+def apply_call_aliases(
+    overrides: Dict[str, object],
+    aliases: Mapping[str, str] = CALL_ALIASES,
+) -> Dict[str, object]:
+    """Map public per-call aliases onto their canonical config fields.
+
+    ``workers=4`` becomes ``verify_workers=4`` (``batch_workers`` on the
+    batch front-ends) and ``timeout=2.5`` becomes ``verify_deadline=2.5``.
+    Passing both an alias and its canonical name is a ``TypeError`` — one
+    call must not say two different things about one knob.
+    """
+    resolved = dict(overrides)
+    for alias, canonical in aliases.items():
+        if alias not in resolved:
+            continue
+        value = resolved.pop(alias)
+        if value is None:
+            continue
+        if resolved.get(canonical) is not None:
+            raise TypeError(
+                f"pass either {alias!r} or {canonical!r}, not both"
+            )
+        resolved[canonical] = value
+    return resolved
+
+
+def resolve_tracer(config: EngineConfig) -> Tuple[object, bool]:
+    """The tracer an execution should carry, and whether it owns it.
+
+    Precedence: an ambient tracer (``with trace_query():`` around the
+    call, or the worker-side tracer installed by the supervised pool)
+    joins the existing trace; otherwise ``config.trace`` starts a fresh
+    one; otherwise the shared null tracer rides along for free.
+    """
+    ambient = current_tracer()
+    if ambient is not None:
+        return ambient, False
+    if config.trace:
+        return Tracer(), True
+    return NULL_TRACER, False
+
+
+@contextmanager
+def traced_scope(config: EngineConfig, name: str, **attrs) -> Iterator[object]:
+    """One trace around a multi-query operation (batch, join, kNN rings).
+
+    Resolves a tracer exactly like a single execution would, installs it
+    as ambient (so every nested :func:`execute_plan` joins it instead of
+    starting its own), opens one *name* span over the whole block, and —
+    for owned tracers — appends the finished spans to ``config.trace_path``
+    on exit.  With tracing off this yields :data:`NULL_TRACER` at the cost
+    of one function call.
+    """
+    tracer, owns_tracer = resolve_tracer(config)
+    if not tracer.enabled:
+        yield tracer
+        return
+    with activate(tracer):
+        with tracer.span(name, **attrs):
+            yield tracer
+    if owns_tracer and config.trace_path:
+        from ..obs.export import write_spans_jsonl
+
+        write_spans_jsonl(tracer.drain_unexported(), config.trace_path)
 
 
 def make_context(
@@ -124,6 +219,7 @@ def make_context(
     *,
     config: EngineConfig,
     verify: str = "none",
+    mode: str = "range",
     topk_cache: Optional[Dict[str, TopKResult]] = None,
 ) -> ExecutionContext:
     """Validate the public query arguments and assemble a fresh context."""
@@ -133,12 +229,16 @@ def make_context(
         raise ValueError("tau must be non-negative")
     if verify not in ("none", "exact"):
         raise ValueError(f"unknown verify mode {verify!r}")
+    tracer, owns_tracer = resolve_tracer(config)
     return ExecutionContext(
         engine=engine,
         query=query,
         tau=tau,
         config=config,
         verify=verify,
+        mode=mode,
+        tracer=tracer,
+        owns_tracer=owns_tracer,
         topk_cache=topk_cache if topk_cache is not None else {},
     )
 
@@ -240,10 +340,12 @@ class VerifyStage(Stage):
             assignment_backend=ctx.config.assignment_backend,
             resilience=ResiliencePolicy.from_config(ctx.config),
             fault_plan=ctx.config.fault_plan,
+            tracer=ctx.tracer,
         )
         ctx.matches = set(report.matches)
         ctx.stats.settled_by_bounds = report.settled_by_bounds
         ctx.stats.astar_runs = report.astar_runs
+        ctx.stats.astar_expansions = report.astar_expansions
         ctx.stats.degradations.extend(report.degradations)
         ctx.verified = report.decided()
         return ctx
@@ -271,22 +373,43 @@ def execute_plan(plan: QueryPlan, ctx: ExecutionContext) -> ExecutionContext:
     """Run *plan*'s stages in order over *ctx* — the one executor.
 
     Uniform bookkeeping lives here and nowhere else: per-stage wall clock
-    (``stats.stage_seconds``), total elapsed time, and the process-global
-    SED-cache hit/miss delta attributable to this execution.
+    (``stats.stage_seconds``), total elapsed time, the process-global
+    SED-cache hit/miss delta attributable to this execution — and, on
+    traced runs, the ``query`` → stage span tree plus the JSONL export to
+    ``config.trace_path`` (owned tracers only, so shared ambient traces
+    are not exported piecemeal by every nested query).  Metrics recording
+    happens *after* the stats stop changing, so traced and untraced runs
+    report identical counters.
     """
+    tracer = ctx.tracer
     clock = WallClock.start()
     cache_before = GLOBAL_SED_CACHE.info()
-    for stage in plan.stages:
-        started = time.perf_counter()
-        ctx = stage.run(ctx)
-        seconds = time.perf_counter() - started
-        ctx.stats.stage_seconds[stage.name] = (
-            ctx.stats.stage_seconds.get(stage.name, 0.0) + seconds
-        )
+    with tracer.span(
+        "query", plan=plan.description, tau=ctx.tau, verify=ctx.verify
+    ):
+        for stage in plan.stages:
+            started = time.perf_counter()
+            with tracer.span(stage.name):
+                ctx = stage.run(ctx)
+            seconds = time.perf_counter() - started
+            ctx.stats.stage_seconds[stage.name] = (
+                ctx.stats.stage_seconds.get(stage.name, 0.0) + seconds
+            )
     cache_after = GLOBAL_SED_CACHE.info()
     ctx.stats.sed_cache_hits = cache_after.hits - cache_before.hits
     ctx.stats.sed_cache_misses = cache_after.misses - cache_before.misses
     ctx.elapsed = clock.elapsed()
+    if tracer.enabled:
+        ctx.trace = tracer.to_trace()
+        if ctx.owns_tracer and ctx.config.trace_path:
+            from ..obs.export import write_spans_jsonl
+
+            write_spans_jsonl(tracer.drain_unexported(), ctx.config.trace_path)
+    if ctx.config.metrics:
+        record_query_metrics(
+            GLOBAL_METRICS, ctx.stats, ctx.elapsed, mode=ctx.mode
+        )
+        publish_cache_metrics(GLOBAL_METRICS)
     return ctx
 
 
@@ -306,9 +429,9 @@ class QuerySession:
     >>> engine_graphs = {"g": Graph(["a", "b"], [(0, 1)])}
     >>> from repro.core.engine import SegosIndex
     >>> session = SegosIndex(engine_graphs).session()
-    >>> session.range_query(Graph(["a", "b"], [(0, 1)]), 0).candidates
+    >>> session.range_query(Graph(["a", "b"], [(0, 1)]), tau=0).candidates
     ['g']
-    >>> session.range_query(Graph(["a", "b"], [(0, 1)]), 1).stats.ta_searches
+    >>> session.range_query(Graph(["a", "b"], [(0, 1)]), tau=1).stats.ta_searches
     0
     """
 
@@ -345,14 +468,17 @@ class QuerySession:
         return execute_plan(plan, ctx)
 
     def range_query(
-        self, query: Graph, tau: float, *, verify: str = "none", **overrides
+        self, query: Graph, *, tau: float, verify: str = "none", **overrides
     ) -> QueryResult:
         """One range query through the staged executor.
 
-        ``overrides`` are per-call :class:`EngineConfig` fields (``k``,
-        ``h``, ``partial_fraction``, ``verify_workers``, ``verify_budget``,
-        ``verify_deadline``, ...) — the innermost layer of the precedence
-        chain.
+        Everything but the query graph is keyword-only.  ``overrides`` are
+        per-call :class:`EngineConfig` fields (``k``, ``h``,
+        ``partial_fraction``, ``verify_workers``, ``verify_budget``,
+        ``verify_deadline``, ``trace``, ...) — the innermost layer of the
+        precedence chain — plus the public aliases ``workers``
+        (= ``verify_workers``) and ``timeout`` (= ``verify_deadline``).
         """
+        overrides = apply_call_aliases(overrides)
         ctx = self.context(query, tau, verify=verify, **overrides)
         return self.execute(self.plan(), ctx).to_result()

@@ -79,6 +79,8 @@ class QueryStats:
     settled_by_bounds: int = 0
     #: verification-stage A* GED runs actually dispatched
     astar_runs: int = 0
+    #: A* states expanded across this query's GED runs (search effort)
+    astar_expansions: int = 0
     #: stage name → wall-clock seconds, captured uniformly by the plan
     #: executor (``ta``/``ca``/``verify`` on the serial path, ``ta+ca``/
     #: ``verify`` on the pipelined path — the threaded stages overlap, so
@@ -132,10 +134,13 @@ class QueryStats:
             )
             parts.append(f"top-k backends: {chosen}")
         if self.astar_runs or self.settled_by_bounds:
-            parts.append(
+            detail = (
                 f"verify: {self.astar_runs} A* runs, "
                 f"{self.settled_by_bounds} settled by bounds"
             )
+            if self.astar_expansions:
+                detail += f", {self.astar_expansions} states expanded"
+            parts.append(detail)
         if self.stage_seconds:
             timed = " ".join(
                 f"{name}={seconds * 1000:.1f}ms"
@@ -166,6 +171,7 @@ class QueryStats:
         self.topk_scan_width += other.topk_scan_width
         self.settled_by_bounds += other.settled_by_bounds
         self.astar_runs += other.astar_runs
+        self.astar_expansions += other.astar_expansions
         for key, value in other.pruned_by.items():
             self.pruned_by[key] = self.pruned_by.get(key, 0) + value
         for key, value in other.topk_backends.items():

@@ -42,7 +42,7 @@ argument.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
 import heapq
@@ -53,8 +53,14 @@ from ..graphs.subgraph_distance import subgraph_within
 from ..matching.hungarian import hungarian
 from .engine import SegosIndex
 from .merge import merge_groups
-from .plan import ExecutionContext, QueryPlan, Stage, execute_plan, make_context
-from .stats import QueryStats
+from .plan import (
+    ExecutionContext,
+    QueryPlan,
+    QueryResult,
+    Stage,
+    execute_plan,
+    make_context,
+)
 
 
 def sub_star_distance(query: Star, other: Star) -> int:
@@ -91,15 +97,13 @@ def sub_lower_bound(query: Graph, target: Graph, *, database_max: int = 0) -> fl
 
 
 @dataclass
-class SubgraphQueryResult:
-    """Result of a subgraph-similarity range query."""
+class SubgraphQueryResult(QueryResult):
+    """Result of a subgraph-similarity range query.
 
-    candidates: List[object]
-    matches: Set[object] = field(default_factory=set)
-    stats: QueryStats = field(default_factory=QueryStats)
-    verified: bool = False
-    #: wall-clock seconds inside the staged executor
-    elapsed: float = 0.0
+    Identical shape to every other :class:`~repro.core.plan.QueryResult`
+    (candidates, matches, stats, elapsed, verified, trace) — the subgraph
+    mode differs only in the distance it filters under.
+    """
 
 
 class SubgraphSearch:
@@ -115,7 +119,7 @@ class SubgraphSearch:
     >>> engine = SegosIndex()
     >>> engine.add("tri", Graph(["a", "b", "c"], [(0, 1), (1, 2), (0, 2)]))
     >>> SubgraphSearch(engine).range_query(
-    ...     Graph(["a", "b"], [(0, 1)]), 0, verify="exact").matches
+    ...     Graph(["a", "b"], [(0, 1)]), tau=0, verify="exact").matches
     {'tri'}
     """
 
@@ -213,7 +217,7 @@ class SubgraphSearch:
         )
 
     def range_query(
-        self, query: Graph, tau: float, *, verify: str = "none"
+        self, query: Graph, *, tau: float, verify: str = "none"
     ) -> SubgraphQueryResult:
         """All graphs ``g`` with ``λ_sub(query, g) ≤ tau`` (sound filter).
 
@@ -221,15 +225,21 @@ class SubgraphSearch:
         distance so ``matches`` is the exact answer set.
         """
         ctx = make_context(
-            self.engine, query, tau, config=self.engine.config, verify=verify
+            self.engine,
+            query,
+            tau,
+            config=self.engine.config,
+            verify=verify,
+            mode="subsearch",
         )
         ctx = execute_plan(self.plan(), ctx)
         return SubgraphQueryResult(
             candidates=ctx.candidates,
             matches=ctx.matches,
             stats=ctx.stats,
-            verified=ctx.verified,
             elapsed=ctx.elapsed,
+            verified=ctx.verified,
+            trace=ctx.trace,
         )
 
 

@@ -37,6 +37,7 @@ from ..graphs.edit_distance import graph_edit_distance
 from ..graphs.model import Graph
 from ..config import ENV_VERIFY_WORKERS, env_int
 from ..matching.mapping import bounds as mapping_bounds
+from ..obs.trace import NULL_TRACER, current_tracer
 from ..resilience.faults import FaultPlan, resolve_fault_plan
 from ..resilience.pool import PoolTask, ResiliencePolicy, run_supervised
 from ..resilience.telemetry import DegradationEvent
@@ -68,6 +69,8 @@ class VerificationReport:
     #: how many candidates were settled by bounds alone (no A* run)
     settled_by_bounds: int = 0
     astar_runs: int = 0
+    #: A* states expanded across every run (serial and worker-side alike)
+    astar_expansions: int = 0
     elapsed: float = 0.0
     #: worker processes the A* stage actually ran on (1 = in-process)
     workers_used: int = 1
@@ -79,13 +82,19 @@ class VerificationReport:
         return not self.undecided
 
 
-def _astar_outcome(query: Graph, graph: Graph, tau: int, budget: int) -> str:
-    """One A* run folded to its scheduling outcome."""
+def _astar_outcome(
+    query: Graph, graph: Graph, tau: int, budget: int
+) -> Tuple[str, int]:
+    """One A* run folded to ``(scheduling outcome, states expanded)``."""
+    counters: dict = {}
     try:
-        distance = graph_edit_distance(query, graph, threshold=tau, budget=budget)
+        distance = graph_edit_distance(
+            query, graph, threshold=tau, budget=budget, counters=counters
+        )
     except SearchBudgetExceeded:
-        return "undecided"
-    return "match" if distance is not None else "rejected"
+        return "undecided", counters.get("expanded", 0)
+    verdict = "match" if distance is not None else "rejected"
+    return verdict, counters.get("expanded", 0)
 
 
 # The query/τ/budget triple travels to each worker exactly once through the
@@ -98,10 +107,18 @@ def _init_verify_worker(blob: bytes) -> None:
     _WORKER_CTX = pickle.loads(blob)
 
 
-def _run_verify_task(gid: object, graph: Graph) -> Tuple[object, str]:
+def _run_verify_task(gid: object, graph: Graph) -> Tuple[object, str, int]:
     assert _WORKER_CTX is not None, "verify worker initializer did not run"
     query, tau, budget = _WORKER_CTX
-    return gid, _astar_outcome(query, graph, tau, budget)
+    tracer = current_tracer()  # the worker-side tracer installed by the pool
+    if tracer is not None:
+        with tracer.span("verify.astar", gid=str(gid)) as span:
+            verdict, expanded = _astar_outcome(query, graph, tau, budget)
+            span.attrs["verdict"] = verdict
+            span.attrs["expanded"] = expanded
+    else:
+        verdict, expanded = _astar_outcome(query, graph, tau, budget)
+    return gid, verdict, expanded
 
 
 def _parallel_astar(
@@ -116,6 +133,7 @@ def _parallel_astar(
     report: VerificationReport,
     policy: ResiliencePolicy,
     faults: FaultPlan,
+    tracer=NULL_TRACER,
 ) -> List[Tuple[float, object]]:
     """Fan the scheduled A* runs out over the supervised worker pool.
 
@@ -170,6 +188,7 @@ def _parallel_astar(
         stage="verify",
         deadline=deadline,
         started=started,
+        tracer=tracer,
     )
     report.degradations.extend(outcome.events)
     report.workers_used = max(outcome.workers_used, 1)
@@ -177,8 +196,9 @@ def _parallel_astar(
     remaining: List[Tuple[float, object]] = []
     for index, (l_m, gid) in enumerate(scheduled):
         if index in outcome.results:
-            _, verdict = outcome.results[index]
+            _, verdict, expanded = outcome.results[index]
             report.astar_runs += 1
+            report.astar_expansions += expanded
             if verdict == "match":
                 report.matches.add(gid)
             elif verdict == "rejected":
@@ -203,6 +223,7 @@ def verify_candidates(
     assignment_backend: Optional[str] = None,
     resilience: Optional[ResiliencePolicy] = None,
     fault_plan=None,
+    tracer=NULL_TRACER,
 ) -> VerificationReport:
     """Verify *candidates* against ``λ(query, ·) ≤ tau``.
 
@@ -266,6 +287,7 @@ def verify_candidates(
             report,
             policy,
             faults,
+            tracer,
         )
 
     for l_m, gid in remaining:
@@ -273,7 +295,18 @@ def verify_candidates(
             report.undecided.add(gid)
             continue
         report.astar_runs += 1
-        outcome = _astar_outcome(query, graphs[gid], tau, budget_per_candidate)
+        if tracer.enabled:
+            with tracer.span("verify.astar", gid=str(gid)) as span:
+                outcome, expanded = _astar_outcome(
+                    query, graphs[gid], tau, budget_per_candidate
+                )
+                span.attrs["verdict"] = outcome
+                span.attrs["expanded"] = expanded
+        else:
+            outcome, expanded = _astar_outcome(
+                query, graphs[gid], tau, budget_per_candidate
+            )
+        report.astar_expansions += expanded
         if outcome == "match":
             report.matches.add(gid)
         elif outcome == "rejected":

@@ -42,14 +42,24 @@ def _label_bound(labels1: List[str], labels2: List[str]) -> int:
     return max(len(labels1), len(labels2)) - common
 
 
+def _record_expansions(counters: Optional[Dict[str, int]], expanded: int) -> None:
+    if counters is not None:
+        counters["expanded"] = counters.get("expanded", 0) + expanded
+
+
 def graph_edit_distance(
     g1: Graph,
     g2: Graph,
     *,
     threshold: Optional[int] = None,
     budget: int = DEFAULT_BUDGET,
+    counters: Optional[Dict[str, int]] = None,
 ) -> Optional[int]:
     """Exact ``λ(g1, g2)``, or ``None`` if it exceeds *threshold*.
+
+    *counters*, when given, accumulates search-effort telemetry: the
+    number of A* states expanded is added under ``"expanded"`` on every
+    exit path (success, threshold prune, and blown budget alike).
 
     Examples
     --------
@@ -148,11 +158,14 @@ def graph_edit_distance(
     while heap:
         f, _, g_cost, depth, used_mask, mapping = heapq.heappop(heap)
         if threshold is not None and f > threshold:
+            _record_expansions(counters, expanded)
             return None  # optimistic total already beyond τ: λ > τ
         if depth == n1:
+            _record_expansions(counters, expanded)
             return g_cost  # completion already folded in when pushed
         expanded += 1
         if expanded > budget:
+            _record_expansions(counters, expanded)
             raise SearchBudgetExceeded(expanded, budget)
 
         successors: List[Tuple[int, int, Optional[int]]] = []
@@ -188,12 +201,23 @@ def graph_edit_distance(
                             mapping + (j,),
                         ),
                     )
+    _record_expansions(counters, expanded)
     return None if threshold is not None else 0
 
 
-def ged_within(g1: Graph, g2: Graph, tau: int, *, budget: int = DEFAULT_BUDGET) -> bool:
+def ged_within(
+    g1: Graph,
+    g2: Graph,
+    tau: int,
+    *,
+    budget: int = DEFAULT_BUDGET,
+    counters: Optional[Dict[str, int]] = None,
+) -> bool:
     """True iff ``λ(g1, g2) ≤ tau`` (threshold-pruned A*)."""
-    return graph_edit_distance(g1, g2, threshold=tau, budget=budget) is not None
+    return (
+        graph_edit_distance(g1, g2, threshold=tau, budget=budget, counters=counters)
+        is not None
+    )
 
 
 def trivial_lower_bound(g1: Graph, g2: Graph) -> int:

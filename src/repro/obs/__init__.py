@@ -1,0 +1,75 @@
+"""repro.obs — observability: span tracing, metrics, exporters.
+
+The three pieces and how they meet the engine:
+
+* :mod:`repro.obs.trace` — :func:`trace_query` / :class:`Tracer` /
+  :data:`NULL_TRACER`; the plan executor carries a tracer on every
+  execution and emits the span tree (engine → stage → A* runs → worker
+  tasks, stitched across processes by the supervised pool);
+* :mod:`repro.obs.metrics` — :class:`MetricsRegistry` /
+  :data:`GLOBAL_METRICS`, fed from finished :class:`QueryStats` so
+  traced and untraced runs report identical numbers;
+* :mod:`repro.obs.export` — JSONL span dumps (``trace_path`` knob),
+  Chrome ``trace_event`` files and Prometheus text snapshots.
+
+Switched by the ``trace`` / ``trace_path`` / ``metrics`` knobs on
+:class:`repro.EngineConfig` (env ``REPRO_TRACE`` / ``REPRO_TRACE_PATH``
+/ ``REPRO_METRICS``), per-call ``trace=True`` on the query front-ends,
+or ambiently with ``with trace_query() as tracer: ...``.
+"""
+
+from .export import (
+    chrome_trace_events,
+    prometheus_text,
+    read_spans_jsonl,
+    span_from_dict,
+    span_to_dict,
+    write_chrome_trace,
+    write_prometheus,
+    write_spans_jsonl,
+)
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    GLOBAL_METRICS,
+    record_query_metrics,
+)
+from .trace import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    SpanContext,
+    Trace,
+    Tracer,
+    activate,
+    current_tracer,
+    trace_query,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "GLOBAL_METRICS",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "SpanContext",
+    "Trace",
+    "Tracer",
+    "activate",
+    "chrome_trace_events",
+    "current_tracer",
+    "prometheus_text",
+    "read_spans_jsonl",
+    "record_query_metrics",
+    "span_from_dict",
+    "span_to_dict",
+    "trace_query",
+    "write_chrome_trace",
+    "write_prometheus",
+    "write_spans_jsonl",
+]

@@ -1,0 +1,179 @@
+"""Exporters: JSONL span dumps, Chrome trace_event, Prometheus text.
+
+Three consumers, three formats:
+
+* **JSONL** — one span per line; the durable, append-friendly form the
+  ``trace_path`` knob writes and :func:`read_spans_jsonl` round-trips
+  (the golden tests diff traces through this path);
+* **Chrome trace_event** — load the file in ``about://tracing`` (or
+  Perfetto) to see stages, threads and worker processes on one timeline;
+  spans map to complete events (``ph: "X"``) with microsecond
+  timestamps, instant events to ``ph: "i"``;
+* **Prometheus text exposition** — a scrapeable snapshot of a
+  :class:`~repro.obs.metrics.MetricsRegistry`.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Dict, Iterable, List, Union
+
+from .metrics import MetricsRegistry
+from .trace import Span, Trace
+
+Spans = Union[Trace, Iterable[Span]]
+
+
+def _span_list(spans: Spans) -> List[Span]:
+    return list(spans.spans) if isinstance(spans, Trace) else list(spans)
+
+
+# ---------------------------------------------------------------------------
+# JSONL
+# ---------------------------------------------------------------------------
+
+def span_to_dict(span: Span) -> Dict:
+    return {
+        "name": span.name,
+        "trace_id": span.trace_id,
+        "span_id": span.span_id,
+        "parent_id": span.parent_id,
+        "start": span.start,
+        "end": span.end,
+        "pid": span.pid,
+        "tid": span.tid,
+        "status": span.status,
+        "attrs": span.attrs,
+    }
+
+
+def span_from_dict(payload: Dict) -> Span:
+    return Span(
+        name=payload["name"],
+        trace_id=payload["trace_id"],
+        span_id=payload["span_id"],
+        parent_id=payload.get("parent_id", ""),
+        start=payload.get("start", 0.0),
+        end=payload.get("end", 0.0),
+        pid=payload.get("pid", 0),
+        tid=payload.get("tid", 0),
+        status=payload.get("status", "ok"),
+        attrs=payload.get("attrs", {}),
+    )
+
+
+def write_spans_jsonl(spans: Spans, path: str, *, append: bool = True) -> int:
+    """Append (default) or overwrite *path* with one JSON span per line.
+
+    Returns the number of spans written.  Append mode is what lets every
+    traced query share one ``trace_path`` file across a whole run.
+    """
+    items = _span_list(spans)
+    mode = "a" if append else "w"
+    with open(path, mode, encoding="utf-8") as fh:
+        for span in items:
+            fh.write(json.dumps(span_to_dict(span), sort_keys=True))
+            fh.write("\n")
+    return len(items)
+
+
+def read_spans_jsonl(path: str) -> List[Span]:
+    """Load every span from a JSONL dump (blank lines ignored)."""
+    spans: List[Span] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                spans.append(span_from_dict(json.loads(line)))
+    return spans
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace_event
+# ---------------------------------------------------------------------------
+
+def chrome_trace_events(spans: Spans) -> List[Dict]:
+    """Spans as Chrome ``trace_event`` dicts (``ts``/``dur`` in µs)."""
+    events: List[Dict] = []
+    for span in _span_list(spans):
+        event: Dict = {
+            "name": span.name,
+            "cat": "repro",
+            "ph": "X" if span.end > span.start else "i",
+            "ts": span.start * 1e6,
+            "pid": span.pid,
+            "tid": span.tid,
+            "args": dict(
+                span.attrs,
+                trace_id=span.trace_id,
+                span_id=span.span_id,
+                parent_id=span.parent_id,
+                status=span.status,
+            ),
+        }
+        if event["ph"] == "X":
+            event["dur"] = span.duration * 1e6
+        else:
+            event["s"] = "p"  # instant event, process-scoped
+        events.append(event)
+    return events
+
+
+def write_chrome_trace(spans: Spans, path_or_file: Union[str, IO]) -> int:
+    """Write a ``traceEvents`` JSON file loadable by about://tracing."""
+    events = chrome_trace_events(spans)
+    payload = {"traceEvents": events, "displayTimeUnit": "ms"}
+    if hasattr(path_or_file, "write"):
+        json.dump(payload, path_or_file)
+    else:
+        with open(path_or_file, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh)
+    return len(events)
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text exposition
+# ---------------------------------------------------------------------------
+
+def _fmt_labels(labels) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{key}="{value}"' for key, value in labels)
+    return "{" + inner + "}"
+
+
+def _fmt_value(value: float) -> str:
+    if value == int(value):
+        return str(int(value))
+    return repr(value)
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """Render *registry* in the Prometheus text exposition format."""
+    lines: List[str] = []
+    for name, kind, help, series in registry.collect():
+        if help:
+            lines.append(f"# HELP {name} {help}")
+        lines.append(f"# TYPE {name} {kind}")
+        for labels, metric in series:
+            if kind == "histogram":
+                cumulative = 0
+                for bound, count in zip(metric.buckets, metric.counts):
+                    cumulative = count
+                    bucket_labels = tuple(labels) + (("le", _fmt_value(bound)),)
+                    lines.append(
+                        f"{name}_bucket{_fmt_labels(bucket_labels)} {cumulative}"
+                    )
+                inf_labels = tuple(labels) + (("le", "+Inf"),)
+                lines.append(f"{name}_bucket{_fmt_labels(inf_labels)} {metric.count}")
+                lines.append(f"{name}_sum{_fmt_labels(labels)} {_fmt_value(metric.sum)}")
+                lines.append(f"{name}_count{_fmt_labels(labels)} {metric.count}")
+            else:
+                lines.append(f"{name}{_fmt_labels(labels)} {_fmt_value(metric.value)}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_prometheus(registry: MetricsRegistry, path: str) -> None:
+    """Write a text-format metrics snapshot to *path*."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(prometheus_text(registry))

@@ -1,0 +1,435 @@
+"""Span tracing for the query pipeline.
+
+A *span* is one timed operation (a query, a stage, an A* run, a worker
+task); spans form a tree via parent links and share a ``trace_id``, so one
+traced query can be followed from the engine front-end through the staged
+executor, across threads (the pipelined scheduler) and across *processes*
+(the supervised worker pool) back into a single picture.
+
+Design constraints, in order:
+
+* **Disabled is free.**  The executor always carries a tracer; when
+  tracing is off it is :data:`NULL_TRACER`, whose ``span()`` returns one
+  shared no-op context manager and whose ``enabled`` flag lets hot loops
+  skip instrumentation entirely.  No query path ever branches on "is
+  there a tracer" — only on ``tracer.enabled`` where the span itself
+  would be too hot.
+* **Cross-process stitching.**  A worker process cannot share the parent
+  tracer object; it gets the parent's :class:`SpanContext` (two strings),
+  builds its own :class:`Tracer` adopting that ``trace_id``/parent, and
+  ships its finished spans home by pickle, where the parent tracer
+  :meth:`~Tracer.adopt`\\ s them.
+* **Thread safety.**  The pipelined engine runs TA/CA/DC in threads; span
+  stacks are thread-local, the finished-span list is lock-protected, and
+  threads without an ambient stack inherit the tracer's fallback parent
+  or an explicit ``parent=``.
+
+Timestamps are ``time.time()`` (epoch seconds): unlike ``perf_counter``,
+they are comparable across processes, which is what lets worker spans
+land on the parent's timeline in the Chrome trace viewer.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Union
+
+
+_IDS = itertools.count(1)
+
+
+def _new_id() -> str:
+    """Process-unique span/trace id: ``<pid hex>-<counter hex>``."""
+    return f"{os.getpid():x}-{next(_IDS):x}"
+
+
+@dataclass(frozen=True)
+class SpanContext:
+    """The picklable coordinates a child process needs to stitch in."""
+
+    trace_id: str
+    span_id: str
+
+
+@dataclass
+class Span:
+    """One finished (or in-flight) timed operation."""
+
+    name: str
+    trace_id: str
+    span_id: str
+    parent_id: str = ""  # "" marks a root span
+    start: float = 0.0  # epoch seconds (cross-process comparable)
+    end: float = 0.0
+    pid: int = 0
+    tid: int = 0
+    status: str = "ok"
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        """Span length in seconds (0 for instant events)."""
+        return max(self.end - self.start, 0.0)
+
+    def context(self) -> SpanContext:
+        return SpanContext(self.trace_id, self.span_id)
+
+
+class _NullSpanCM:
+    """The shared no-op context manager handed out by :class:`NullTracer`."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+
+_NULL_SPAN_CM = _NullSpanCM()
+
+
+class Tracer:
+    """Collects the span tree of one trace; thread-safe, pickles nothing.
+
+    ``parent_id`` seeds spans opened on threads (or in worker processes)
+    that have no enclosing span of their own — it is how a worker-side
+    tracer attaches its roots under the dispatching pool span.
+    """
+
+    enabled = True
+
+    def __init__(self, trace_id: Optional[str] = None, parent_id: str = "") -> None:
+        self.trace_id = trace_id if trace_id else _new_id()
+        self.parent_id = parent_id
+        self._spans: List[Span] = []
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._exported = 0
+
+    # -- span stack (per thread) ----------------------------------------
+
+    def _stack(self) -> List[str]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def current_context(self) -> Optional[SpanContext]:
+        """The innermost open span on this thread (or the fallback parent)."""
+        stack = self._stack()
+        if stack:
+            return SpanContext(self.trace_id, stack[-1])
+        if self.parent_id:
+            return SpanContext(self.trace_id, self.parent_id)
+        return None
+
+    def _resolve_parent(self, parent: Optional[SpanContext]) -> str:
+        if parent is not None:
+            return parent.span_id
+        stack = self._stack()
+        return stack[-1] if stack else self.parent_id
+
+    # -- recording ------------------------------------------------------
+
+    @contextmanager
+    def span(
+        self, name: str, *, parent: Optional[SpanContext] = None, **attrs: Any
+    ) -> Iterator[Span]:
+        """Open a child span for the duration of the ``with`` block.
+
+        The parent is, in order: the explicit ``parent=`` context (how
+        pipeline threads attach under their stage), the innermost open
+        span on the calling thread, or the tracer's fallback parent.
+        """
+        sp = Span(
+            name=name,
+            trace_id=self.trace_id,
+            span_id=_new_id(),
+            parent_id=self._resolve_parent(parent),
+            start=time.time(),
+            pid=os.getpid(),
+            tid=threading.get_ident(),
+            attrs=dict(attrs),
+        )
+        stack = self._stack()
+        stack.append(sp.span_id)
+        try:
+            yield sp
+        except BaseException:
+            sp.status = "error"
+            raise
+        finally:
+            stack.pop()
+            sp.end = time.time()
+            with self._lock:
+                self._spans.append(sp)
+
+    def begin(
+        self, name: str, *, parent: Optional[SpanContext] = None, **attrs: Any
+    ) -> Span:
+        """Open a span *without* entering it on the thread's span stack.
+
+        For long-lived supervisors (the worker pool) whose children are
+        attached by explicit ``parent=`` rather than ambient nesting.
+        The span is recorded only when :meth:`end_span` is called.
+        """
+        return Span(
+            name=name,
+            trace_id=self.trace_id,
+            span_id=_new_id(),
+            parent_id=self._resolve_parent(parent),
+            start=time.time(),
+            pid=os.getpid(),
+            tid=threading.get_ident(),
+            attrs=dict(attrs),
+        )
+
+    def end_span(self, span: Span, **attrs: Any) -> None:
+        """Close and record a span opened with :meth:`begin`."""
+        span.end = time.time()
+        if attrs:
+            span.attrs.update(attrs)
+        with self._lock:
+            self._spans.append(span)
+
+    def event(
+        self, name: str, *, parent: Optional[SpanContext] = None, **attrs: Any
+    ) -> str:
+        """Record an instant (zero-length) span and return its id.
+
+        Degradation telemetry links through this: the returned id lands in
+        :attr:`DegradationEvent.span_id` so a failure in the span tree and
+        its event record point at each other.
+        """
+        now = time.time()
+        sp = Span(
+            name=name,
+            trace_id=self.trace_id,
+            span_id=_new_id(),
+            parent_id=self._resolve_parent(parent),
+            start=now,
+            end=now,
+            pid=os.getpid(),
+            tid=threading.get_ident(),
+            attrs=dict(attrs),
+        )
+        with self._lock:
+            self._spans.append(sp)
+        return sp.span_id
+
+    def adopt(self, spans: Sequence[Span]) -> None:
+        """Merge finished spans shipped home from a worker process."""
+        if spans:
+            with self._lock:
+                self._spans.extend(spans)
+
+    # -- reading --------------------------------------------------------
+
+    def snapshot(self) -> List[Span]:
+        """A point-in-time copy of every finished span."""
+        with self._lock:
+            return list(self._spans)
+
+    def drain_unexported(self) -> List[Span]:
+        """Spans finished since the last drain (incremental file export)."""
+        with self._lock:
+            fresh = self._spans[self._exported :]
+            self._exported = len(self._spans)
+            return list(fresh)
+
+    def to_trace(self) -> "Trace":
+        """A live :class:`Trace` view over this tracer's spans."""
+        return Trace(self, trace_id=self.trace_id)
+
+
+class NullTracer:
+    """The do-nothing tracer carried when tracing is off.
+
+    Every method is a constant-time no-op; ``span()`` hands back one
+    shared context manager, so the disabled path allocates nothing.
+    Hot loops should still gate per-item spans on ``tracer.enabled``.
+    """
+
+    enabled = False
+    trace_id = ""
+    parent_id = ""
+
+    def span(self, name: str, *, parent: Optional[SpanContext] = None, **attrs):
+        return _NULL_SPAN_CM
+
+    def event(
+        self, name: str, *, parent: Optional[SpanContext] = None, **attrs: Any
+    ) -> str:
+        return ""
+
+    def begin(
+        self, name: str, *, parent: Optional[SpanContext] = None, **attrs: Any
+    ) -> Optional[Span]:
+        return None
+
+    def end_span(self, span: Optional[Span], **attrs: Any) -> None:
+        pass
+
+    def adopt(self, spans: Sequence[Span]) -> None:
+        pass
+
+    def current_context(self) -> Optional[SpanContext]:
+        return None
+
+    def snapshot(self) -> List[Span]:
+        return []
+
+    def drain_unexported(self) -> List[Span]:
+        return []
+
+    def to_trace(self) -> "Trace":
+        return Trace([], trace_id="")
+
+
+#: The shared disabled tracer every untraced execution carries.
+NULL_TRACER = NullTracer()
+
+
+class Trace:
+    """A queryable view over a trace's spans (live or materialised).
+
+    Constructed either over a :class:`Tracer` (live: new spans keep
+    appearing, which is how every result of a traced batch shares one
+    growing trace) or over a plain span list (e.g. read back from a JSONL
+    export).
+    """
+
+    def __init__(
+        self, source: Union[Tracer, NullTracer, Sequence[Span]], trace_id: str = ""
+    ) -> None:
+        self._source = source
+        self._trace_id = trace_id or getattr(source, "trace_id", "")
+
+    def __reduce__(self):
+        # A live Tracer holds a threading.Lock; pickling materialises the
+        # view into a plain span list so results cross process boundaries.
+        return (Trace, (self.spans, self._trace_id))
+
+    @property
+    def trace_id(self) -> str:
+        return self._trace_id
+
+    @property
+    def spans(self) -> List[Span]:
+        source = self._source
+        if hasattr(source, "snapshot"):
+            return source.snapshot()
+        return list(source)
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def find(self, name: str) -> List[Span]:
+        """Every span called *name*, in completion order."""
+        return [span for span in self.spans if span.name == name]
+
+    def roots(self) -> List[Span]:
+        """Spans whose parent is unknown to this trace, by start time."""
+        spans = self.spans
+        known = {span.span_id for span in spans}
+        return sorted(
+            (s for s in spans if not s.parent_id or s.parent_id not in known),
+            key=lambda s: (s.start, s.span_id),
+        )
+
+    def children(self, span_id: str) -> List[Span]:
+        """Direct children of one span, by start time."""
+        return sorted(
+            (s for s in self.spans if s.parent_id == span_id),
+            key=lambda s: (s.start, s.span_id),
+        )
+
+    def processes(self) -> List[int]:
+        """Distinct pids that contributed spans (≥2 proves stitching)."""
+        return sorted({span.pid for span in self.spans})
+
+    def render(self) -> str:
+        """Indented tree, one line per span, for the CLI's ``--trace``."""
+        lines: List[str] = []
+        spans = self.spans
+        by_parent: Dict[str, List[Span]] = {}
+        known = {span.span_id for span in spans}
+        for span in spans:
+            key = span.parent_id if span.parent_id in known else ""
+            by_parent.setdefault(key, []).append(span)
+        for siblings in by_parent.values():
+            siblings.sort(key=lambda s: (s.start, s.span_id))
+
+        def walk(span: Span, depth: int) -> None:
+            label = f"{'  ' * depth}{span.name}"
+            detail = f"{span.duration * 1000:.2f}ms pid={span.pid}"
+            if span.status != "ok":
+                detail += f" status={span.status}"
+            if span.attrs:
+                rendered = " ".join(
+                    f"{key}={value}" for key, value in sorted(span.attrs.items())
+                )
+                detail += f" [{rendered}]"
+            lines.append(f"{label}  ({detail})")
+            for child in by_parent.get(span.span_id, []):
+                walk(child, depth + 1)
+
+        for root in by_parent.get("", []):
+            walk(root, 0)
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Ambient tracer (contextvar): how `with trace_query():` reaches the executor
+# and how worker-side code joins the task span opened around it.
+# ---------------------------------------------------------------------------
+
+_ACTIVE: ContextVar[Optional[Tracer]] = ContextVar("repro_active_tracer", default=None)
+
+
+def current_tracer() -> Optional[Tracer]:
+    """The ambient tracer installed by :func:`trace_query` (or a worker)."""
+    return _ACTIVE.get()
+
+
+@contextmanager
+def activate(tracer: Tracer) -> Iterator[Tracer]:
+    """Install *tracer* as the ambient tracer for the block."""
+    token = _ACTIVE.set(tracer)
+    try:
+        yield tracer
+    finally:
+        _ACTIVE.reset(token)
+
+
+@contextmanager
+def trace_query(name: str = "trace", **attrs: Any) -> Iterator[Tracer]:
+    """Trace every query executed inside the block under one root span.
+
+    Yields the :class:`Tracer`; read ``tracer.to_trace()`` (or the
+    ``result.trace`` handle on each query result) afterwards, and export
+    with :mod:`repro.obs.export`.
+
+    Examples
+    --------
+    >>> from repro.obs import trace_query
+    >>> with trace_query("demo") as tracer:
+    ...     pass
+    >>> [span.name for span in tracer.snapshot()]
+    ['demo']
+    """
+    tracer = Tracer()
+    token = _ACTIVE.set(tracer)
+    try:
+        with tracer.span(name, **attrs):
+            yield tracer
+    finally:
+        _ACTIVE.reset(token)

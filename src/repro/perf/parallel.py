@@ -39,6 +39,8 @@ import pickle
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple
 
 from ..config import ENV_BATCH_WORKERS, EngineConfig, env_int
+from ..obs.metrics import GLOBAL_METRICS, record_query_metrics
+from ..obs.trace import NULL_TRACER, activate
 from ..resilience.faults import FaultPlan
 from ..resilience.pool import PoolTask, ResiliencePolicy, run_supervised
 from ..resilience.telemetry import DegradationEvent
@@ -114,6 +116,7 @@ def parallel_batch_range_query(
     k: Optional[int] = None,
     h: Optional[int] = None,
     verify: str = "none",
+    tracer=None,
 ) -> Tuple[Optional[List["QueryResult"]], List[DegradationEvent]]:
     """Fan a batch of range queries out over *workers* processes.
 
@@ -124,15 +127,32 @@ def parallel_batch_range_query(
     impossible from the start (unpicklable engine) and the caller should
     run the whole batch serially — the cause is in ``degradations`` either
     way, for the caller to attach to its stats.
+
+    An enabled *tracer* flows into the supervised pool (worker-side spans
+    stitch into the caller's tree) and wraps salvage re-runs, and each
+    worker-computed chunk's stats are folded into the parent's metrics
+    registry — worker-process registries are discarded with the process.
     """
     config = _engine_config(engine)
     faults = FaultPlan.parse(config.fault_plan)
     policy = ResiliencePolicy.from_config(config)
+    tracer = tracer if tracer is not None else NULL_TRACER
     events: List[DegradationEvent] = []
+
+    def _note_event(event: DegradationEvent) -> None:
+        if tracer.enabled:
+            event.span_id = tracer.event(
+                f"degradation:{event.point}",
+                stage=event.stage,
+                cause=event.cause,
+                injected=event.injected,
+                fallback=event.fallback,
+            )
+        events.append(event)
 
     injected = faults.fire("pickle.engine", stage="batch")
     if injected is not None:
-        events.append(
+        _note_event(
             DegradationEvent(
                 point="pickle.engine",
                 stage="batch",
@@ -146,7 +166,7 @@ def parallel_batch_range_query(
     try:
         engine_blob = pickle.dumps(engine, protocol=pickle.HIGHEST_PROTOCOL)
     except PICKLE_ERRORS as exc:  # e.g. sqlite backend: connections don't pickle
-        events.append(
+        _note_event(
             DegradationEvent(
                 point="pickle.engine",
                 stage="batch",
@@ -174,15 +194,30 @@ def parallel_batch_range_query(
         initargs=(engine_blob,),
         faults=faults,
         stage="batch",
+        tracer=tracer,
     )
     events.extend(outcome.events)
 
     results: List["QueryResult"] = []
     for index, chunk in enumerate(chunks):
         if index in outcome.results:
-            results.extend(outcome.results[index])
-        else:
+            chunk_results = outcome.results[index]
+            if config.metrics:
+                # Worker-process registries die with the worker; fold the
+                # finished per-query stats into the parent's registry here.
+                for result in chunk_results:
+                    record_query_metrics(
+                        GLOBAL_METRICS, result.stats, result.elapsed
+                    )
+            results.extend(chunk_results)
+        elif tracer.enabled:
             # Per-chunk salvage: only the unfinished remainder runs
             # serially; every completed chunk's results are reused.
+            with activate(tracer):
+                with tracer.span("salvage.chunk", chunk=index, queries=len(chunk)):
+                    results.extend(
+                        engine._serial_batch_range_query(chunk, tau, **kwargs)
+                    )
+        else:
             results.extend(engine._serial_batch_range_query(chunk, tau, **kwargs))
     return results, events

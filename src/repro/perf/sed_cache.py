@@ -161,3 +161,26 @@ def sed_cache_info() -> CacheInfo:
 def sed_cache_clear() -> None:
     """Empty the global cache (mirrors ``lru_cache.cache_clear()``)."""
     GLOBAL_SED_CACHE.clear()
+
+
+def publish_cache_metrics(registry, cache: SEDCache = None) -> None:
+    """Export a cache's lifetime counters as gauges on *registry*.
+
+    *registry* is duck-typed (a :class:`repro.obs.metrics.MetricsRegistry`)
+    so this module keeps zero dependency on the observability layer.
+    Called by the plan executor after each metered query; cheap enough to
+    run per query (four gauge sets from one locked snapshot).
+    """
+    info = (cache if cache is not None else GLOBAL_SED_CACHE).info()
+    registry.gauge(
+        "repro_sed_cache_entries", "signature pairs currently cached"
+    ).set(info.currsize)
+    registry.gauge(
+        "repro_sed_cache_capacity", "configured cache capacity"
+    ).set(info.maxsize)
+    registry.gauge(
+        "repro_sed_cache_hits_lifetime", "process-lifetime cache hits"
+    ).set(info.hits)
+    registry.gauge(
+        "repro_sed_cache_misses_lifetime", "process-lifetime cache misses"
+    ).set(info.misses)

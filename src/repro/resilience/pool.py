@@ -45,6 +45,7 @@ from ..config import (
     env_int,
 )
 from ..errors import PoolBrokenError, WorkerTimeout
+from ..obs.trace import NULL_TRACER, Tracer, activate
 from .faults import EMPTY_PLAN, FaultInjected, FaultPlan, WORKER_POINTS
 from .telemetry import DegradationEvent
 
@@ -125,10 +126,10 @@ class PoolOutcome:
         return not self.unfinished
 
 
-def _supervised_call(
+def _apply_directive_and_run(
     directive: Optional[Tuple[str, float]], fn: Callable[..., Any], args: Tuple
 ) -> Any:
-    """Worker-side shim: apply any scripted fault, then run the task.
+    """Apply any scripted fault, then run the task.
 
     ``worker.crash`` kills the process the way a real crash would (no
     exception machinery, no cleanup), ``worker.hang`` stops responding for
@@ -145,6 +146,33 @@ def _supervised_call(
     if directive is not None and directive[0] == "chunk.result":
         raise FaultInjected("injected fault: chunk.result")
     return value
+
+
+def _supervised_call(
+    directive: Optional[Tuple[str, float]],
+    fn: Callable[..., Any],
+    args: Tuple,
+    trace_ctx: Optional[Tuple[str, str, str, Any]] = None,
+) -> Any:
+    """Worker-side shim: scripted faults, plus span capture when traced.
+
+    *trace_ctx* is ``(trace_id, parent_span_id, stage, task_id)`` — the
+    coordinates needed to stitch worker-side spans into the parent tree.
+    When present, the worker builds its own tracer (adopting the parent's
+    trace id and attaching under the dispatching pool span), installs it
+    as the ambient tracer so anything the task executes traces into the
+    same tree, and ships the finished spans home alongside the value as
+    ``(value, spans)``.  When absent (tracing off) the task runs bare —
+    the disabled path is byte-identical to the pre-tracing shim.
+    """
+    if trace_ctx is None:
+        return _apply_directive_and_run(directive, fn, args)
+    trace_id, parent_id, stage, task_id = trace_ctx
+    tracer = Tracer(trace_id=trace_id, parent_id=parent_id)
+    with activate(tracer):
+        with tracer.span(f"task:{stage or 'pool'}", task=str(task_id)):
+            value = _apply_directive_and_run(directive, fn, args)
+    return value, tracer.snapshot()
 
 
 def _kill_pool(pool: ProcessPoolExecutor) -> None:
@@ -174,6 +202,7 @@ def run_supervised(
     stage: str = "",
     deadline: Optional[float] = None,
     started: Optional[float] = None,
+    tracer=None,
 ) -> PoolOutcome:
     """Run *tasks* on a supervised process pool; salvage whatever finishes.
 
@@ -184,12 +213,37 @@ def run_supervised(
     :class:`DegradationEvent`s on the outcome, and the circuit breaker
     hands unfinished work back to the caller after ``max_pool_retries``
     consecutive no-progress rounds.
+
+    An enabled *tracer* records the run as a ``pool:<stage>`` span, ships
+    each task's trace coordinates to its worker so worker-side spans
+    (including those of retried tasks, each with its worker's pid) stitch
+    into the parent tree, and links every :class:`DegradationEvent` to an
+    instant span via ``event.span_id``.
     """
     faults = faults if faults is not None else EMPTY_PLAN
+    tracer = tracer if tracer is not None else NULL_TRACER
     outcome = PoolOutcome()
     pending: List[PoolTask] = list(tasks)
     consecutive_failures = 0
     clock_started = started if started is not None else time.perf_counter()
+
+    pool_span = (
+        tracer.begin(f"pool:{stage or 'run'}", tasks=len(tasks), workers=workers)
+        if tracer.enabled
+        else None
+    )
+
+    def _note_event(event: DegradationEvent) -> None:
+        if pool_span is not None:
+            event.span_id = tracer.event(
+                f"degradation:{event.point}",
+                parent=pool_span.context(),
+                stage=event.stage,
+                cause=event.cause,
+                injected=event.injected,
+                fallback=event.fallback,
+            )
+        outcome.events.append(event)
 
     while pending and not outcome.deadline_blown:
         if consecutive_failures > policy.max_pool_retries:
@@ -211,7 +265,7 @@ def run_supervised(
             consecutive_failures += 1
             outcome.retries += 1
             terminal = consecutive_failures > policy.max_pool_retries
-            outcome.events.append(
+            _note_event(
                 DegradationEvent(
                     point="pool.spawn",
                     stage=stage,
@@ -238,8 +292,18 @@ def run_supervised(
                     directive = (point, rule.seconds)
                     issued_points.add(point)
                     break
+            trace_ctx = (
+                (tracer.trace_id, pool_span.span_id, stage, task.task_id)
+                if pool_span is not None
+                else None
+            )
             submitted.append(
-                (task, pool.submit(_supervised_call, directive, task.fn, task.args))
+                (
+                    task,
+                    pool.submit(
+                        _supervised_call, directive, task.fn, task.args, trace_ctx
+                    ),
+                )
             )
 
         # -- collect, salvaging in submission order ---------------------
@@ -271,6 +335,9 @@ def run_supervised(
             except Exception as exc:  # task-level failure; the pool is healthy
                 task_failures.append((task, exc))
                 continue
+            if pool_span is not None:
+                value, worker_spans = value
+                tracer.adopt(worker_spans)
             outcome.results[task.task_id] = value
             completed_round += 1
 
@@ -278,7 +345,7 @@ def run_supervised(
 
         if outcome.deadline_blown:
             _kill_pool(pool)
-            outcome.events.append(
+            _note_event(
                 DegradationEvent(
                     point="deadline",
                     stage=stage,
@@ -303,7 +370,7 @@ def run_supervised(
             consecutive_failures = 1 if completed_round else consecutive_failures + 1
             outcome.retries += 1
             terminal = consecutive_failures > policy.max_pool_retries
-            outcome.events.append(
+            _note_event(
                 DegradationEvent(
                     point=point,
                     stage=stage,
@@ -325,7 +392,7 @@ def run_supervised(
             outcome.retries += 1
             terminal = consecutive_failures > policy.max_pool_retries
             injected = any(isinstance(exc, FaultInjected) for _, exc in task_failures)
-            outcome.events.append(
+            _note_event(
                 DegradationEvent(
                     point="chunk.result" if injected else "task.error",
                     stage=stage,
@@ -345,4 +412,12 @@ def run_supervised(
         pending = still_pending  # empty on a clean round
 
     outcome.unfinished = [task.task_id for task in pending]
+    if pool_span is not None:
+        tracer.end_span(
+            pool_span,
+            rounds=outcome.rounds,
+            retries=outcome.retries,
+            completed=len(outcome.results),
+            unfinished=len(outcome.unfinished),
+        )
     return outcome

@@ -45,6 +45,10 @@ class DegradationEvent:
         The recovery taken: ``retry`` (same pool), ``respawn`` (new
         pool), ``serial`` (caller falls back to in-process execution),
         ``abandon`` (deadline blown; leftovers reported undecided).
+    span_id:
+        When the run was traced, the id of the instant span recorded for
+        this event — the link that lets a span tree and its degradation
+        telemetry point at each other.  Empty when tracing was off.
     """
 
     point: str
@@ -56,6 +60,7 @@ class DegradationEvent:
     requeued: int = 0
     lost: int = 0
     fallback: str = ""
+    span_id: str = ""
 
     def summary(self) -> str:
         """One-line account, e.g. ``worker.crash[batch] injected: retry #1,

@@ -58,7 +58,7 @@ class TestSoundnessAllMethods:
             LinearScan(graphs),
             SegosMethod(graphs, k=10, h=25),
         ):
-            result = method.range_query(query, tau)
+            result = method.range_query(query, tau=tau)
             assert truth <= set(result.candidates), method.name
             assert result.confirmed <= truth, method.name
 
@@ -67,7 +67,7 @@ class TestCStar:
     def test_accesses_whole_database(self, corpus_setup):
         rng, graphs = corpus_setup
         query = rng.choice(list(graphs.values())).copy()
-        result = CStar(graphs).range_query(query, 1)
+        result = CStar(graphs).range_query(query, tau=1)
         assert result.graphs_accessed == len(graphs)
 
     def test_no_index(self, corpus_setup):
@@ -78,9 +78,9 @@ class TestCStar:
         _, graphs = corpus_setup
         method = CStar(graphs)
         with pytest.raises(ValueError):
-            method.range_query(Graph(), 1)
+            method.range_query(Graph(), tau=1)
         with pytest.raises(ValueError):
-            method.range_query(Graph(["a"]), -1)
+            method.range_query(Graph(["a"]), tau=-1)
 
     def test_timed_query_sets_elapsed(self, corpus_setup):
         rng, graphs = corpus_setup
@@ -122,7 +122,7 @@ class TestKappaAT:
         rng, graphs = corpus_setup
         gid, graph = next(iter(graphs.items()))
         method = KappaAT(graphs, kappa=2)
-        result = method.range_query(graph.copy(), 0)
+        result = method.range_query(graph.copy(), tau=0)
         assert gid in result.candidates
 
     def test_index_size_counts_postings(self, corpus_setup):
@@ -141,8 +141,8 @@ class TestKappaAT:
         rng, graphs = corpus_setup
         query = rng.choice(list(graphs.values())).copy()
         tau = 2
-        kat = set(KappaAT(graphs, kappa=2).range_query(query, tau).candidates)
-        cstar = set(CStar(graphs).range_query(query, tau).candidates)
+        kat = set(KappaAT(graphs, kappa=2).range_query(query, tau=tau).candidates)
+        cstar = set(CStar(graphs).range_query(query, tau=tau).candidates)
         assert len(kat) >= len(cstar)
 
 
@@ -159,7 +159,7 @@ class TestCTree:
 
     def test_empty_database(self):
         tree = CTree({})
-        assert tree.range_query(Graph(["a"]), 1).candidates == []
+        assert tree.range_query(Graph(["a"]), tau=1).candidates == []
         assert tree.index_size() == 0
         assert tree.depth() == 0
 
@@ -171,7 +171,7 @@ class TestCTree:
         _, graphs = corpus_setup
         tree = CTree(graphs, fanout=4)
         query = Graph(["Z1", "Z2"], [(0, 1)])  # labels absent from corpus
-        result = tree.range_query(query, 0)
+        result = tree.range_query(query, tau=0)
         assert result.candidates == []
         assert result.nodes_visited < len(graphs)
 
@@ -179,9 +179,9 @@ class TestCTree:
         _, graphs = corpus_setup
         tree = CTree(graphs)
         with pytest.raises(ValueError):
-            tree.range_query(Graph(), 1)
+            tree.range_query(Graph(), tau=1)
         with pytest.raises(ValueError):
-            tree.range_query(Graph(["a"]), -0.5)
+            tree.range_query(Graph(["a"]), tau=-0.5)
 
 
 class TestLinearScan:
@@ -190,6 +190,6 @@ class TestLinearScan:
         labels = make_label_alphabet(63, prefix="C")
         query = mutate(rng, rng.choice(list(graphs.values())), 1, labels)
         tau = 2
-        result = LinearScan(graphs).range_query(query, tau)
+        result = LinearScan(graphs).range_query(query, tau=tau)
         assert set(result.candidates) == ground_truth(graphs, query, tau)
         assert result.confirmed == set(result.candidates)

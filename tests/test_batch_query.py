@@ -20,9 +20,9 @@ class TestBatchRangeQuery:
     def test_same_answers_as_individual_queries(self, batch_setup):
         data, engine = batch_setup
         queries = sample_queries(data, 4, seed=9)
-        batch = engine.batch_range_query(queries, 2)
+        batch = engine.batch_range_query(queries, tau=2)
         for query, result in zip(queries, batch):
-            solo = engine.range_query(query, 2)
+            solo = engine.range_query(query, tau=2)
             assert set(result.candidates) == set(solo.candidates)
             assert result.matches == solo.matches
 
@@ -30,8 +30,8 @@ class TestBatchRangeQuery:
         data, engine = batch_setup
         query = sample_queries(data, 1, seed=9)[0]
         repeats = [query, query.copy(), query.copy()]
-        batch = engine.batch_range_query(repeats, 2)
-        solo = [engine.range_query(q, 2) for q in repeats]
+        batch = engine.batch_range_query(repeats, tau=2)
+        solo = [engine.range_query(q, tau=2) for q in repeats]
         assert sum(r.stats.ta_searches for r in batch) < sum(
             r.stats.ta_searches for r in solo
         )
@@ -43,22 +43,22 @@ class TestBatchRangeQuery:
     def test_verified_batch(self, batch_setup):
         data, engine = batch_setup
         queries = sample_queries(data, 2, seed=10)
-        batch = engine.batch_range_query(queries, 1, verify="exact")
+        batch = engine.batch_range_query(queries, tau=1, verify="exact")
         for query, result in zip(queries, batch):
             assert result.verified
             assert result.matches == engine.range_query(
-                query, 1, verify="exact"
+                query, tau=1, verify="exact"
             ).matches
 
     def test_empty_batch(self, batch_setup):
         _, engine = batch_setup
-        assert engine.batch_range_query([], 1) == []
+        assert engine.batch_range_query([], tau=1) == []
 
     def test_validation(self, batch_setup):
         _, engine = batch_setup
         with pytest.raises(ValueError):
-            engine.batch_range_query([Graph(["a"])], 1, verify="bogus")
+            engine.batch_range_query([Graph(["a"])], tau=1, verify="bogus")
         with pytest.raises(ValueError):
-            engine.batch_range_query([Graph()], 1)
+            engine.batch_range_query([Graph()], tau=1)
         with pytest.raises(ValueError):
-            engine.batch_range_query([Graph(["a"])], -1)
+            engine.batch_range_query([Graph(["a"])], tau=-1)

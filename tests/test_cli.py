@@ -69,6 +69,54 @@ class TestQuery:
         assert "error:" in capsys.readouterr().err
 
 
+class TestObservability:
+    def test_query_trace_flag_prints_span_tree(self, db_file, query_file, capsys):
+        assert main(
+            ["query", str(db_file), str(query_file), "--tau", "3", "--trace"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "trace:" in out
+        assert "query" in out and "ta" in out and "ca" in out
+
+    def test_query_metrics_flag_prints_prometheus(self, db_file, query_file, capsys):
+        assert main(
+            ["query", str(db_file), str(query_file), "--tau", "3", "--metrics"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_queries_total counter" in out
+        assert "repro_ta_accesses_total" in out
+
+    def test_trace_subcommand_exports_jsonl(self, db_file, query_file, tmp_path, capsys):
+        from repro.obs import read_spans_jsonl
+
+        out_path = tmp_path / "spans.jsonl"
+        assert main(
+            [
+                "trace", str(db_file), str(query_file),
+                "--tau", "3", "-o", str(out_path),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "wrote" in out and "jsonl" in out
+        spans = read_spans_jsonl(str(out_path))
+        assert {"query", "ta", "ca"} <= {s.name for s in spans}
+
+    def test_trace_subcommand_exports_chrome(self, db_file, query_file, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "trace.json"
+        assert main(
+            [
+                "trace", str(db_file), str(query_file),
+                "--tau", "3", "--verify", "--format", "chrome",
+                "-o", str(out_path),
+            ]
+        ) == 0
+        payload = json.loads(out_path.read_text())
+        assert payload["traceEvents"]
+        assert any(e["name"] == "verify" for e in payload["traceEvents"])
+
+
 class TestKnn:
     def test_knn(self, db_file, query_file, capsys):
         assert main(["knn", str(db_file), str(query_file), "-k", "2"]) == 0

@@ -52,6 +52,9 @@ class TestPrecedence:
         assert config.verify_workers == 1
         assert config.verify_budget == DEFAULT_VERIFY_BUDGET
         assert config.verify_deadline is None
+        assert config.trace is False
+        assert config.trace_path is None
+        assert config.metrics is False
 
     def test_env_provides_defaults(self, monkeypatch):
         monkeypatch.setenv(ENV_SED_CACHE_SIZE, "1024")
@@ -112,8 +115,8 @@ class TestPrecedence:
         items = list(small_aids.graphs.items())
         engine = build_engine(items[:20], k=100)
         query = items[0][1]
-        wide = engine.range_query(query, 2)
-        narrow = engine.range_query(query, 2, k=1)
+        wide = engine.range_query(query, tau=2)
+        narrow = engine.range_query(query, tau=2, k=1)
         # k=1 must actually reach the TA stage: fewer/equal sorted accesses
         assert narrow.stats.ta_accesses <= wide.stats.ta_accesses
         assert engine.config.k == 100  # engine config untouched
@@ -235,7 +238,7 @@ class TestSedCacheKnob:
         g = Graph(["a", "b"], [(0, 1)])
         engine = SegosIndex()
         engine.add("g", g)
-        engine.range_query(g, 0)
+        engine.range_query(g, tau=0)
         hits_before = GLOBAL_SED_CACHE.info().hits
         SegosIndex(sed_cache_size=GLOBAL_SED_CACHE.maxsize)
         assert GLOBAL_SED_CACHE.info().hits == hits_before

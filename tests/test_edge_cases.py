@@ -15,16 +15,16 @@ from repro.matching.mapping import mapping_distance
 class TestSingleVertexWorlds:
     def test_single_vertex_database_and_query(self):
         engine = SegosIndex({"dot": Graph(["x"])})
-        result = engine.range_query(Graph(["x"]), 0, verify="exact")
+        result = engine.range_query(Graph(["x"]), tau=0, verify="exact")
         assert result.matches == {"dot"}
-        result = engine.range_query(Graph(["y"]), 0, verify="exact")
+        result = engine.range_query(Graph(["y"]), tau=0, verify="exact")
         assert result.matches == set()
-        result = engine.range_query(Graph(["y"]), 1, verify="exact")
+        result = engine.range_query(Graph(["y"]), tau=1, verify="exact")
         assert result.matches == {"dot"}
 
     def test_single_vertex_vs_large_graph(self, paper_g2):
         engine = SegosIndex({"big": paper_g2})
-        result = engine.range_query(Graph(["a"]), 2, verify="exact")
+        result = engine.range_query(Graph(["a"]), tau=2, verify="exact")
         assert result.matches == set()  # λ = 14 edits away
 
     def test_mapping_distance_single_vertices(self):
@@ -40,7 +40,7 @@ class TestDisconnectedGraphs:
     def test_engine_accepts_disconnected(self):
         g = Graph(["a", "b", "c", "d"], [(0, 1), (2, 3)])
         engine = SegosIndex({"dis": g})
-        result = engine.range_query(g.copy(), 0, verify="exact")
+        result = engine.range_query(g.copy(), tau=0, verify="exact")
         assert result.matches == {"dis"}
 
     def test_ged_between_components(self):
@@ -53,7 +53,7 @@ class TestUnusualLabels:
     def test_unicode_labels(self):
         g = Graph(["ä", "β", "中"], [(0, 1), (1, 2)])
         engine = SegosIndex({"u": g})
-        assert engine.range_query(g.copy(), 0, verify="exact").matches == {"u"}
+        assert engine.range_query(g.copy(), tau=0, verify="exact").matches == {"u"}
 
     def test_labels_with_spaces_in_model(self):
         # The in-memory model is agnostic; only io/sqlite constrain labels.
@@ -71,7 +71,7 @@ class TestExtremes:
         items = dict(list(small_aids.graphs.items())[:10])
         engine = SegosIndex(items)
         query = next(iter(items.values())).copy()
-        result = engine.range_query(query, 10_000)
+        result = engine.range_query(query, tau=10_000)
         assert set(result.candidates) == set(items)
 
     def test_star_with_many_repeated_leaves(self):
@@ -85,7 +85,7 @@ class TestExtremes:
         stars = decompose(g)
         assert all(s.leaf_size == n - 1 for s in stars)
         engine = SegosIndex({"k8": g})
-        assert engine.range_query(g.copy(), 0).candidates == ["k8"]
+        assert engine.range_query(g.copy(), tau=0).candidates == ["k8"]
 
     def test_query_much_larger_than_database(self, small_aids):
         items = dict(list(small_aids.graphs.items())[:5])
@@ -93,14 +93,14 @@ class TestExtremes:
         big_query = Graph(
             {i: "C00" for i in range(40)}, [(i, i + 1) for i in range(39)]
         )
-        result = engine.range_query(big_query, 1)
+        result = engine.range_query(big_query, tau=1)
         assert result.candidates == []
 
     def test_pipeline_on_tiny_database(self):
         engine = SegosIndex({"only": Graph(["a", "b"], [(0, 1)])})
         pipe = PipelinedSegos(engine)
         for tau in (0, 1, 5):
-            result = pipe.range_query(Graph(["a", "b"], [(0, 1)]), tau)
+            result = pipe.range_query(Graph(["a", "b"], [(0, 1)]), tau=tau)
             assert result.candidates == ["only"]
 
 
@@ -109,8 +109,8 @@ class TestEngineParameterInteractions:
         items = dict(list(small_aids.graphs.items())[:15])
         engine = SegosIndex(items, partial_fraction=0.5)
         query = next(iter(items.values())).copy()
-        eager = engine.range_query(query, 2, partial_fraction=0.0)
-        lazy = engine.range_query(query, 2, partial_fraction=2.0)
+        eager = engine.range_query(query, tau=2, partial_fraction=0.0)
+        lazy = engine.range_query(query, tau=2, partial_fraction=2.0)
         # Same answers regardless of when the partial check runs.
         assert set(eager.candidates) == set(lazy.candidates)
 
@@ -118,11 +118,11 @@ class TestEngineParameterInteractions:
         items = dict(list(small_aids.graphs.items())[:15])
         engine = SegosIndex(items, k=5, h=10)
         query = next(iter(items.values())).copy()
-        a = engine.range_query(query, 1, k=50, h=500)
-        b = engine.range_query(query, 1)
+        a = engine.range_query(query, tau=1, k=50, h=500)
+        b = engine.range_query(query, tau=1)
         assert set(a.candidates) >= set(b.candidates) or set(
             a.candidates
         ) <= set(b.candidates)  # both sound; sizes may differ
-        truth_probe = engine.range_query(query, 1, verify="exact").matches
+        truth_probe = engine.range_query(query, tau=1, verify="exact").matches
         assert truth_probe <= set(a.candidates)
         assert truth_probe <= set(b.candidates)

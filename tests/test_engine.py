@@ -164,10 +164,10 @@ class TestRangeQuery:
     def test_self_query_tau_zero(self, small_engine):
         engine, items = small_engine
         gid, graph = next(iter(items.items()))
-        result = engine.range_query(graph, 0)
+        result = engine.range_query(graph, tau=0)
         assert gid in result.candidates
         # With exact verification the self-match is confirmed.
-        verified = engine.range_query(graph, 0, verify="exact")
+        verified = engine.range_query(graph, tau=0, verify="exact")
         assert gid in verified.matches
 
     def test_no_false_negatives(self, small_engine, rng):
@@ -181,7 +181,7 @@ class TestRangeQuery:
                 for gid, g in items.items()
                 if graph_edit_distance(query, g, threshold=tau) is not None
             }
-            result = engine.range_query(query, tau)
+            result = engine.range_query(query, tau=tau)
             assert truth <= set(result.candidates)
             assert result.matches <= truth
 
@@ -190,7 +190,7 @@ class TestRangeQuery:
         labels = make_label_alphabet(63, prefix="C")
         query = mutate(rng, rng.choice(list(items.values())), 1, labels)
         tau = 2
-        result = engine.range_query(query, tau, verify="exact")
+        result = engine.range_query(query, tau=tau, verify="exact")
         truth = {
             gid
             for gid, g in items.items()
@@ -204,23 +204,23 @@ class TestRangeQuery:
         gid = next(iter(items))
         engine.relabel_vertex(gid, next(iter(engine.graph(gid).vertices())), "C00")
         query = engine.graph(gid).copy()
-        result = engine.range_query(query, 0, verify="exact")
+        result = engine.range_query(query, tau=0, verify="exact")
         assert gid in result.matches
 
     def test_query_validation(self, small_engine):
         engine, _ = small_engine
         query = Graph(["a"])
         with pytest.raises(ValueError):
-            engine.range_query(Graph(), 1)
+            engine.range_query(Graph(), tau=1)
         with pytest.raises(ValueError):
-            engine.range_query(query, -1)
+            engine.range_query(query, tau=-1)
         with pytest.raises(ValueError):
-            engine.range_query(query, 1, verify="maybe")
+            engine.range_query(query, tau=1, verify="maybe")
 
     def test_result_metadata(self, small_engine):
         engine, items = small_engine
         query = next(iter(items.values())).copy()
-        result = engine.range_query(query, 1)
+        result = engine.range_query(query, tau=1)
         assert result.elapsed >= 0
         assert result.stats.ta_searches >= 1
         assert not result.verified

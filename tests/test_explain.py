@@ -20,14 +20,14 @@ class TestExplain:
     def test_matches_plain_query(self, explain_setup):
         data, engine = explain_setup
         query = next(iter(data.graphs.values())).copy()
-        explanation = explain_range_query(engine, query, 2)
-        plain = engine.range_query(query, 2)
+        explanation = explain_range_query(engine, query, tau=2)
+        plain = engine.range_query(query, tau=2)
         assert set(explanation.candidates) == set(plain.candidates)
 
     def test_star_traces_cover_distinct_stars(self, explain_setup):
         data, engine = explain_setup
         query = next(iter(data.graphs.values())).copy()
-        explanation = explain_range_query(engine, query, 2)
+        explanation = explain_range_query(engine, query, tau=2)
         assert explanation.distinct_stars == len(explanation.star_traces)
         assert (
             sum(trace.occurrences for trace in explanation.star_traces)
@@ -38,13 +38,13 @@ class TestExplain:
     def test_self_star_found_with_sed_zero(self, explain_setup):
         data, engine = explain_setup
         query = next(iter(data.graphs.values())).copy()
-        explanation = explain_range_query(engine, query, 1)
+        explanation = explain_range_query(engine, query, tau=1)
         assert all(trace.best_sed == 0 for trace in explanation.star_traces)
 
     def test_render_contains_stage_lines(self, explain_setup):
         data, engine = explain_setup
         query = next(iter(data.graphs.values())).copy()
-        text = explain_range_query(engine, query, 2).render()
+        text = explain_range_query(engine, query, tau=2).render()
         assert "TA stage:" in text
         assert "CA stage:" in text
         assert "DC stage:" in text
@@ -53,14 +53,14 @@ class TestExplain:
     def test_validation(self, explain_setup):
         _, engine = explain_setup
         with pytest.raises(ValueError):
-            explain_range_query(engine, Graph(), 1)
+            explain_range_query(engine, Graph(), tau=1)
         with pytest.raises(ValueError):
-            explain_range_query(engine, Graph(["a"]), -1)
+            explain_range_query(engine, Graph(["a"]), tau=-1)
 
     def test_parameter_overrides(self, explain_setup):
         data, engine = explain_setup
         query = next(iter(data.graphs.values())).copy()
-        explanation = explain_range_query(engine, query, 1, k=3, h=5)
+        explanation = explain_range_query(engine, query, tau=1, k=3, h=5)
         assert explanation.k == 3
         assert explanation.h == 5
         assert all(trace.returned <= 3 for trace in explanation.star_traces)
@@ -68,7 +68,7 @@ class TestExplain:
     def test_stats_summary_string(self, explain_setup):
         data, engine = explain_setup
         query = next(iter(data.graphs.values())).copy()
-        explanation = explain_range_query(engine, query, 1)
+        explanation = explain_range_query(engine, query, tau=1)
         summary = explanation.stats.summary()
         assert "accessed" in summary
         assert "candidates:" in summary

@@ -39,8 +39,8 @@ class TestFullWorkflow:
         save_index(engine, path)
         reloaded = load_index(path)
         query = next(iter(data.graphs.values())).copy()
-        a = engine.range_query(query, 2, verify="exact").matches
-        b = reloaded.range_query(query, 2, verify="exact").matches
+        a = engine.range_query(query, tau=2, verify="exact").matches
+        b = reloaded.range_query(query, tau=2, verify="exact").matches
         assert a == b
 
     def test_io_then_index_round_trip(self, world, tmp_path):
@@ -61,7 +61,7 @@ class TestFullWorkflow:
         engine.relabel_vertex(gid, victim, "C62")
         engine.check_consistency()
         current = engine.graph(gid).copy()
-        result = engine.range_query(current, 0, verify="exact")
+        result = engine.range_query(current, tau=0, verify="exact")
         assert gid in result.matches
 
 
@@ -79,25 +79,25 @@ class TestAllInterfacesAgree:
             if graph_edit_distance(query, g, threshold=tau) is not None
         }
         interfaces = {
-            "engine": set(engine.range_query(query, tau, verify="exact").matches),
+            "engine": set(engine.range_query(query, tau=tau, verify="exact").matches),
             "pipeline": set(
-                PipelinedSegos(engine).range_query(query, tau, verify="exact").matches
+                PipelinedSegos(engine).range_query(query, tau=tau, verify="exact").matches
             ),
-            "linear": set(LinearScan(data.graphs).range_query(query, tau).candidates),
+            "linear": set(LinearScan(data.graphs).range_query(query, tau=tau).candidates),
         }
         for name, matches in interfaces.items():
             assert matches == truth, name
         for method in (CStar(data.graphs), KappaAT(data.graphs), CTree(data.graphs)):
-            assert truth <= set(method.range_query(query, tau).candidates)
+            assert truth <= set(method.range_query(query, tau=tau).candidates)
 
     def test_knn_consistent_with_range(self, world):
         data, engine = world
         query = next(iter(data.graphs.values())).copy()
-        result = knn_query(engine, query, 3)
+        result = knn_query(engine, query, k=3)
         # The nearest neighbour at distance d must be found by a range
         # query at τ = d.
         gid, d = result.neighbours[0]
-        assert gid in engine.range_query(query, d, verify="exact").matches
+        assert gid in engine.range_query(query, tau=d, verify="exact").matches
 
     def test_subgraph_vs_plain_ged(self, world):
         """λ_sub ≤ λ always; equality on same-size exact matches."""
@@ -123,7 +123,7 @@ class TestAllInterfacesAgree:
         from repro.graphs.model import Graph
 
         fragment = Graph(fragment_labels, fragment_edges)
-        result = search.range_query(fragment, 0, verify="exact")
+        result = search.range_query(fragment, tau=0, verify="exact")
         assert gid in result.matches
 
 
@@ -140,5 +140,5 @@ class TestDatasets:
         data, engine = world
         queries = sample_queries(data, 3, seed=77, edits=1)
         for query in queries:
-            result = engine.range_query(query, 1, verify="exact")
+            result = engine.range_query(query, tau=1, verify="exact")
             assert result.matches  # the mutation source must be recovered

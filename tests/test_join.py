@@ -39,25 +39,25 @@ class TestSelfJoin:
     @pytest.mark.parametrize("tau", [0, 1, 2])
     def test_exact_self_join(self, join_world, tau):
         graphs, engine = join_world
-        result = similarity_self_join(engine, tau, verify="exact")
+        result = similarity_self_join(engine, tau=tau, verify="exact")
         assert result.verified
         assert result.matches == exact_pairs(graphs, tau)
 
     def test_candidates_cover_truth(self, join_world):
         graphs, engine = join_world
-        result = similarity_self_join(engine, 1)
+        result = similarity_self_join(engine, tau=1)
         assert exact_pairs(graphs, 1) <= set(result.pairs)
 
     def test_no_self_pairs_or_mirrors(self, join_world):
         graphs, engine = join_world
-        result = similarity_self_join(engine, 2)
+        result = similarity_self_join(engine, tau=2)
         assert all(a != b for a, b in result.pairs)
         seen = set(result.pairs)
         assert all((b, a) not in seen for a, b in result.pairs)
 
     def test_ta_cache_shared(self, join_world):
         graphs, engine = join_world
-        result = similarity_self_join(engine, 1)
+        result = similarity_self_join(engine, tau=1)
         # Shared cache: far fewer TA searches than total query stars.
         total_stars = sum(g.order for g in graphs.values())
         assert result.stats.ta_searches < total_stars
@@ -71,7 +71,7 @@ class TestProbeJoin:
             f"probe-{i}": mutate(rng, graphs[key], 1, list("abc"))
             for i, key in enumerate(list(graphs)[:3])
         }
-        result = similarity_join(engine, probes, 1, verify="exact")
+        result = similarity_join(engine, probes, tau=1, verify="exact")
         lefts = {a for a, _ in result.matches}
         assert lefts  # every probe is 1 edit from its source
 
@@ -79,19 +79,19 @@ class TestProbeJoin:
         graphs, engine = join_world
         gid = next(iter(graphs))
         probes = {"p": graphs[gid].copy()}
-        result = similarity_join(engine, probes, 0, verify="exact")
+        result = similarity_join(engine, probes, tau=0, verify="exact")
         assert ("p", gid) in result.matches
 
     def test_validation(self, join_world):
         _, engine = join_world
         with pytest.raises(ValueError):
-            similarity_self_join(engine, -1)
+            similarity_self_join(engine, tau=-1)
         with pytest.raises(ValueError):
-            similarity_self_join(engine, 1, verify="hmm")
+            similarity_self_join(engine, tau=1, verify="hmm")
 
     def test_empty_probe_set(self, join_world):
         _, engine = join_world
-        result = similarity_join(engine, {}, 1)
+        result = similarity_join(engine, {}, tau=1)
         assert result.pairs == []
 
 
@@ -101,17 +101,17 @@ class TestPublicPlanRouting:
     @pytest.mark.filterwarnings("error::DeprecationWarning")
     def test_join_emits_no_deprecation_warnings(self, join_world):
         _, engine = join_world
-        similarity_self_join(engine, 1)
+        similarity_self_join(engine, tau=1)
 
     def test_join_identical_to_independent_range_queries(self, join_world):
         graphs, engine = join_world
-        result = similarity_self_join(engine, 1)
+        result = similarity_self_join(engine, tau=1)
         # Rebuild the join with one public range query per probe (no shared
         # session): the shared-cache path must not change a single pair.
         ordering = {gid: i for i, gid in enumerate(sorted(graphs, key=str))}
         expected = []
         for left in sorted(graphs, key=str):
-            probe = engine.range_query(graphs[left], 1)
+            probe = engine.range_query(graphs[left], tau=1)
             for right in probe.candidates:
                 if ordering[right] <= ordering[left]:
                     continue
@@ -121,9 +121,9 @@ class TestPublicPlanRouting:
     def test_probe_join_shares_one_session(self, join_world):
         graphs, engine = join_world
         probes = {f"p{i}": graphs[key].copy() for i, key in enumerate(graphs)}
-        shared = similarity_join(engine, probes, 1)
+        shared = similarity_join(engine, probes, tau=1)
         solo = sum(
-            engine.range_query(g, 1).stats.ta_searches for g in probes.values()
+            engine.range_query(g, tau=1).stats.ta_searches for g in probes.values()
         )
         # Cache sharing must strictly reduce TA work on this clone-heavy set.
         assert shared.stats.ta_searches < solo

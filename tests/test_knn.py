@@ -37,7 +37,7 @@ class TestKnn:
     def test_matches_exhaustive(self, knn_setup, k):
         rng, graphs, engine = knn_setup
         query = graphs["g0"].copy()
-        result = knn_query(engine, query, k)
+        result = knn_query(engine, query, k=k)
         expected = exact_distances(graphs, query)
         kth = expected[k - 1][1]
         # All returned distances correct and ≤ k-th exact distance.
@@ -52,7 +52,7 @@ class TestKnn:
     def test_includes_ties_at_cutoff(self, knn_setup):
         rng, graphs, engine = knn_setup
         query = graphs["g1"].copy()
-        result = knn_query(engine, query, 3)
+        result = knn_query(engine, query, k=3)
         expected = exact_distances(graphs, query)
         cutoff = expected[2][1]
         tied = {gid for gid, d in expected if d <= cutoff}
@@ -60,31 +60,31 @@ class TestKnn:
 
     def test_self_is_first(self, knn_setup):
         _, graphs, engine = knn_setup
-        result = knn_query(engine, graphs["g2"].copy(), 1)
+        result = knn_query(engine, graphs["g2"].copy(), k=1)
         assert result.neighbours[0] == ("g2", 0)
 
     def test_rings_counted(self, knn_setup):
         _, graphs, engine = knn_setup
-        result = knn_query(engine, graphs["g3"].copy(), 5)
+        result = knn_query(engine, graphs["g3"].copy(), k=5)
         assert result.rings >= 1
 
     def test_validation(self, knn_setup):
         _, graphs, engine = knn_setup
         query = graphs["g0"]
         with pytest.raises(ValueError):
-            knn_query(engine, query, 0)
+            knn_query(engine, query, k=0)
         with pytest.raises(ValueError):
-            knn_query(engine, query, len(graphs) + 1)
+            knn_query(engine, query, k=len(graphs) + 1)
         with pytest.raises(ValueError):
-            knn_query(engine, Graph(), 1)
+            knn_query(engine, Graph(), k=1)
         with pytest.raises(ValueError):
-            knn_query(engine, query, 1, tau_step=0)
+            knn_query(engine, query, k=1, tau_step=0)
 
     def test_tau_limit_caps_expansion(self, knn_setup):
         _, graphs, engine = knn_setup
         # A query unlike anything, with a tiny limit: may return < k.
         query = Graph(["Z1", "Z2"], [(0, 1)])
-        result = knn_query(engine, query, 3, tau_limit=0)
+        result = knn_query(engine, query, k=3, tau_limit=0)
         assert result.rings == 1
         assert len(result.neighbours) <= 3
 
@@ -95,15 +95,15 @@ class TestRingCacheReuse:
     def test_ta_searches_do_not_regress_across_radii(self, knn_setup):
         _, graphs, engine = knn_setup
         query = graphs["g0"].copy()
-        result = knn_query(engine, query, 5, tau_start=0, tau_step=1)
+        result = knn_query(engine, query, k=5, tau_start=0, tau_step=1)
         assert result.rings > 1  # τ really expanded
-        one_ring = engine.range_query(query, 0).stats.ta_searches
+        one_ring = engine.range_query(query, tau=0).stats.ta_searches
         # Merged stats over all rings: TA searches paid exactly once.
         assert result.stats.ta_searches == one_ring
 
     def test_ta_accesses_equal_single_ring(self, knn_setup):
         _, graphs, engine = knn_setup
         query = graphs["g1"].copy()
-        result = knn_query(engine, query, 5, tau_start=0, tau_step=1)
-        single = engine.range_query(query, 0).stats.ta_accesses
+        result = knn_query(engine, query, k=5, tau_start=0, tau_step=1)
+        single = engine.range_query(query, tau=0).stats.ta_accesses
         assert result.stats.ta_accesses == single

@@ -140,7 +140,7 @@ class IndexMaintenanceMachine(RuleBasedStateMachine):
     @invariant()
     def probe_query_sound(self):
         probe = Graph(["a", "b"], [(0, 1)])
-        result = self.engine.range_query(probe, 0, verify="exact")
+        result = self.engine.range_query(probe, tau=0, verify="exact")
         # The seed graph is identical to the probe and must always match.
         assert "seed" in result.matches
 

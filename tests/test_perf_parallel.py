@@ -49,8 +49,8 @@ class TestHelpers:
 class TestParallelBatch:
     def test_same_answers_as_serial(self, corpus):
         _, engine, queries = corpus
-        serial = engine.batch_range_query(queries, 2)
-        parallel_results = engine.batch_range_query(queries, 2, workers=2)
+        serial = engine.batch_range_query(queries, tau=2)
+        parallel_results = engine.batch_range_query(queries, tau=2, workers=2)
         assert len(parallel_results) == len(queries)
         for s, p in zip(serial, parallel_results):
             assert set(s.candidates) == set(p.candidates)
@@ -59,20 +59,20 @@ class TestParallelBatch:
     def test_env_var_engages_parallel_path(self, corpus, monkeypatch):
         _, engine, queries = corpus
         monkeypatch.setenv(parallel.ENV_WORKERS, "2")
-        results = engine.batch_range_query(queries[:3], 1)
+        results = engine.batch_range_query(queries[:3], tau=1)
         serial = engine._serial_batch_range_query(queries[:3], 1)
         for s, p in zip(serial, results):
             assert set(s.candidates) == set(p.candidates)
 
     def test_single_query_batch_stays_serial(self, corpus):
         _, engine, queries = corpus
-        results = engine.batch_range_query(queries[:1], 1, workers=8)
+        results = engine.batch_range_query(queries[:1], tau=1, workers=8)
         assert len(results) == 1
 
     def test_verify_exact_in_parallel(self, corpus):
         _, engine, queries = corpus
-        serial = engine.batch_range_query(queries[:2], 1, verify="exact")
-        para = engine.batch_range_query(queries[:2], 1, verify="exact", workers=2)
+        serial = engine.batch_range_query(queries[:2], tau=1, verify="exact")
+        para = engine.batch_range_query(queries[:2], tau=1, verify="exact", workers=2)
         for s, p in zip(serial, para):
             assert p.verified
             assert s.matches == p.matches
@@ -84,7 +84,7 @@ class TestParallelBatch:
             {str(gid): g for gid, g in data.graphs.items()}, backend="sqlite"
         )
         queries = sample_queries(data, 3, seed=4)
-        results = engine.batch_range_query(queries, 1, workers=2)
+        results = engine.batch_range_query(queries, tau=1, workers=2)
         serial = engine._serial_batch_range_query(queries, 1)
         for s, p in zip(serial, results):
             assert set(s.candidates) == set(p.candidates)
@@ -94,15 +94,15 @@ class TestParallelBatch:
 
         _, engine, _ = corpus
         with pytest.raises(ValueError):
-            engine.batch_range_query([Graph(["a"]), Graph()], 1, workers=2)
+            engine.batch_range_query([Graph(["a"]), Graph()], tau=1, workers=2)
         with pytest.raises(ValueError):
-            engine.batch_range_query([Graph(["a"])] * 2, 1, verify="bogus", workers=2)
+            engine.batch_range_query([Graph(["a"])] * 2, tau=1, verify="bogus", workers=2)
 
     def test_pipelined_batch_parallel(self, corpus):
         _, engine, queries = corpus
         pipe = PipelinedSegos(engine)
-        serial = pipe.batch_range_query(queries[:4], 2)
-        para = pipe.batch_range_query(queries[:4], 2, workers=2)
+        serial = pipe.batch_range_query(queries[:4], tau=2)
+        para = pipe.batch_range_query(queries[:4], tau=2, workers=2)
         for s, p in zip(serial, para):
             assert set(s.candidates) == set(p.candidates)
 
@@ -110,7 +110,7 @@ class TestParallelBatch:
 class TestStatsAggregation:
     def test_merged_folds_per_query_stats(self, corpus):
         _, engine, queries = corpus
-        results = engine.batch_range_query(queries, 2, workers=2)
+        results = engine.batch_range_query(queries, tau=2, workers=2)
         merged = QueryStats.merged(r.stats for r in results)
         assert merged.candidates == sum(r.stats.candidates for r in results)
         assert merged.ta_searches == sum(r.stats.ta_searches for r in results)
@@ -120,14 +120,14 @@ class TestStatsAggregation:
 
     def test_elapsed_reported_everywhere(self, corpus):
         _, engine, queries = corpus
-        for result in engine.batch_range_query(queries[:3], 1, workers=2):
+        for result in engine.batch_range_query(queries[:3], tau=1, workers=2):
             assert result.elapsed >= 0.0
 
     def test_query_stats_expose_cache_hit_rate(self, corpus):
         _, engine, queries = corpus
         engine.sed_cache_clear()
-        first = engine.range_query(queries[0], 1)
-        again = engine.range_query(queries[0], 1)
+        first = engine.range_query(queries[0], tau=1)
+        again = engine.range_query(queries[0], tau=1)
         assert first.stats.sed_cache_misses > 0
         assert again.stats.sed_cache_hit_rate == 1.0
         info = engine.sed_cache_info()

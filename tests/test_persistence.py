@@ -46,8 +46,8 @@ class TestRoundTrip:
         loaded = load_index(path)
         query = engine.graph("g1").copy()
         # Vertex ids are renumbered on save; compare by verified answers.
-        a = engine.range_query(query, 3, verify="exact").matches
-        b = loaded.range_query(query, 3, verify="exact").matches
+        a = engine.range_query(query, tau=3, verify="exact").matches
+        b = loaded.range_query(query, tau=3, verify="exact").matches
         assert a == b == {"g1", "g2"}
 
     def test_index_consistent_after_reload(self, engine, tmp_path):

@@ -39,11 +39,11 @@ class TestPipeline:
     def test_query_validation(self, pipeline_setup):
         _, _, _, pipe = pipeline_setup
         with pytest.raises(ValueError):
-            pipe.range_query(Graph(), 1)
+            pipe.range_query(Graph(), tau=1)
         with pytest.raises(ValueError):
-            pipe.range_query(Graph(["a"]), -1)
+            pipe.range_query(Graph(["a"]), tau=-1)
         with pytest.raises(ValueError):
-            pipe.range_query(Graph(["a"]), 1, verify="what")
+            pipe.range_query(Graph(["a"]), tau=1, verify="what")
 
     @pytest.mark.parametrize("tau", [0, 1, 2])
     def test_no_false_negatives(self, pipeline_setup, tau):
@@ -57,7 +57,7 @@ class TestPipeline:
             for gid, g in graphs.items()
             if graph_edit_distance(query, g, threshold=tau) is not None
         }
-        result = pipe.range_query(query, tau)
+        result = pipe.range_query(query, tau=tau)
         assert truth <= set(result.candidates)
         assert result.matches <= truth
 
@@ -65,8 +65,8 @@ class TestPipeline:
         rng, graphs, engine, pipe = pipeline_setup
         query = rng.choice(list(graphs.values())).copy()
         tau = 2
-        plain = engine.range_query(query, tau, verify="exact")
-        piped = pipe.range_query(query, tau, verify="exact")
+        plain = engine.range_query(query, tau=tau, verify="exact")
+        piped = pipe.range_query(query, tau=tau, verify="exact")
         assert piped.matches == plain.matches
 
     def test_exact_verification_surfaces_scheduler_stats(self, pipeline_setup):
@@ -74,7 +74,7 @@ class TestPipeline:
         its bookkeeping must reach the pipelined stats."""
         rng, graphs, engine, pipe = pipeline_setup
         query = rng.choice(list(graphs.values())).copy()
-        result = pipe.range_query(query, 2, verify="exact")
+        result = pipe.range_query(query, tau=2, verify="exact")
         stats = result.stats
         # Every candidate was either pre-confirmed, settled by bounds, or
         # went through a budgeted A* run.
@@ -87,8 +87,8 @@ class TestPipeline:
         """A starved budget must flip `verified` off, never drop candidates."""
         rng, graphs, _, pipe = pipeline_setup
         query = rng.choice(list(graphs.values())).copy()
-        generous = pipe.range_query(query, 2, verify="exact")
-        starved = pipe.range_query(query, 2, verify="exact", verify_budget=1)
+        generous = pipe.range_query(query, tau=2, verify="exact")
+        starved = pipe.range_query(query, tau=2, verify="exact", verify_budget=1)
         assert set(starved.candidates) == set(generous.candidates)
         assert starved.matches <= generous.matches
         if starved.matches != generous.matches:
@@ -97,8 +97,8 @@ class TestPipeline:
     def test_exact_verification_with_workers_matches_serial(self, pipeline_setup):
         rng, graphs, _, pipe = pipeline_setup
         query = rng.choice(list(graphs.values())).copy()
-        serial = pipe.range_query(query, 2, verify="exact")
-        fanned = pipe.range_query(query, 2, verify="exact", verify_workers=2)
+        serial = pipe.range_query(query, tau=2, verify="exact")
+        fanned = pipe.range_query(query, tau=2, verify="exact", verify_workers=2)
         assert fanned.matches == serial.matches
         assert fanned.stats.astar_runs == serial.stats.astar_runs
 
@@ -107,14 +107,14 @@ class TestPipeline:
         rng, graphs, _, pipe = pipeline_setup
         query = rng.choice(list(graphs.values())).copy()
         results = [
-            pipe.range_query(query, 1, verify="exact").matches for _ in range(5)
+            pipe.range_query(query, tau=1, verify="exact").matches for _ in range(5)
         ]
         assert all(r == results[0] for r in results)
 
     def test_stats_populated(self, pipeline_setup):
         rng, graphs, _, pipe = pipeline_setup
         query = rng.choice(list(graphs.values())).copy()
-        result = pipe.range_query(query, 1)
+        result = pipe.range_query(query, tau=1)
         assert result.stats.ta_searches >= 1
         assert result.stats.candidates == len(result.candidates)
         assert result.elapsed > 0
@@ -123,11 +123,11 @@ class TestPipeline:
         engine = SegosIndex()
         engine.add("only", Graph(["a", "b"], [(0, 1)]))
         pipe = PipelinedSegos(engine)
-        result = pipe.range_query(Graph(["a", "b"], [(0, 1)]), 0)
+        result = pipe.range_query(Graph(["a", "b"], [(0, 1)]), tau=0)
         assert result.candidates == ["only"]
 
     def test_query_dissimilar_to_everything(self, pipeline_setup):
         _, graphs, _, pipe = pipeline_setup
         query = Graph(["Z1", "Z2", "Z3"], [(0, 1), (1, 2)])
-        result = pipe.range_query(query, 0)
+        result = pipe.range_query(query, tau=0)
         assert result.candidates == []

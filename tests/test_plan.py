@@ -58,36 +58,36 @@ class TestStageTiming:
     on the plain and the pipelined path alike — pinned here."""
 
     def test_serial_stage_seconds_keys(self, engine, corpus):
-        result = engine.range_query(corpus[0][1], 2, verify="exact")
+        result = engine.range_query(corpus[0][1], tau=2, verify="exact")
         assert set(result.stats.stage_seconds) == {"ta", "ca", "verify"}
         assert all(v >= 0 for v in result.stats.stage_seconds.values())
         assert sum(result.stats.stage_seconds.values()) <= result.elapsed
 
     def test_pipelined_stage_seconds_keys(self, engine, corpus):
-        result = PipelinedSegos(engine).range_query(corpus[0][1], 2)
+        result = PipelinedSegos(engine).range_query(corpus[0][1], tau=2)
         assert set(result.stats.stage_seconds) == {"ta+ca", "verify"}
 
     def test_subsearch_stage_seconds_keys(self, engine, corpus):
-        result = SubgraphSearch(engine).range_query(corpus[0][1], 1)
+        result = SubgraphSearch(engine).range_query(corpus[0][1], tau=1)
         assert set(result.stats.stage_seconds) == {"ta", "ca", "verify"}
         assert result.elapsed >= 0
 
     def test_merge_accumulates_stage_seconds(self, engine, corpus):
-        a = engine.range_query(corpus[0][1], 1).stats
-        b = engine.range_query(corpus[1][1], 1).stats
+        a = engine.range_query(corpus[0][1], tau=1).stats
+        b = engine.range_query(corpus[1][1], tau=1).stats
         expected = a.stage_seconds["ca"] + b.stage_seconds["ca"]
         a.merge(b)
         assert a.stage_seconds["ca"] == pytest.approx(expected)
 
     def test_summary_mentions_stages(self, engine, corpus):
-        stats = engine.range_query(corpus[0][1], 1).stats
+        stats = engine.range_query(corpus[0][1], tau=1).stats
         assert "stages:" in stats.summary()
 
 
 class TestExecutor:
     def test_execute_plan_matches_front_end(self, engine, corpus):
         query = corpus[0][1]
-        via_engine = engine.range_query(query, 2)
+        via_engine = engine.range_query(query, tau=2)
         ctx = make_context(engine, query, 2, config=engine.config)
         ctx = execute_plan(QueryPlan.range_query(), ctx)
         assert sorted(map(str, ctx.candidates)) == sorted(
@@ -108,7 +108,7 @@ class TestExecutor:
             )
 
     def test_verify_stage_noop_without_exact(self, engine, corpus):
-        result = engine.range_query(corpus[0][1], 2, verify="none")
+        result = engine.range_query(corpus[0][1], tau=2, verify="none")
         assert result.verified is False
         assert result.stats.astar_runs == 0
 
@@ -116,14 +116,14 @@ class TestExecutor:
 class TestQuerySession:
     def test_session_shares_ta_searches(self, engine, corpus):
         session = engine.session()
-        first = session.range_query(corpus[0][1], 1)
-        again = session.range_query(corpus[0][1], 2)
+        first = session.range_query(corpus[0][1], tau=1)
+        again = session.range_query(corpus[0][1], tau=2)
         assert first.stats.ta_searches > 0
         assert again.stats.ta_searches == 0  # all served from the session cache
 
     def test_fresh_sessions_are_isolated(self, engine, corpus):
-        one = engine.session().range_query(corpus[0][1], 1)
-        two = engine.session().range_query(corpus[0][1], 1)
+        one = engine.session().range_query(corpus[0][1], tau=1)
+        two = engine.session().range_query(corpus[0][1], tau=1)
         assert one.stats.ta_searches == two.stats.ta_searches > 0
 
     def test_session_pins_config_overrides(self, engine, corpus):
@@ -134,25 +134,17 @@ class TestQuerySession:
     def test_session_results_match_engine(self, engine, corpus):
         session = engine.session()
         for _, query in corpus[:5]:
-            direct = engine.range_query(query, 2)
-            shared = session.range_query(query, 2)
+            direct = engine.range_query(query, tau=2)
+            shared = session.range_query(query, tau=2)
             assert sorted(map(str, direct.candidates)) == sorted(
                 map(str, shared.candidates)
             )
             assert direct.matches == shared.matches
 
-    def test_deprecated_private_entry_warns_and_delegates(self, engine, corpus):
-        query = corpus[0][1]
-        cache = {}
-        with pytest.warns(DeprecationWarning, match="session"):
-            result = engine._range_query_with_cache(
-                query, 2, k=None, h=None, verify="none", topk_cache=cache
-            )
-        assert cache  # the passed cache was really used
-        direct = engine.range_query(query, 2)
-        assert sorted(map(str, result.candidates)) == sorted(
-            map(str, direct.candidates)
-        )
+    def test_private_cache_entry_point_is_gone(self, engine):
+        # The deprecated pre-plan shim was removed; sessions are the one
+        # public route to cache-sharing.
+        assert not hasattr(engine, "_range_query_with_cache")
 
     def test_session_class_reexported(self):
         import repro
@@ -169,13 +161,13 @@ class TestPipelinedSession:
         # τ high enough that no side halts the TA thread early: every star
         # is searched and cached on the first query, so the identical
         # second query pays zero TA searches (deterministically).
-        results = pipe.batch_range_query(queries, 50, workers=1)
+        results = pipe.batch_range_query(queries, tau=50, workers=1)
         assert results[0].stats.ta_searches > 0
         assert results[1].stats.ta_searches == 0
 
     def test_pipelined_answers_match_serial(self, engine, corpus):
         pipe = PipelinedSegos(engine)
         for _, query in corpus[:5]:
-            serial = engine.range_query(query, 2, verify="exact")
-            piped = pipe.range_query(query, 2, verify="exact")
+            serial = engine.range_query(query, tau=2, verify="exact")
+            piped = pipe.range_query(query, tau=2, verify="exact")
             assert piped.matches == serial.matches

@@ -86,7 +86,7 @@ class TestKnnProperties:
     def test_knn_matches_exhaustive(self, graphs, k):
         engine = SegosIndex({f"g{i}": g for i, g in enumerate(graphs)})
         query = graphs[0]
-        result = knn_query(engine, query, k)
+        result = knn_query(engine, query, k=k)
         exact = sorted(
             graph_edit_distance(query, g) for g in graphs
         )
@@ -111,6 +111,6 @@ class TestPersistenceProperties:
             save_index(engine, path)
             loaded = load_index(path)
         query = graphs[0]
-        a = engine.range_query(query, 1, verify="exact").matches
-        b = loaded.range_query(query, 1, verify="exact").matches
+        a = engine.range_query(query, tau=1, verify="exact").matches
+        b = loaded.range_query(query, tau=1, verify="exact").matches
         assert a == b

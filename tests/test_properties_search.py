@@ -40,7 +40,7 @@ class TestRangeQueryProperties:
             for i, g in enumerate(graphs)
             if graph_edit_distance(query, g, threshold=tau) is not None
         }
-        result = engine.range_query(query, tau)
+        result = engine.range_query(query, tau=tau)
         assert truth <= set(result.candidates)
         assert result.matches <= truth
 
@@ -56,7 +56,7 @@ class TestRangeQueryProperties:
             for i, g in enumerate(graphs)
             if graph_edit_distance(query, g, threshold=1) is not None
         }
-        assert truth <= set(engine.range_query(query, 1).candidates)
+        assert truth <= set(engine.range_query(query, tau=1).candidates)
 
     @settings(
         deadline=None, max_examples=10, suppress_health_check=[HealthCheck.too_slow]
@@ -67,7 +67,7 @@ class TestRangeQueryProperties:
         query = graphs[0]
         previous: set = set()
         for tau in (0, 1, 2):
-            matches = engine.range_query(query, tau, verify="exact").matches
+            matches = engine.range_query(query, tau=tau, verify="exact").matches
             assert previous <= matches
             previous = matches
 
@@ -79,7 +79,7 @@ class TestJoinProperties:
     @given(corpus_st, st.integers(min_value=0, max_value=1))
     def test_join_equals_pairwise_queries(self, graphs, tau):
         engine = SegosIndex({f"g{i}": g for i, g in enumerate(graphs)})
-        joined = similarity_self_join(engine, tau, verify="exact")
+        joined = similarity_self_join(engine, tau=tau, verify="exact")
         expected = {
             (f"g{i}", f"g{j}")
             for i in range(len(graphs))

@@ -318,11 +318,11 @@ class TestBatchUnderFaults:
         """The ISSUE's acceptance bar: one scripted crash must yield one
         retry, zero lost tasks, exactly one event, and identical results."""
         graphs, queries = corpus
-        clean = SegosIndex(graphs).batch_range_query(queries, 2)
+        clean = SegosIndex(graphs).batch_range_query(queries, tau=2)
         engine = SegosIndex(
             graphs, fault_plan="worker.crash:times=1", retry_backoff=0.0
         )
-        faulted = engine.batch_range_query(queries, 2, workers=2)
+        faulted = engine.batch_range_query(queries, tau=2, workers=2)
         assert _answers(faulted) == _answers(clean)
         events = faulted[0].stats.degradations
         assert len(events) == 1
@@ -334,9 +334,9 @@ class TestBatchUnderFaults:
 
     def test_injected_pickle_fault_falls_back_serial(self, corpus):
         graphs, queries = corpus
-        clean = SegosIndex(graphs).batch_range_query(queries, 2)
+        clean = SegosIndex(graphs).batch_range_query(queries, tau=2)
         engine = SegosIndex(graphs, fault_plan="pickle.engine")
-        faulted = engine.batch_range_query(queries, 2, workers=2)
+        faulted = engine.batch_range_query(queries, tau=2, workers=2)
         assert _answers(faulted) == _answers(clean)
         (event,) = faulted[0].stats.degradations
         assert event.point == "pickle.engine" and event.injected
@@ -347,7 +347,7 @@ class TestBatchUnderFaults:
         say so (this used to be a silent bare-except)."""
         graphs, queries = corpus
         engine = SegosIndex(graphs, backend="sqlite")
-        results = engine.batch_range_query(queries, 2, workers=2)
+        results = engine.batch_range_query(queries, tau=2, workers=2)
         (event,) = results[0].stats.degradations
         assert event.point == "pickle.engine" and not event.injected
         assert "pickle" in event.cause.lower() or "Connection" in event.cause
@@ -362,14 +362,14 @@ class TestBatchUnderFaults:
 
     def test_circuit_breaker_salvages_whole_batch_serially(self, corpus):
         graphs, queries = corpus
-        clean = SegosIndex(graphs).batch_range_query(queries, 2)
+        clean = SegosIndex(graphs).batch_range_query(queries, tau=2)
         engine = SegosIndex(
             graphs,
             fault_plan="worker.crash:times=inf",
             max_pool_retries=1,
             retry_backoff=0.0,
         )
-        faulted = engine.batch_range_query(queries, 2, workers=2)
+        faulted = engine.batch_range_query(queries, tau=2, workers=2)
         assert _answers(faulted) == _answers(clean)
         events = faulted[0].stats.degradations
         assert events[-1].fallback == "serial" and events[-1].lost > 0
@@ -455,11 +455,11 @@ class TestVerifyUnderFaults:
     def test_session_config_reaches_verify_pool(self, verify_corpus):
         graphs, query, _ = verify_corpus
         engine = SegosIndex(graphs, retry_backoff=0.0)
-        clean = engine.range_query(query, 4.0, verify="exact")
+        clean = engine.range_query(query, tau=4.0, verify="exact")
         session = engine.session(
             verify_workers=2, fault_plan="worker.crash:times=1:stage=verify"
         )
-        faulted = session.range_query(query, 4.0, verify="exact")
+        faulted = session.range_query(query, tau=4.0, verify="exact")
         assert faulted.matches == clean.matches
         (event,) = faulted.stats.degradations
         assert event.point == "worker.crash" and event.stage == "verify"
@@ -486,7 +486,7 @@ class TestSingleFaultProperty:
         engine = SegosIndex(
             graphs, fault_plan=spec, task_timeout=1.0, retry_backoff=0.0
         )
-        faulted = engine.batch_range_query(queries, 2, workers=2)
+        faulted = engine.batch_range_query(queries, tau=2, workers=2)
         assert _answers(faulted) == _answers(serial)
         events = faulted[0].stats.degradations
         assert events, f"fault {spec!r} left no telemetry"
@@ -545,7 +545,7 @@ class TestTelemetry:
 
         graphs, queries = corpus
         engine = SegosIndex(graphs)
-        explanation = explain_range_query(engine, queries[0], 1)
+        explanation = explain_range_query(engine, queries[0], tau=1)
         explanation.stats.degradations.append(
             DegradationEvent(point="worker.crash", stage="batch", fallback="respawn")
         )

@@ -155,8 +155,8 @@ class TestEngineOnSqlite:
         rng = random.Random(3)
         query = rng.choice(list(corpus.values())).copy()
         for tau in (0, 1, 2):
-            a = mem.range_query(query, tau, verify="exact")
-            b = sql.range_query(query, tau, verify="exact")
+            a = mem.range_query(query, tau=tau, verify="exact")
+            b = sql.range_query(query, tau=tau, verify="exact")
             assert a.matches == b.matches
 
     def test_updates_via_engine(self, corpus):
@@ -166,7 +166,7 @@ class TestEngineOnSqlite:
         sql.relabel_vertex(gid, vertex, "C62")
         sql.check_consistency()
         probe = sql.graph(gid).copy()
-        assert gid in sql.range_query(probe, 0, verify="exact").matches
+        assert gid in sql.range_query(probe, tau=0, verify="exact").matches
 
     def test_non_string_gid_rejected(self, paper_g1):
         sql = SegosIndex(backend="sqlite")

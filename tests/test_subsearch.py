@@ -104,24 +104,24 @@ class TestSubgraphRangeQuery:
             for gid, g in graphs.items()
             if subgraph_edit_distance(query, g, threshold=tau) is not None
         }
-        result = search.range_query(query, tau, verify="exact")
+        result = search.range_query(query, tau=tau, verify="exact")
         assert truth <= set(result.candidates)
         assert result.matches == truth
 
     def test_validation(self, sub_setup):
         _, _, engine, search = sub_setup
         with pytest.raises(ValueError):
-            search.range_query(Graph(), 1)
+            search.range_query(Graph(), tau=1)
         with pytest.raises(ValueError):
-            search.range_query(Graph(["a"]), -1)
+            search.range_query(Graph(["a"]), tau=-1)
         with pytest.raises(ValueError):
-            search.range_query(Graph(["a"]), 1, verify="nope")
+            search.range_query(Graph(["a"]), tau=1, verify="nope")
         with pytest.raises(ValueError):
             SubgraphSearch(engine, k=0)
 
     def test_stats_populated(self, sub_setup):
         _, _, _, search = sub_setup
-        result = search.range_query(Graph(["C00", "C01"], [(0, 1)]), 1)
+        result = search.range_query(Graph(["C00", "C01"], [(0, 1)]), tau=1)
         assert result.stats.candidates == len(result.candidates)
         assert result.stats.ta_searches >= 1
 
@@ -132,6 +132,6 @@ class TestSubgraphRangeQuery:
             {i: "Z9" for i in range(15)},
             [(i, i + 1) for i in range(14)],
         )
-        result = search.range_query(big, 0)
+        result = search.range_query(big, tau=0)
         assert result.candidates == []
         assert result.stats.graphs_accessed < len(graphs)

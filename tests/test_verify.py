@@ -27,7 +27,7 @@ class TestVerifyCandidates:
         data, engine = verify_setup
         query = sample_queries(data, 1, seed=20, edits=1)[0]
         tau = 2
-        result = engine.range_query(query, tau)
+        result = engine.range_query(query, tau=tau)
         report = verify_candidates(
             data.graphs,
             query,
@@ -73,7 +73,7 @@ class TestVerifyCandidates:
     def test_deadline_zero_defers_everything_scheduled(self, verify_setup):
         data, engine = verify_setup
         query = sample_queries(data, 1, seed=21)[0]
-        result = engine.range_query(query, 5)
+        result = engine.range_query(query, tau=5)
         report = verify_candidates(
             data.graphs, query, result.candidates, 5, deadline=0.0
         )
@@ -117,7 +117,7 @@ class TestParallelVerification:
         data, engine = verify_setup
         query = sample_queries(data, 1, seed=22, edits=1)[0]
         tau = 2
-        result = engine.range_query(query, tau)
+        result = engine.range_query(query, tau=tau)
         serial = verify_candidates(data.graphs, query, result.candidates, tau)
         parallel = verify_candidates(
             data.graphs, query, result.candidates, tau, workers=2
@@ -131,7 +131,7 @@ class TestParallelVerification:
     def test_workers_used_recorded(self, verify_setup):
         data, engine = verify_setup
         query = sample_queries(data, 1, seed=23, edits=1)[0]
-        result = engine.range_query(query, 2)
+        result = engine.range_query(query, tau=2)
         report = verify_candidates(
             data.graphs, query, result.candidates, 2, workers=2
         )
@@ -144,7 +144,7 @@ class TestParallelVerification:
         monkeypatch.setenv(verify_mod.ENV_VERIFY_WORKERS, "2")
         query = sample_queries(data, 1, seed=24, edits=1)[0]
         tau = 2
-        result = engine.range_query(query, tau)
+        result = engine.range_query(query, tau=tau)
         report = verify_candidates(data.graphs, query, result.candidates, tau)
         monkeypatch.delenv(verify_mod.ENV_VERIFY_WORKERS)
         serial = verify_candidates(data.graphs, query, result.candidates, tau)
@@ -171,9 +171,9 @@ class TestParallelVerification:
         data, engine = verify_setup
         query = sample_queries(data, 1, seed=25, edits=1)[0]
         tau = 2
-        plain = engine.range_query(query, tau, verify="exact")
+        plain = engine.range_query(query, tau=tau, verify="exact")
         parallel = engine.range_query(
-            query, tau, verify="exact", verify_workers=2
+            query, tau=tau, verify="exact", verify_workers=2
         )
         assert parallel.matches == plain.matches
         assert parallel.verified == plain.verified
