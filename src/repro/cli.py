@@ -8,6 +8,8 @@ Installed as ``python -m repro`` (see ``__main__.py``).  Subcommands::
     knn     <db.segos> <query.txt> -k N    k nearest neighbours
     trace   <db.segos> <query.txt> --tau N traced query + span-tree export
     generate {aids,pdg} <out.txt> -n N     write a synthetic corpus
+    index build   <db.segos>               (re)write the .segosx mmap sidecar
+    index inspect <db.segos> [--verify]    describe / checksum-audit a sidecar
 
 The query file is the usual transaction format; its first graph is the
 query.  Everything prints plain text and exits non-zero on bad input.
@@ -24,7 +26,7 @@ from .core.engine import SegosIndex
 from .core.explain import explain_range_query
 from .core.join import similarity_self_join
 from .core.knn import knn_query
-from .core.persistence import load_index, save_index
+from .core.persistence import load_index, save_index, sidecar_path_for
 from .datasets import aids_like, pdg_like
 from .errors import ReproError
 from .graphs import io as gio
@@ -159,6 +161,81 @@ def _cmd_join(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_index_build(args: argparse.Namespace) -> int:
+    import dataclasses
+    import os
+
+    from .perf import diskcat
+
+    # Rebuild in memory from the text (never trust an existing sidecar
+    # here — this command is how you *replace* one), then columnarise.
+    engine = load_index(args.database, mmap=False)
+    sidecar = args.output or sidecar_path_for(args.database, engine.config)
+    pairs = [(gid, engine.graph(gid)) for gid in engine.gids()]
+    diskcat.write_sidecar(
+        sidecar,
+        pairs,
+        config=dataclasses.asdict(engine.config),
+        generation=0,
+        source_size=os.path.getsize(args.database),
+        source_sha=diskcat.file_sha256(args.database),
+    )
+    size = os.path.getsize(sidecar)
+    print(
+        f"wrote sidecar for {len(pairs)} graphs "
+        f"({engine.distinct_star_count()} stars, {size} bytes) -> {sidecar}"
+    )
+    return 0
+
+
+def _cmd_index_inspect(args: argparse.Namespace) -> int:
+    import os
+
+    from .perf import diskcat
+
+    sidecar = args.index or (
+        args.database + ".segosx" if not args.database.endswith(".segosx")
+        else args.database
+    )
+    database = args.database if sidecar != args.database else None
+    disk = diskcat.DiskCatalog(sidecar)
+    try:
+        header = disk.header
+        print(f"sidecar:        {sidecar} ({os.path.getsize(sidecar)} bytes)")
+        print(f"format version: {header.version}")
+        print(
+            f"generation:     {header.generation} "
+            f"(base {header.base_generation})"
+        )
+        print(f"graphs:         {disk.n_graphs}")
+        print(f"distinct stars: {disk.n_stars}")
+        print(f"labels:         {disk.n_labels}")
+        print(f"source:         {header.source_size} bytes, "
+              f"sha256 {header.source_sha.hex()[:16]}…")
+        segments = disk.delta_segments()
+        ops = sum(len(s.ops) for s in segments)
+        print(f"delta segments: {len(segments)} ({ops} ops, "
+              f"{header.delta_bytes} bytes)")
+        config = disk.config()
+        if config:
+            print(f"built with:     k={config.get('k')} h={config.get('h')} "
+                  f"delta_compact={config.get('delta_compact')}")
+        if database is not None and os.path.exists(database):
+            fresh = disk.is_fresh(database)
+            print(f"freshness:      {'fresh' if fresh else 'STALE'} "
+                  f"against {database}")
+        if args.verify:
+            problems = disk.verify_checksums()
+            if problems:
+                for problem in problems:
+                    print(f"corrupt: {problem}")
+                return 1
+            print("checksums:      all sections + delta journal OK")
+    finally:
+        disk.close()
+    return 0
+
+
 def _cmd_generate(args: argparse.Namespace) -> int:
     maker = aids_like if args.kind == "aids" else pdg_like
     data = maker(args.count, seed=args.seed)
@@ -246,6 +323,32 @@ def build_parser() -> argparse.ArgumentParser:
         "--verify", action="store_true", help="verify pairs with exact GED"
     )
     join.set_defaults(func=_cmd_join)
+
+    index = sub.add_parser("index", help="manage the .segosx mmap sidecar")
+    index_sub = index.add_subparsers(dest="index_command", required=True)
+    index_build = index_sub.add_parser(
+        "build", help="(re)write the sidecar for an existing database file"
+    )
+    index_build.add_argument("database", help=".segos database file")
+    index_build.add_argument(
+        "-o", "--output", help="sidecar path (default <database>.segosx)"
+    )
+    index_build.set_defaults(func=_cmd_index_build)
+    index_inspect = index_sub.add_parser(
+        "inspect", help="describe a sidecar (header, sections, deltas)"
+    )
+    index_inspect.add_argument(
+        "database", help=".segos database file (or the .segosx itself)"
+    )
+    index_inspect.add_argument(
+        "--index", help="explicit sidecar path (default <database>.segosx)"
+    )
+    index_inspect.add_argument(
+        "--verify",
+        action="store_true",
+        help="CRC-audit every section and delta segment",
+    )
+    index_inspect.set_defaults(func=_cmd_index_inspect)
 
     generate = sub.add_parser("generate", help="write a synthetic corpus")
     generate.add_argument("kind", choices=["aids", "pdg"])

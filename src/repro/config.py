@@ -61,6 +61,12 @@ ENV_TRACE = "REPRO_TRACE"
 ENV_TRACE_PATH = "REPRO_TRACE_PATH"
 #: Metrics registry on/off (same truthy grammar as ``REPRO_TRACE``).
 ENV_METRICS = "REPRO_METRICS"
+#: Override for the on-disk index sidecar path (default: ``<db>.segosx``).
+ENV_INDEX_PATH = "REPRO_INDEX_PATH"
+#: Memory-map a fresh ``.segosx`` sidecar on load / write one on save.
+ENV_MMAP = "REPRO_MMAP"
+#: Delta-journal compaction threshold as a fraction of base graph count.
+ENV_DELTA_COMPACT = "REPRO_DELTA_COMPACT"
 
 #: Default SED-cache capacity (mirrored by ``repro.perf.sed_cache``).
 DEFAULT_SED_CACHE_SIZE = 1 << 18
@@ -75,6 +81,9 @@ DEFAULT_PARTIAL_FRACTION = 0.5
 DEFAULT_MAX_POOL_RETRIES = 2
 #: Default exponential-backoff base (seconds) between pool retries.
 DEFAULT_RETRY_BACKOFF = 0.05
+#: Default delta-compaction threshold: rewrite the sidecar once the journal
+#: exceeds this fraction of the base graph count (see repro.perf.diskcat).
+DEFAULT_DELTA_COMPACT = 0.25
 
 
 # ---------------------------------------------------------------------------
@@ -225,6 +234,21 @@ class EngineConfig:
         Feed the process-global metrics registry
         (:data:`repro.obs.metrics.GLOBAL_METRICS`) after every executed
         query.  Env: ``REPRO_METRICS``.
+    index_path:
+        Explicit path for the on-disk ``.segosx`` index sidecar; ``None``
+        derives it from the graph file (``<db>.segosx``).
+        Env: ``REPRO_INDEX_PATH``.
+    mmap:
+        Memory-map a fresh sidecar on :func:`repro.core.persistence.load_index`
+        (zero-copy cold start) and write/refresh one on ``save_index``.
+        Off ⇒ always rebuild from the transaction text and never write a
+        sidecar.  Env: ``REPRO_MMAP``.
+    delta_compact:
+        Compaction threshold for the sidecar's append-only delta journal,
+        as a fraction of the base graph count: once the accumulated ops
+        exceed ``delta_compact * len(base)`` a save rewrites the full
+        sidecar instead of appending.  ``0`` compacts on every save.
+        Env: ``REPRO_DELTA_COMPACT``.
     """
 
     k: int = DEFAULT_K
@@ -244,6 +268,9 @@ class EngineConfig:
     trace: bool = False
     trace_path: Optional[str] = None
     metrics: bool = False
+    index_path: Optional[str] = None
+    mmap: bool = True
+    delta_compact: float = DEFAULT_DELTA_COMPACT
 
     def __post_init__(self) -> None:
         if self.k < 1:
@@ -268,6 +295,8 @@ class EngineConfig:
             raise ValueError("max_pool_retries must be >= 0")
         if self.retry_backoff < 0:
             raise ValueError("retry_backoff must be non-negative")
+        if self.delta_compact < 0:
+            raise ValueError("delta_compact must be non-negative")
         if self.fault_plan is not None:
             # A typo'd fault plan fails fast here, not by silently never
             # firing mid-experiment.  Imported lazily (resilience imports
@@ -315,6 +344,9 @@ class EngineConfig:
             "trace": env_bool(ENV_TRACE, False),
             "trace_path": env_raw(ENV_TRACE_PATH) or None,
             "metrics": env_bool(ENV_METRICS, False),
+            "index_path": env_raw(ENV_INDEX_PATH) or None,
+            "mmap": env_bool(ENV_MMAP, True),
+            "delta_compact": env_float(ENV_DELTA_COMPACT, DEFAULT_DELTA_COMPACT),
         }
         known = {f.name for f in fields(cls)}
         for name, value in overrides.items():
@@ -361,4 +393,7 @@ ENV_KNOBS: Tuple[Tuple[str, str], ...] = (
     ("trace", ENV_TRACE),
     ("trace_path", ENV_TRACE_PATH),
     ("metrics", ENV_METRICS),
+    ("index_path", ENV_INDEX_PATH),
+    ("mmap", ENV_MMAP),
+    ("delta_compact", ENV_DELTA_COMPACT),
 )

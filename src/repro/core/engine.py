@@ -88,6 +88,9 @@ class SegosIndex:
         trace: Optional[bool] = None,
         trace_path: Optional[str] = None,
         metrics: Optional[bool] = None,
+        index_path: Optional[str] = None,
+        mmap: Optional[bool] = None,
+        delta_compact: Optional[float] = None,
         config: Optional[EngineConfig] = None,
     ) -> None:
         base = config if config is not None else EngineConfig.from_env()
@@ -109,6 +112,9 @@ class SegosIndex:
             trace=trace,
             trace_path=trace_path,
             metrics=metrics,
+            index_path=index_path,
+            mmap=mmap,
+            delta_compact=delta_compact,
         )
         # The SED memo cache is process-global (it memoises a pure function
         # of signature pairs); an engine only touches it when its resolved
@@ -128,6 +134,15 @@ class SegosIndex:
             raise ValueError(f"unknown backend {backend!r} (memory or sqlite)")
         self.backend = backend
         self._graphs: Dict[object, Graph] = {}
+        # Persistence bookkeeping (see repro.core.persistence): the journal
+        # records (op, gid) per mutation since the last save/load sync so
+        # save_index can append a small delta segment instead of rewriting
+        # the whole sidecar; _disk_source is the DiskHandle of the on-disk
+        # index this engine was loaded from / last saved to, handed to
+        # worker pools in place of a pickled engine while still valid.
+        self._disk_source = None
+        self._persist_journal: List = []
+        self._journal_overflow = False
         if graphs:
             for gid, graph in graphs.items():
                 self.add(gid, graph)
@@ -192,11 +207,13 @@ class SegosIndex:
         stored = graph.copy()
         self.index.add_graph(gid, stored, decompose(stored))
         self._graphs[gid] = stored
+        self._record_persist_op("add", gid)
 
     def remove(self, gid: object) -> None:
         """Delete a graph from the index."""
         self.index.remove_graph(gid)
         del self._graphs[gid]
+        self._record_persist_op("remove", gid)
 
     # ------------------------------------------------------------------
     # Update kinds 3–7: in-place mutations (Section IV-C)
@@ -213,6 +230,7 @@ class SegosIndex:
         self.index.apply_star_delta(
             gid, before, after, GraphMeta(graph.order, graph.max_degree())
         )
+        self._record_persist_op("update", gid)
 
     def add_edge(self, gid: object, u: int, v: int) -> None:
         """Insert an edge: refreshes the two endpoint stars."""
@@ -406,6 +424,51 @@ class SegosIndex:
         return [
             session.range_query(query, tau=tau, verify=verify) for query in queries
         ]
+
+    # ------------------------------------------------------------------
+    # Persistence bookkeeping (driven by repro.core.persistence)
+    # ------------------------------------------------------------------
+    #: Journal entries kept before giving up on delta tracking.  A save
+    #: after overflow simply rewrites the sidecar in full, so the cap only
+    #: bounds memory for engines that mutate forever without saving.
+    _JOURNAL_CAP = 100_000
+
+    def _record_persist_op(self, op: str, gid: object) -> None:
+        if self._journal_overflow:
+            return
+        self._persist_journal.append((op, gid))
+        if len(self._persist_journal) > self._JOURNAL_CAP:
+            self._persist_journal.clear()
+            self._journal_overflow = True
+
+    def disk_handle(self):
+        """The on-disk index handle, if one exists and is still current.
+
+        Returns the :class:`~repro.perf.diskcat.DiskHandle` recorded at the
+        last ``load_index``/``save_index`` sync **only while the engine has
+        not mutated since** (the index generation still equals the handle's
+        ``local_generation``).  The pool paths use this to ship workers a
+        tiny ``(path, generation)`` ticket instead of a pickled engine;
+        ``None`` means "no valid disk twin — fall back to pickling".
+        """
+        handle = self._disk_source
+        if handle is None:
+            return None
+        if self.index.generation != handle.local_generation:
+            return None
+        return handle
+
+    def _sync_disk_source(self, handle) -> None:
+        """Record that disk and memory agree as of now (journal resets)."""
+        self._disk_source = handle
+        self._persist_journal = []
+        self._journal_overflow = False
+
+    def _attach_mapped_storage(self, index, graphs, handle) -> None:
+        """Swap in mmap-backed index + graph store (load_index fast path)."""
+        self.index = index
+        self._graphs = graphs
+        self._sync_disk_source(handle)
 
     # ------------------------------------------------------------------
     # Introspection

@@ -341,6 +341,10 @@ class VerifyStage(Stage):
             resilience=ResiliencePolicy.from_config(ctx.config),
             fault_plan=ctx.config.fault_plan,
             tracer=ctx.tracer,
+            # Engines synced with an on-disk index twin ship workers a
+            # (path, generation) handle instead of pickled graphs; duck-typed
+            # engine stand-ins in tests simply don't offer one.
+            disk_handle=getattr(ctx.engine, "disk_handle", lambda: None)(),
         )
         ctx.matches = set(report.matches)
         ctx.stats.settled_by_bounds = report.settled_by_bounds

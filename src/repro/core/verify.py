@@ -101,10 +101,35 @@ def _astar_outcome(
 # executor initializer; tasks then carry only (gid, graph).
 _WORKER_CTX: Optional[Tuple[Graph, int, int]] = None
 
+# Disk-transport alternative: the worker holds a lazily-parsing graph store
+# over the mapped database text, and tasks carry only the gid.
+_WORKER_GRAPHS: Optional[Mapping[object, Graph]] = None
+
 
 def _init_verify_worker(blob: bytes) -> None:
     global _WORKER_CTX
     _WORKER_CTX = pickle.loads(blob)
+
+
+def _init_verify_worker_disk(handle, ctx_blob: bytes) -> None:
+    """Attach candidate graphs from the on-disk database text.
+
+    Only the query/τ/budget context is pickled; candidate graphs parse on
+    demand, worker-side, from the same text file the parent's engine is
+    synced with (the handle's source hash proves it is still that file).
+    """
+    global _WORKER_CTX, _WORKER_GRAPHS
+    from ..perf.diskcat import LazyGraphStore  # lazy: keeps core import-light
+
+    _WORKER_CTX = pickle.loads(ctx_blob)
+    _WORKER_GRAPHS = LazyGraphStore(
+        handle.graph_path, expected_sha=bytes.fromhex(handle.source_sha)
+    )
+
+
+def _run_verify_task_disk(gid: object) -> Tuple[object, str, int]:
+    assert _WORKER_GRAPHS is not None, "verify worker initializer did not run"
+    return _run_verify_task(gid, _WORKER_GRAPHS[gid])
 
 
 def _run_verify_task(gid: object, graph: Graph) -> Tuple[object, str, int]:
@@ -134,6 +159,7 @@ def _parallel_astar(
     policy: ResiliencePolicy,
     faults: FaultPlan,
     tracer=NULL_TRACER,
+    disk_handle=None,
 ) -> List[Tuple[float, object]]:
     """Fan the scheduled A* runs out over the supervised worker pool.
 
@@ -144,51 +170,85 @@ def _parallel_astar(
     (serial execution, or ``undecided`` once the deadline has passed).
     Priority is preserved by submitting in ``L_m`` order: the pool pops
     tasks FIFO, so the most promising candidates still run first.
-    """
-    injected = faults.fire("pickle.engine", stage="verify")
-    if injected is not None:
-        report.degradations.append(
-            DegradationEvent(
-                point="pickle.engine",
-                stage="verify",
-                cause="injected fault: pickle.engine",
-                injected=True,
-                lost=len(scheduled),
-                fallback="serial",
-            )
-        )
-        return list(scheduled)
-    try:
-        ctx_blob = pickle.dumps((query, tau, budget), protocol=pickle.HIGHEST_PROTOCOL)
-        task_args = [(gid, graphs[gid]) for _, gid in scheduled]
-        pickle.dumps(task_args[0], protocol=pickle.HIGHEST_PROTOCOL)
-    except PICKLE_ERRORS as exc:
-        report.degradations.append(
-            DegradationEvent(
-                point="pickle.engine",
-                stage="verify",
-                cause=repr(exc),
-                lost=len(scheduled),
-                fallback="serial",
-            )
-        )
-        return list(scheduled)
 
-    tasks = [
-        PoolTask(index, _run_verify_task, (gid, graph))
-        for index, (gid, graph) in enumerate(task_args)
-    ]
+    With a current *disk_handle* (the engine's on-disk index twin), the
+    candidate graphs are not pickled at all: workers lazily parse them
+    from the mapped database text, and each task ships only its gid.
+    """
+    if disk_handle is not None:
+        try:
+            ctx_blob = pickle.dumps(
+                (query, tau, budget), protocol=pickle.HIGHEST_PROTOCOL
+            )
+        except PICKLE_ERRORS as exc:
+            report.degradations.append(
+                DegradationEvent(
+                    point="pickle.engine",
+                    stage="verify",
+                    cause=repr(exc),
+                    lost=len(scheduled),
+                    fallback="serial",
+                )
+            )
+            return list(scheduled)
+        transport = "disk"
+        initializer = _init_verify_worker_disk
+        initargs: Tuple = (disk_handle, ctx_blob)
+        tasks = [
+            PoolTask(index, _run_verify_task_disk, (gid,))
+            for index, (_, gid) in enumerate(scheduled)
+        ]
+    else:
+        injected = faults.fire("pickle.engine", stage="verify")
+        if injected is not None:
+            report.degradations.append(
+                DegradationEvent(
+                    point="pickle.engine",
+                    stage="verify",
+                    cause="injected fault: pickle.engine",
+                    injected=True,
+                    lost=len(scheduled),
+                    fallback="serial",
+                )
+            )
+            return list(scheduled)
+        try:
+            ctx_blob = pickle.dumps(
+                (query, tau, budget), protocol=pickle.HIGHEST_PROTOCOL
+            )
+            task_args = [(gid, graphs[gid]) for _, gid in scheduled]
+            pickle.dumps(task_args[0], protocol=pickle.HIGHEST_PROTOCOL)
+        except PICKLE_ERRORS as exc:
+            report.degradations.append(
+                DegradationEvent(
+                    point="pickle.engine",
+                    stage="verify",
+                    cause=repr(exc),
+                    lost=len(scheduled),
+                    fallback="serial",
+                )
+            )
+            return list(scheduled)
+        transport = "pickle"
+        initializer = _init_verify_worker
+        initargs = (ctx_blob,)
+        tasks = [
+            PoolTask(index, _run_verify_task, (gid, graph))
+            for index, (gid, graph) in enumerate(task_args)
+        ]
+
     outcome = run_supervised(
         tasks,
         workers=min(workers, len(scheduled)),
         policy=policy,
-        initializer=_init_verify_worker,
-        initargs=(ctx_blob,),
+        initializer=initializer,
+        initargs=initargs,
         faults=faults,
         stage="verify",
         deadline=deadline,
         started=started,
         tracer=tracer,
+        transport=transport,
     )
     report.degradations.extend(outcome.events)
     report.workers_used = max(outcome.workers_used, 1)
@@ -224,6 +284,7 @@ def verify_candidates(
     resilience: Optional[ResiliencePolicy] = None,
     fault_plan=None,
     tracer=NULL_TRACER,
+    disk_handle=None,
 ) -> VerificationReport:
     """Verify *candidates* against ``λ(query, ·) ≤ tau``.
 
@@ -288,6 +349,7 @@ def verify_candidates(
             policy,
             faults,
             tracer,
+            disk_handle,
         )
 
     for l_m, gid in remaining:

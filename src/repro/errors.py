@@ -81,6 +81,27 @@ class ParseError(ReproError, ValueError):
         self.line_number = line_number
 
 
+class SidecarError(ReproError, ValueError):
+    """Raised when an on-disk ``.segosx`` index sidecar cannot be used.
+
+    Covers a bad magic number, an unknown format version, checksum
+    mismatches, and truncated sections.  ``load_index`` treats a sidecar
+    that raises this as absent and falls back to rebuilding the index
+    from the transaction text, so a corrupt sidecar can never take a
+    database down — it only costs the rebuild it was meant to avoid.
+    """
+
+
+class StaleSidecarError(SidecarError):
+    """Raised when a sidecar is well-formed but out of date.
+
+    Staleness is detected by comparing the graph file's size and content
+    hash against the values recorded in the sidecar header, and — for
+    worker processes attaching via a :class:`~repro.core.persistence.DiskHandle`
+    — by comparing generation counters with the parent engine.
+    """
+
+
 class PoolBrokenError(ReproError):
     """Recorded when a worker process pool dies mid-flight.
 

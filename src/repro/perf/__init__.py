@@ -15,7 +15,11 @@ configurable via environment variables (see the README's performance table):
   the star catalog with vectorized batch-SED kernels, backing the ``scan``
   top-k backend (``REPRO_TOPK_BACKEND``) with a pure-Python fallback when
   numpy is absent.  Parallel verification lives in :mod:`repro.core.verify`
-  (``REPRO_VERIFY_WORKERS``).
+  (``REPRO_VERIFY_WORKERS``);
+* :mod:`repro.perf.diskcat` — the zero-copy on-disk index: the ``.segosx``
+  mmap sidecar format, lazily-materialising mapped index views, delta
+  segments, and the :class:`DiskHandle` worker transport
+  (``REPRO_MMAP`` / ``REPRO_INDEX_PATH`` / ``REPRO_DELTA_COMPACT``).
 """
 
 from .assignment import (
@@ -26,6 +30,13 @@ from .assignment import (
     solve_assignment,
 )
 from .columnar import ColumnarCatalog, columnar_snapshot, numpy_available
+from .diskcat import (
+    DiskCatalog,
+    DiskHandle,
+    LazyGraphStore,
+    MappedTwoLevelIndex,
+    default_sidecar_path,
+)
 from .parallel import chunk_evenly, parallel_batch_range_query, resolve_workers
 from .sed_cache import (
     DEFAULT_CAPACITY,
@@ -41,12 +52,17 @@ __all__ = [
     "CacheInfo",
     "ColumnarCatalog",
     "DEFAULT_CAPACITY",
+    "DiskCatalog",
+    "DiskHandle",
     "GLOBAL_SED_CACHE",
+    "LazyGraphStore",
+    "MappedTwoLevelIndex",
     "SEDCache",
     "available_backends",
     "cached_star_edit_distance",
     "chunk_evenly",
     "columnar_snapshot",
+    "default_sidecar_path",
     "numpy_available",
     "parallel_batch_range_query",
     "register_backend",

@@ -172,6 +172,46 @@ class ColumnarCatalog:
             label_to_id,
         )
 
+    @classmethod
+    def from_mmap(
+        cls,
+        generation: int,
+        sids,
+        root_ids,
+        leaf_sizes,
+        leaf_offsets,
+        leaf_ids,
+        post_offsets,
+        post_rows,
+        post_freqs,
+        label_to_id: Dict[str, int],
+        max_sid: int,
+    ) -> "ColumnarCatalog":
+        """Wrap already-mapped int64 columns without copying.
+
+        The caller (``repro.perf.diskcat``) hands in zero-copy views over
+        mapped pages — numpy ``frombuffer`` arrays, or ``memoryview.cast``
+        sequences under the pure-Python fallback — plus the precomputed
+        ``max_sid`` so nothing here walks the columns.  The kernels run
+        directly over the mapped pages; nothing is materialised until a
+        query touches it, and mapped pages are shared between processes
+        that open the same sidecar.
+        """
+        snapshot = object.__new__(cls)
+        snapshot.generation = generation
+        snapshot.n_rows = len(sids)
+        snapshot.label_to_id = label_to_id
+        snapshot.max_sid = max_sid
+        snapshot.sids = sids
+        snapshot.root_ids = root_ids
+        snapshot.leaf_sizes = leaf_sizes
+        snapshot.leaf_offsets = leaf_offsets
+        snapshot.leaf_ids = leaf_ids
+        snapshot.post_offsets = post_offsets
+        snapshot.post_rows = post_rows
+        snapshot.post_freqs = post_freqs
+        return snapshot
+
     # ------------------------------------------------------------------
     # Kernels
     # ------------------------------------------------------------------

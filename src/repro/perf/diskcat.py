@@ -1,0 +1,1409 @@
+"""Zero-copy on-disk index: the ``.segosx`` sidecar format.
+
+``core/persistence.py`` keeps the *graphs* in the portable transaction
+text format and, before this module, rebuilt the two-level index from
+scratch on every load — a full decompose-and-insert pass per process.
+That is the right durability story (the text file stays diff-able and
+interoperable) but the wrong cold-start story for a warm, multi-process
+engine: every worker paid the rebuild, and the pool paths additionally
+paid a full ``pickle.dumps(engine)`` per spawn.
+
+This module adds a derived, disposable **index sidecar** next to the
+graph file (``db.segos`` → ``db.segos.segosx``), following the jn
+byte-offset-index design: the sidecar is never authoritative, carries an
+explicit staleness check against its source (size + SHA-256), and can be
+deleted at any time at the cost of one rebuild.
+
+File layout (all integers little-endian ``int64`` unless noted)::
+
+    ┌────────────────────────────────────────────────────────┐
+    │ header: 256 bytes, fixed struct                        │
+    │   magic "SEGX" · format version · header CRC32         │
+    │   generation · base_generation                         │
+    │   source size · source SHA-256                         │
+    │   meta JSON offset/length                              │
+    │   section-table offset/count                           │
+    │   delta region offset/count/bytes                      │
+    ├────────────────────────────────────────────────────────┤
+    │ meta: JSON (counts + the full resolved EngineConfig)   │
+    ├────────────────────────────────────────────────────────┤
+    │ section table: (name[16], offset, length, CRC32) × N   │
+    ├────────────────────────────────────────────────────────┤
+    │ sections: 64-byte-aligned int64 arrays / UTF-8 blobs   │
+    │   label + gid string tables (offsets into blobs)       │
+    │   per-graph order / max-degree columns                 │
+    │   graph → star-count CSR                               │
+    │   the eight ColumnarCatalog columns (see below)        │
+    │   star refcounts                                       │
+    │   upper-level CSR (per-sid postings in Figure-5 order) │
+    │   lower-level permutation (Figure-6 order) + size list │
+    ├────────────────────────────────────────────────────────┤
+    │ delta region: append-only op journal (see DeltaSegment)│
+    └────────────────────────────────────────────────────────┘
+
+Star ids in a sidecar are **canonical**: the writer renumbers stars in
+first-occurrence order over the graphs as serialised, which is exactly
+the numbering a rebuild of the same text file would assign.  Since sids
+participate in the deterministic ``(sed, sid)`` tie-break of both top-k
+backends, this makes a mapped engine return *byte-identical* results to
+a rebuilt one — candidates, matches, orderings, all five query modes (a
+hypothesis test pins this).
+
+Reads are zero-copy: :class:`DiskCatalog` mmaps the file and exposes the
+arrays as ``numpy.frombuffer`` views (or ``memoryview.cast('q')``
+sequences under the pure-Python fallback), :class:`MappedTwoLevelIndex`
+materialises per-label / per-sid views lazily on first touch, and
+:class:`LazyGraphStore` parses graphs on demand from byte ranges of the
+text file.  Worker processes that attach the same sidecar share its
+pages.  §IV-C mutations *promote* the mapped index to a plain in-memory
+:class:`~repro.core.index.TwoLevelIndex` transparently.
+
+Updates append :class:`DeltaSegment` op journals instead of rewriting
+the base arrays; once the accumulated ops exceed ``delta_compact`` ×
+base graph count, the next save compacts (full rewrite).  Ops carry the
+mutated graphs' transaction text, so replay never depends on the (since
+rewritten) graph file, and generation accounting stays deterministic:
+every process replaying the same sidecar lands on the same counter —
+the freshness token the pool paths compare.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import mmap as _mmaplib
+import os
+import re
+import struct
+import sys
+import zlib
+from array import array as _pyarray
+from bisect import bisect_right
+from collections import Counter
+from dataclasses import dataclass
+from typing import (
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    MutableMapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from ..errors import GraphNotIndexed, IndexCorruptionError, SidecarError, StaleSidecarError
+from ..graphs import io as gio
+from ..graphs.model import Graph
+from ..graphs.star import Star, decompose
+from .columnar import ColumnarCatalog
+
+try:  # numpy is an optional [perf] extra; everything degrades without it
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI leg
+    _np = None
+
+MAGIC = b"SEGX"
+DELTA_MAGIC = b"SEGD"
+FORMAT_VERSION = 1
+HEADER_SIZE = 256
+ALIGNMENT = 64
+
+# magic, version, header_crc, generation, base_generation, source_size,
+# source_sha256, meta_off, meta_len, table_off, section_count, delta_off,
+# delta_count, delta_bytes, padding to 256.
+_HEADER = struct.Struct("<4sIIQQQ32sQQQIQIQ140x")
+assert _HEADER.size == HEADER_SIZE
+
+# name (16 bytes, NUL-padded ASCII), offset, length in bytes, CRC32.
+_SECTION = struct.Struct("<16sQQI")
+
+# magic "SEGD", op count, payload CRC32, payload length in bytes.
+_DELTA = struct.Struct("<4sIIQ")
+
+#: Generation bumps a strict replay of one delta op performs (``update``
+#: goes through remove + add, hence two).  The writer sums these so every
+#: process replaying the same journal computes the same counter.
+_OP_BUMPS = {"add": 1, "remove": 1, "update": 2}
+
+#: Section names, in file order.  Arrays are int64 unless named ``*_blob``.
+SECTION_NAMES = (
+    "labels_off",
+    "labels_blob",
+    "gids_off",
+    "gids_blob",
+    "g_order",
+    "g_maxdeg",
+    "gs_off",
+    "gs_sids",
+    "gs_cnts",
+    "cat_sids",
+    "cat_root",
+    "cat_lsize",
+    "cat_loff",
+    "cat_lids",
+    "cat_poff",
+    "cat_prows",
+    "cat_pfreqs",
+    "cat_ref",
+    "up_off",
+    "up_gids",
+    "up_freqs",
+    "up_orders",
+    "low_perm",
+    "size_perm",
+)
+
+
+def default_sidecar_path(graph_path) -> str:
+    """The derived sidecar path for *graph_path* (``<file>.segosx``)."""
+    return os.fspath(graph_path) + ".segosx"
+
+
+def file_sha256(path) -> bytes:
+    """SHA-256 digest of a file's bytes (streamed, constant memory)."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for block in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(block)
+    return digest.digest()
+
+
+# ---------------------------------------------------------------------------
+# int64 views: numpy frombuffer, or a cast memoryview under the fallback
+# ---------------------------------------------------------------------------
+
+def _int64_view(buffer):
+    """A zero-copy int64 sequence over *buffer* (little-endian on disk).
+
+    numpy present: a ``frombuffer`` ndarray view.  Fallback: a
+    ``memoryview.cast('q')`` — indexing, slicing, ``len`` and iteration
+    all work, which is everything the pure-Python kernels need.  On a
+    big-endian host the fallback makes one decoded copy (numpy handles
+    the byte order in the dtype).
+    """
+    if _np is not None:
+        return _np.frombuffer(buffer, dtype="<i8")
+    view = memoryview(buffer)
+    if sys.byteorder == "little":
+        return view.cast("q")
+    decoded = _pyarray("q")  # pragma: no cover - big-endian hosts only
+    decoded.frombytes(view.tobytes())
+    decoded.byteswap()
+    return decoded
+
+
+def _pack_int64(values: Sequence[int]) -> bytes:
+    """Pack ints as little-endian int64 bytes."""
+    packed = _pyarray("q", values)
+    if sys.byteorder != "little":  # pragma: no cover - big-endian hosts only
+        packed.byteswap()
+    return packed.tobytes()
+
+
+def _pack_string_table(strings: Sequence[str]) -> Tuple[bytes, bytes]:
+    """Encode *strings* as (int64 offsets array, UTF-8 blob) bytes."""
+    offsets = [0]
+    chunks = []
+    total = 0
+    for text in strings:
+        raw = text.encode("utf-8")
+        chunks.append(raw)
+        total += len(raw)
+        offsets.append(total)
+    return _pack_int64(offsets), b"".join(chunks)
+
+
+# ---------------------------------------------------------------------------
+# Header / delta records
+# ---------------------------------------------------------------------------
+
+@dataclass
+class SidecarHeader:
+    """The fixed 256-byte header of a ``.segosx`` sidecar."""
+
+    version: int
+    generation: int
+    base_generation: int
+    source_size: int
+    source_sha: bytes
+    meta_off: int
+    meta_len: int
+    table_off: int
+    section_count: int
+    delta_off: int
+    delta_count: int
+    delta_bytes: int
+
+    def pack(self) -> bytes:
+        """Serialise, computing the CRC over the CRC-zeroed header bytes."""
+        def _render(crc: int) -> bytes:
+            return _HEADER.pack(
+                MAGIC,
+                self.version,
+                crc,
+                self.generation,
+                self.base_generation,
+                self.source_size,
+                self.source_sha,
+                self.meta_off,
+                self.meta_len,
+                self.table_off,
+                self.section_count,
+                self.delta_off,
+                self.delta_count,
+                self.delta_bytes,
+            )
+
+        return _render(zlib.crc32(_render(0)))
+
+    @classmethod
+    def unpack(cls, raw: bytes) -> "SidecarHeader":
+        if len(raw) < HEADER_SIZE:
+            raise SidecarError("sidecar truncated before the header")
+        (
+            magic,
+            version,
+            crc,
+            generation,
+            base_generation,
+            source_size,
+            source_sha,
+            meta_off,
+            meta_len,
+            table_off,
+            section_count,
+            delta_off,
+            delta_count,
+            delta_bytes,
+        ) = _HEADER.unpack(raw[:HEADER_SIZE])
+        if magic != MAGIC:
+            raise SidecarError(f"bad sidecar magic {magic!r}")
+        if version != FORMAT_VERSION:
+            raise SidecarError(f"unsupported sidecar format version {version}")
+        header = cls(
+            version,
+            generation,
+            base_generation,
+            source_size,
+            source_sha,
+            meta_off,
+            meta_len,
+            table_off,
+            section_count,
+            delta_off,
+            delta_count,
+            delta_bytes,
+        )
+        if header.pack() != raw[:HEADER_SIZE]:
+            raise SidecarError(f"sidecar header CRC mismatch (stored {crc})")
+        return header
+
+
+def read_header(path) -> SidecarHeader:
+    """Read and validate just the header of a sidecar file."""
+    with open(path, "rb") as handle:
+        return SidecarHeader.unpack(handle.read(HEADER_SIZE))
+
+
+@dataclass(frozen=True)
+class DeltaSegment:
+    """One append-only journal entry: the net graph ops of one save.
+
+    ``ops`` are per-gid and independent of each other: ``("add", gid,
+    text)`` / ``("update", gid, text)`` carry the graph's transaction
+    text so replay never depends on the (since rewritten) graph file;
+    ``("remove", gid, None)`` needs none — the mapped index already
+    knows the graph's star counts.
+    """
+
+    generation: int
+    ops: Tuple[Tuple[str, str, Optional[str]], ...]
+
+
+def replay_generation_bumps(ops: Iterable[Tuple[str, str, Optional[str]]]) -> int:
+    """Generation increments a strict replay of *ops* performs."""
+    return sum(_OP_BUMPS[kind] for kind, _, _ in ops)
+
+
+@dataclass(frozen=True)
+class DiskHandle:
+    """A shippable ``(paths, generation)`` ticket for worker attachment.
+
+    Replaces the pickled engine in both supervised-pool transports: the
+    parent sends this tiny handle, the worker re-opens the two files and
+    verifies it reconstructed the *same* state — ``disk_generation`` is
+    deterministic across processes (base generation + replay bumps), so
+    an out-of-band writer is caught by a simple equality check.
+
+    ``local_generation`` is the parent engine's own mutation counter at
+    the last sync; the handle is only handed out while the engine still
+    sits at it (see ``SegosIndex.disk_handle``).
+    """
+
+    graph_path: str
+    index_path: str
+    local_generation: int
+    disk_generation: int
+    source_sha: str  # hex
+    source_size: int
+    delta_count: int
+    base_graphs: int
+    delta_ops: int
+
+
+# ---------------------------------------------------------------------------
+# Writer
+# ---------------------------------------------------------------------------
+
+def _columnarize(pairs: Sequence[Tuple[str, Graph]]) -> Dict[str, object]:
+    """Decompose *pairs* into the canonical column arrays.
+
+    Works purely from the graphs (not from a live index), assigning star
+    ids in first-occurrence order — the numbering a rebuild of the same
+    serialisation would produce, which keeps the ``(sed, sid)``
+    tie-breaks byte-identical between mapped and rebuilt engines.
+    """
+    sig_to_sid: Dict[str, int] = {}
+    stars: List[Star] = []
+    refcount: List[int] = []
+    upper: List[Dict[int, int]] = []  # sid -> {graph index -> freq}
+    orders: List[int] = []
+    maxdegs: List[int] = []
+    graph_counts: List[List[Tuple[int, int]]] = []
+    for gidx, (_, graph) in enumerate(pairs):
+        orders.append(graph.order)
+        maxdegs.append(graph.max_degree())
+        counts: Counter = Counter()
+        for star in decompose(graph):
+            sid = sig_to_sid.get(star.signature)
+            if sid is None:
+                sid = len(stars)
+                sig_to_sid[star.signature] = sid
+                stars.append(star)
+                refcount.append(0)
+                upper.append({})
+            counts[sid] += 1
+            refcount[sid] += 1
+        graph_counts.append(sorted(counts.items()))
+        for sid, freq in counts.items():
+            upper[sid][gidx] = freq
+
+    vocabulary = set()
+    for star in stars:
+        vocabulary.add(star.root)
+        vocabulary.update(star.leaves)
+    labels = sorted(vocabulary)
+    label_to_id = {label: i for i, label in enumerate(labels)}
+
+    root_ids: List[int] = []
+    leaf_sizes: List[int] = []
+    leaf_offsets = [0]
+    leaf_ids: List[int] = []
+    per_label: Dict[int, List[Tuple[int, int]]] = {}
+    for row, star in enumerate(stars):
+        root_ids.append(label_to_id[star.root])
+        leaf_sizes.append(star.leaf_size)
+        leaf_ids.extend(label_to_id[leaf] for leaf in star.leaves)
+        leaf_offsets.append(len(leaf_ids))
+        for label, freq in Counter(star.leaves).items():
+            per_label.setdefault(label_to_id[label], []).append((row, freq))
+
+    post_offsets = [0]
+    post_rows: List[int] = []
+    post_freqs: List[int] = []
+    for lid in range(len(labels)):
+        for row, freq in per_label.get(lid, ()):
+            post_rows.append(row)
+            post_freqs.append(freq)
+        post_offsets.append(len(post_rows))
+
+    # Figure-6 order per label: leaf size asc, frequency desc, sid asc —
+    # stored as a permutation of global postings positions.
+    low_perm: List[int] = []
+    for lid in range(len(labels)):
+        lo, hi = post_offsets[lid], post_offsets[lid + 1]
+        low_perm.extend(
+            sorted(
+                range(lo, hi),
+                key=lambda i: (leaf_sizes[post_rows[i]], -post_freqs[i], post_rows[i]),
+            )
+        )
+    size_perm = sorted(range(len(stars)), key=lambda row: (leaf_sizes[row], row))
+
+    gid_strings = [str(gid) for gid, _ in pairs]
+    up_off = [0]
+    up_gids: List[int] = []
+    up_freqs: List[int] = []
+    up_orders: List[int] = []
+    for sid in range(len(stars)):
+        postings = sorted(
+            upper[sid].items(), key=lambda kv: (orders[kv[0]], gid_strings[kv[0]])
+        )
+        for gidx, freq in postings:
+            up_gids.append(gidx)
+            up_freqs.append(freq)
+            up_orders.append(orders[gidx])
+        up_off.append(len(up_gids))
+
+    gs_off = [0]
+    gs_sids: List[int] = []
+    gs_cnts: List[int] = []
+    for counts_list in graph_counts:
+        for sid, freq in counts_list:
+            gs_sids.append(sid)
+            gs_cnts.append(freq)
+        gs_off.append(len(gs_sids))
+
+    labels_off, labels_blob = _pack_string_table(labels)
+    gids_off, gids_blob = _pack_string_table(gid_strings)
+    return {
+        "labels_off": labels_off,
+        "labels_blob": labels_blob,
+        "gids_off": gids_off,
+        "gids_blob": gids_blob,
+        "g_order": _pack_int64(orders),
+        "g_maxdeg": _pack_int64(maxdegs),
+        "gs_off": _pack_int64(gs_off),
+        "gs_sids": _pack_int64(gs_sids),
+        "gs_cnts": _pack_int64(gs_cnts),
+        "cat_sids": _pack_int64(range(len(stars))),
+        "cat_root": _pack_int64(root_ids),
+        "cat_lsize": _pack_int64(leaf_sizes),
+        "cat_loff": _pack_int64(leaf_offsets),
+        "cat_lids": _pack_int64(leaf_ids),
+        "cat_poff": _pack_int64(post_offsets),
+        "cat_prows": _pack_int64(post_rows),
+        "cat_pfreqs": _pack_int64(post_freqs),
+        "cat_ref": _pack_int64(refcount),
+        "up_off": _pack_int64(up_off),
+        "up_gids": _pack_int64(up_gids),
+        "up_freqs": _pack_int64(up_freqs),
+        "up_orders": _pack_int64(up_orders),
+        "low_perm": _pack_int64(low_perm),
+        "size_perm": _pack_int64(size_perm),
+        "_counts": {
+            "n_graphs": len(pairs),
+            "n_stars": len(stars),
+            "n_labels": len(labels),
+            "n_leaf_ids": len(leaf_ids),
+            "n_postings": len(post_rows),
+            "n_upper": len(up_gids),
+        },
+    }
+
+
+def _align(offset: int) -> int:
+    return (offset + ALIGNMENT - 1) // ALIGNMENT * ALIGNMENT
+
+
+def write_sidecar(
+    index_path,
+    pairs: Sequence[Tuple[str, Graph]],
+    *,
+    config: Dict[str, object],
+    generation: int,
+    source_size: int,
+    source_sha: bytes,
+) -> None:
+    """Write a full (delta-free) sidecar atomically (temp + rename)."""
+    index_path = os.fspath(index_path)
+    columns = _columnarize(pairs)
+    counts = columns.pop("_counts")
+    meta = json.dumps({"counts": counts, "config": config}, sort_keys=True).encode(
+        "utf-8"
+    )
+
+    meta_off = HEADER_SIZE
+    table_off = _align(meta_off + len(meta))
+    cursor = _align(table_off + _SECTION.size * len(SECTION_NAMES))
+    table_entries = []
+    for name in SECTION_NAMES:
+        payload = columns[name]
+        table_entries.append((name, cursor, len(payload), zlib.crc32(payload)))
+        cursor = _align(cursor + len(payload))
+    delta_off = cursor
+
+    header = SidecarHeader(
+        version=FORMAT_VERSION,
+        generation=generation,
+        base_generation=generation,
+        source_size=source_size,
+        source_sha=source_sha,
+        meta_off=meta_off,
+        meta_len=len(meta),
+        table_off=table_off,
+        section_count=len(SECTION_NAMES),
+        delta_off=delta_off,
+        delta_count=0,
+        delta_bytes=0,
+    )
+
+    tmp_path = f"{index_path}.tmp.{os.getpid()}"
+    try:
+        with open(tmp_path, "wb") as out:
+            out.write(header.pack())
+            out.write(meta)
+            out.write(b"\0" * (table_off - meta_off - len(meta)))
+            for name, offset, length, crc in table_entries:
+                out.write(_SECTION.pack(name.encode("ascii"), offset, length, crc))
+            position = table_off + _SECTION.size * len(table_entries)
+            for name, offset, length, _ in table_entries:
+                out.write(b"\0" * (offset - position))
+                out.write(columns[name])
+                position = offset + length
+            out.write(b"\0" * (delta_off - position))
+        os.replace(tmp_path, index_path)
+    finally:
+        if os.path.exists(tmp_path):
+            os.unlink(tmp_path)
+
+
+def append_delta(
+    index_path,
+    ops: Sequence[Tuple[str, str, Optional[str]]],
+    *,
+    generation: int,
+    source_size: int,
+    source_sha: bytes,
+) -> None:
+    """Append one journal segment and refresh the header in place.
+
+    The record is written before the header, so a crash in between
+    leaves the header blind to the partial record (``delta_bytes``
+    bounds every read) and pointing at a now-mismatched source hash —
+    the sidecar degrades to a rebuild, never to wrong answers.
+    """
+    index_path = os.fspath(index_path)
+    header = read_header(index_path)
+    payload = json.dumps(
+        {"generation": generation, "ops": [list(op) for op in ops]},
+        sort_keys=True,
+    ).encode("utf-8")
+    record = _DELTA.pack(DELTA_MAGIC, len(ops), zlib.crc32(payload), len(payload))
+    with open(index_path, "r+b") as out:
+        out.seek(header.delta_off + header.delta_bytes)
+        out.write(record + payload)
+        header.generation = generation
+        header.source_size = source_size
+        header.source_sha = source_sha
+        header.delta_count += 1
+        header.delta_bytes += len(record) + len(payload)
+        out.seek(0)
+        out.write(header.pack())
+
+
+# ---------------------------------------------------------------------------
+# Reader
+# ---------------------------------------------------------------------------
+
+class DiskCatalog:
+    """A memory-mapped, read-only view of one ``.segosx`` sidecar.
+
+    Sections come back as zero-copy int64 views (:meth:`ints`) or raw
+    ``memoryview`` slices (:meth:`blob`); string tables decode lazily and
+    cache.  Section CRCs are *not* verified on open (that would fault in
+    every page, defeating the lazy mmap) — run :meth:`verify_checksums`
+    (``repro index inspect --verify``) for an integrity audit.
+    """
+
+    def __init__(self, path) -> None:
+        self.path = os.fspath(path)
+        self._file = open(self.path, "rb")
+        try:
+            self._mmap = _mmaplib.mmap(self._file.fileno(), 0, access=_mmaplib.ACCESS_READ)
+        except ValueError as exc:  # empty file cannot be mapped
+            self._file.close()
+            raise SidecarError(f"cannot map sidecar {self.path!r}: {exc}") from exc
+        try:
+            self.header = SidecarHeader.unpack(self._mmap[:HEADER_SIZE])
+            meta_raw = bytes(
+                self._mmap[self.header.meta_off : self.header.meta_off + self.header.meta_len]
+            )
+            try:
+                self.meta = json.loads(meta_raw.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise SidecarError(f"malformed sidecar meta block: {exc}") from exc
+            self._sections: Dict[str, Tuple[int, int, int]] = {}
+            for i in range(self.header.section_count):
+                start = self.header.table_off + i * _SECTION.size
+                raw_name, offset, length, crc = _SECTION.unpack_from(self._mmap, start)
+                name = raw_name.rstrip(b"\0").decode("ascii")
+                if offset + length > len(self._mmap):
+                    raise SidecarError(f"section {name!r} extends past end of file")
+                self._sections[name] = (offset, length, crc)
+            missing = [n for n in SECTION_NAMES if n not in self._sections]
+            if missing:
+                raise SidecarError(f"sidecar missing sections {missing}")
+        except Exception:
+            self.close()
+            raise
+        self._ints_cache: Dict[str, object] = {}
+        self._labels: Optional[List[str]] = None
+        self._label_to_id: Optional[Dict[str, int]] = None
+        self._gids: Optional[List[str]] = None
+        self._gid_index: Optional[Dict[str, int]] = None
+
+    # -- lifecycle -----------------------------------------------------
+    def __enter__(self) -> "DiskCatalog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Best-effort close; a map with exported views stays alive."""
+        try:
+            self._mmap.close()
+        except (BufferError, ValueError):
+            pass
+        try:
+            self._file.close()
+        except OSError:  # pragma: no cover - defensive
+            pass
+
+    # -- counts / meta -------------------------------------------------
+    @property
+    def n_graphs(self) -> int:
+        return int(self.meta["counts"]["n_graphs"])
+
+    @property
+    def n_stars(self) -> int:
+        return int(self.meta["counts"]["n_stars"])
+
+    @property
+    def n_labels(self) -> int:
+        return int(self.meta["counts"]["n_labels"])
+
+    def config(self) -> Dict[str, object]:
+        """The engine config knobs recorded at write time."""
+        return dict(self.meta.get("config", {}))
+
+    def is_fresh(self, source_path) -> bool:
+        """True when the graph file still matches the recorded size+hash."""
+        try:
+            if os.path.getsize(source_path) != self.header.source_size:
+                return False
+            return file_sha256(source_path) == self.header.source_sha
+        except OSError:
+            return False
+
+    # -- raw access ----------------------------------------------------
+    def blob(self, name: str) -> memoryview:
+        offset, length, _ = self._sections[name]
+        return memoryview(self._mmap)[offset : offset + length]
+
+    def ints(self, name: str):
+        view = self._ints_cache.get(name)
+        if view is None:
+            view = self._ints_cache[name] = _int64_view(self.blob(name))
+        return view
+
+    def _strings(self, offsets_name: str, blob_name: str) -> List[str]:
+        offsets = self.ints(offsets_name)
+        blob = self.blob(blob_name)
+        return [
+            bytes(blob[int(offsets[i]) : int(offsets[i + 1])]).decode("utf-8")
+            for i in range(len(offsets) - 1)
+        ]
+
+    def labels(self) -> List[str]:
+        if self._labels is None:
+            self._labels = self._strings("labels_off", "labels_blob")
+        return self._labels
+
+    def label_to_id(self) -> Dict[str, int]:
+        if self._label_to_id is None:
+            self._label_to_id = {label: i for i, label in enumerate(self.labels())}
+        return self._label_to_id
+
+    def gid_list(self) -> List[str]:
+        if self._gids is None:
+            self._gids = self._strings("gids_off", "gids_blob")
+        return self._gids
+
+    def gid_index(self) -> Dict[str, int]:
+        if self._gid_index is None:
+            self._gid_index = {gid: i for i, gid in enumerate(self.gid_list())}
+        return self._gid_index
+
+    # -- deltas --------------------------------------------------------
+    def delta_segments(self) -> List[DeltaSegment]:
+        """Parse the journal region (bounded by the header's byte count)."""
+        segments: List[DeltaSegment] = []
+        cursor = self.header.delta_off
+        end = self.header.delta_off + self.header.delta_bytes
+        for _ in range(self.header.delta_count):
+            if cursor + _DELTA.size > end:
+                raise SidecarError("delta journal truncated")
+            magic, op_count, crc, length = _DELTA.unpack_from(self._mmap, cursor)
+            if magic != DELTA_MAGIC:
+                raise SidecarError(f"bad delta magic {magic!r}")
+            cursor += _DELTA.size
+            if cursor + length > end:
+                raise SidecarError("delta payload truncated")
+            payload = bytes(self._mmap[cursor : cursor + length])
+            cursor += length
+            if zlib.crc32(payload) != crc:
+                raise SidecarError("delta payload CRC mismatch")
+            try:
+                decoded = json.loads(payload.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise SidecarError(f"malformed delta payload: {exc}") from exc
+            ops = tuple(
+                (op[0], op[1], op[2] if len(op) > 2 else None)
+                for op in decoded["ops"]
+            )
+            if len(ops) != op_count or any(kind not in _OP_BUMPS for kind, _, _ in ops):
+                raise SidecarError("delta op list inconsistent with its record")
+            segments.append(DeltaSegment(int(decoded["generation"]), ops))
+        return segments
+
+    def total_delta_ops(self) -> int:
+        return sum(len(segment.ops) for segment in self.delta_segments())
+
+    # -- integrity -----------------------------------------------------
+    def verify_checksums(self) -> List[str]:
+        """Full CRC audit; returns human-readable problems (empty = clean)."""
+        problems: List[str] = []
+        for name, (offset, length, crc) in self._sections.items():
+            actual = zlib.crc32(self._mmap[offset : offset + length])
+            if actual != crc:
+                problems.append(
+                    f"section {name!r}: CRC mismatch (stored {crc}, actual {actual})"
+                )
+        try:
+            self.delta_segments()
+        except SidecarError as exc:
+            problems.append(f"delta journal: {exc}")
+        return problems
+
+    # -- columnar snapshot --------------------------------------------
+    def columnar(self, generation: int) -> ColumnarCatalog:
+        """Zero-copy :class:`ColumnarCatalog` over the mapped columns."""
+        n = self.n_stars
+        return ColumnarCatalog.from_mmap(
+            generation,
+            self.ints("cat_sids"),
+            self.ints("cat_root"),
+            self.ints("cat_lsize"),
+            self.ints("cat_loff"),
+            self.ints("cat_lids"),
+            self.ints("cat_poff"),
+            self.ints("cat_prows"),
+            self.ints("cat_pfreqs"),
+            self.label_to_id(),
+            n - 1 if n else 0,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Lazy graph store (text-file byte ranges, parse on demand)
+# ---------------------------------------------------------------------------
+
+_GRAPH_HEADER_RE = re.compile(rb"^t[ \t]+(?:#[ \t]+)?(\S+)", re.MULTILINE)
+
+
+def scan_graph_ranges(data) -> "Dict[str, Tuple[int, int]]":
+    """gid → (start, end) byte ranges of each ``t``-block in *data*.
+
+    A light single regex pass over the mapped bytes — the same order of
+    work as the SHA-256 freshness check, far below a full parse.
+    """
+    ranges: Dict[str, Tuple[int, int]] = {}
+    matches = list(_GRAPH_HEADER_RE.finditer(data))
+    for i, match in enumerate(matches):
+        start = match.start()
+        end = matches[i + 1].start() if i + 1 < len(matches) else len(data)
+        ranges[match.group(1).decode("utf-8")] = (start, end)
+    return ranges
+
+
+class LazyGraphStore(MutableMapping):
+    """``gid → Graph`` over a mapped transaction file, parsed on demand.
+
+    Base entries come from byte ranges of the graph file (found by
+    :func:`scan_graph_ranges`); nothing is parsed until a query actually
+    touches a graph, and the parse result is cached.  Mutations go to an
+    overlay (additions/re-additions) and a tombstone set (removals) with
+    plain-dict ordering semantics, so an engine holding this store
+    behaves exactly like one holding a ``dict``.
+
+    Pickling materialises every live graph — the store degrades to a
+    plain in-memory mapping on the other side, which is precisely what
+    the legacy pickle-the-engine transport needs.
+    """
+
+    def __init__(
+        self,
+        text_path,
+        *,
+        base_gids: Optional[Sequence[str]] = None,
+        expected_sha: Optional[bytes] = None,
+    ) -> None:
+        self._path = os.fspath(text_path)
+        with open(self._path, "rb") as handle:
+            self._data: bytes = handle.read()
+        if expected_sha is not None:
+            if hashlib.sha256(self._data).digest() != expected_sha:
+                raise StaleSidecarError(
+                    f"graph file {self._path!r} changed since the index was written"
+                )
+        self._ranges = scan_graph_ranges(self._data)
+        base = list(base_gids) if base_gids is not None else list(self._ranges)
+        self._base: Dict[str, None] = dict.fromkeys(base)
+        self._cache: Dict[str, Graph] = {}
+        self._overlay: Dict[object, Graph] = {}
+        self._removed: set = set()
+
+    # -- parsing -------------------------------------------------------
+    def parse_from_text(self, gid: str) -> Graph:
+        """Parse *gid*'s block from the text bytes (uncached)."""
+        span = self._ranges.get(gid)
+        if span is None:
+            raise StaleSidecarError(
+                f"graph {gid!r} is indexed in the sidecar but absent from the text"
+            )
+        parsed = gio.loads(self._data[span[0] : span[1]].decode("utf-8"))
+        if len(parsed) != 1 or parsed[0][0] != gid:
+            raise StaleSidecarError(f"byte range for graph {gid!r} is inconsistent")
+        return parsed[0][1]
+
+    # -- MutableMapping ------------------------------------------------
+    def __getitem__(self, gid: object) -> Graph:
+        if gid in self._overlay:
+            return self._overlay[gid]
+        if gid in self._base and gid not in self._removed:
+            graph = self._cache.get(gid)
+            if graph is None:
+                graph = self._cache[gid] = self.parse_from_text(gid)
+            return graph
+        raise KeyError(gid)
+
+    def __setitem__(self, gid: object, graph: Graph) -> None:
+        self._removed.discard(gid)
+        self._overlay.pop(gid, None)  # re-insertion moves the key to the end
+        self._overlay[gid] = graph
+
+    def __delitem__(self, gid: object) -> None:
+        if gid in self._overlay:
+            del self._overlay[gid]
+        elif gid in self._base and gid not in self._removed:
+            self._removed.add(gid)
+            self._cache.pop(gid, None)
+        else:
+            raise KeyError(gid)
+
+    def __contains__(self, gid: object) -> bool:  # no parse for membership
+        if gid in self._overlay:
+            return True
+        return gid in self._base and gid not in self._removed
+
+    def __iter__(self) -> Iterator[object]:
+        for gid in self._base:
+            if gid not in self._removed and gid not in self._overlay:
+                yield gid
+        yield from self._overlay
+
+    def __len__(self) -> int:
+        hidden = sum(
+            1 for gid in self._overlay if gid in self._base and gid not in self._removed
+        )
+        removed = sum(1 for gid in self._removed if gid in self._base)
+        return len(self._base) - removed - hidden + len(self._overlay)
+
+    # -- pickling ------------------------------------------------------
+    def __getstate__(self) -> Dict[str, object]:
+        return {"graphs": dict(self.items())}
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self._path = ""
+        self._data = b""
+        self._ranges = {}
+        self._base = {}
+        self._cache = {}
+        self._overlay = dict(state["graphs"])
+        self._removed = set()
+
+
+# ---------------------------------------------------------------------------
+# Mapped two-level index
+# ---------------------------------------------------------------------------
+
+class _MappedCatalog:
+    """Star-catalog facade: lazy Star materialisation over the columns."""
+
+    def __init__(self, owner: "MappedTwoLevelIndex") -> None:
+        self._owner = owner
+        self._stars: Dict[int, Star] = {}
+        self._sig_to_sid: Optional[Dict[str, int]] = None
+
+    def __len__(self) -> int:
+        inner = self._owner._inner
+        if inner is not None:
+            return len(inner.catalog)
+        return self._owner._disk.n_stars
+
+    def star(self, sid: int) -> Star:
+        inner = self._owner._inner
+        if inner is not None:
+            return inner.catalog.star(sid)
+        star = self._stars.get(sid)
+        if star is None:
+            disk = self._owner._disk
+            if not 0 <= sid < disk.n_stars:
+                raise IndexCorruptionError(f"star id {sid} is not live")
+            labels = disk.labels()
+            loff = disk.ints("cat_loff")
+            lids = disk.ints("cat_lids")
+            leaves = [
+                labels[int(lids[i])]
+                for i in range(int(loff[sid]), int(loff[sid + 1]))
+            ]
+            star = self._stars[sid] = Star(
+                labels[int(disk.ints("cat_root")[sid])], leaves
+            )
+        return star
+
+    def sid(self, star: Star) -> Optional[int]:
+        inner = self._owner._inner
+        if inner is not None:
+            return inner.catalog.sid(star)
+        if self._sig_to_sid is None:
+            self._sig_to_sid = {
+                self.star(row).signature: row
+                for row in range(self._owner._disk.n_stars)
+            }
+        return self._sig_to_sid.get(star.signature)
+
+    def live_sids(self) -> List[int]:
+        inner = self._owner._inner
+        if inner is not None:
+            return inner.catalog.live_sids()
+        return list(range(self._owner._disk.n_stars))
+
+    # Mutation primitives are only ever driven by TwoLevelIndex itself;
+    # reaching them through the facade promotes first.
+    def acquire(self, star: Star, count: int = 1):
+        return self._owner._materialize().catalog.acquire(star, count)
+
+    def release(self, sid: int, count: int = 1):
+        return self._owner._materialize().catalog.release(sid, count)
+
+
+class _MappedUpper:
+    """Upper-level facade: per-sid postings materialised lazily."""
+
+    def __init__(self, owner: "MappedTwoLevelIndex") -> None:
+        self._owner = owner
+        self._postings: Dict[int, List] = {}
+
+    def __contains__(self, sid: int) -> bool:
+        inner = self._owner._inner
+        if inner is not None:
+            return sid in inner.upper
+        return 0 <= sid < self._owner._disk.n_stars
+
+    def sids(self):
+        inner = self._owner._inner
+        if inner is not None:
+            return inner.upper.sids()
+        return range(self._owner._disk.n_stars)
+
+    def _entries(self, sid: int) -> List:
+        from ..core.index import UpperEntry
+
+        entries = self._postings.get(sid)
+        if entries is None:
+            disk = self._owner._disk
+            off = disk.ints("up_off")
+            gids = disk.ints("up_gids")
+            freqs = disk.ints("up_freqs")
+            orders = disk.ints("up_orders")
+            gid_list = disk.gid_list()
+            entries = self._postings[sid] = [
+                UpperEntry(gid_list[int(gids[i])], int(freqs[i]), int(orders[i]))
+                for i in range(int(off[sid]), int(off[sid + 1]))
+            ]
+        return entries
+
+    def postings(self, sid: int) -> List:
+        inner = self._owner._inner
+        if inner is not None:
+            return inner.upper.postings(sid)
+        if not 0 <= sid < self._owner._disk.n_stars:
+            return []
+        return list(self._entries(sid))
+
+    def split_by_order(self, sid: int, order: int):
+        inner = self._owner._inner
+        if inner is not None:
+            return inner.upper.split_by_order(sid, order)
+        if not 0 <= sid < self._owner._disk.n_stars:
+            return [], []
+        entries = self._entries(sid)
+        cut = bisect_right([e.order for e in entries], order)
+        return list(entries[:cut]), list(entries[cut:])
+
+    def stats(self) -> Tuple[int, int]:
+        inner = self._owner._inner
+        if inner is not None:
+            return inner.upper.stats()
+        disk = self._owner._disk
+        return disk.n_stars, len(disk.ints("up_gids"))
+
+
+class _MappedLower:
+    """Lower-level facade: Figure-6 label lists + the size list."""
+
+    def __init__(self, owner: "MappedTwoLevelIndex") -> None:
+        self._owner = owner
+        self._label_lists: Dict[str, List] = {}
+        self._size_entries: Optional[List] = None
+        self._label_count: Optional[int] = None
+
+    def _span(self, label: str) -> Optional[Tuple[int, int]]:
+        disk = self._owner._disk
+        lid = disk.label_to_id().get(label)
+        if lid is None:
+            return None
+        poff = disk.ints("cat_poff")
+        lo, hi = int(poff[lid]), int(poff[lid + 1])
+        return (lo, hi) if hi > lo else None
+
+    def labels(self):
+        inner = self._owner._inner
+        if inner is not None:
+            return inner.lower.labels()
+        return [label for label in self._owner._disk.labels() if self._span(label)]
+
+    def label_list(self, label: str) -> List:
+        inner = self._owner._inner
+        if inner is not None:
+            return inner.lower.label_list(label)
+        entries = self._label_lists.get(label)
+        if entries is None:
+            from ..core.index import LowerEntry
+
+            span = self._span(label)
+            if span is None:
+                return []
+            disk = self._owner._disk
+            perm = disk.ints("low_perm")
+            prows = disk.ints("cat_prows")
+            pfreqs = disk.ints("cat_pfreqs")
+            lsize = disk.ints("cat_lsize")
+            entries = self._label_lists[label] = [
+                LowerEntry(
+                    int(prows[int(perm[i])]),
+                    int(pfreqs[int(perm[i])]),
+                    int(lsize[int(prows[int(perm[i])])]),
+                )
+                for i in range(span[0], span[1])
+            ]
+        return list(entries)
+
+    def label_postings_count(self, label: str) -> int:
+        inner = self._owner._inner
+        if inner is not None:
+            return inner.lower.label_postings_count(label)
+        span = self._span(label)
+        return span[1] - span[0] if span else 0
+
+    def split_label_list(self, label: str, leaf_size: int):
+        inner = self._owner._inner
+        if inner is not None:
+            return inner.lower.split_label_list(label, leaf_size)
+        entries = self.label_list(label)
+        groups: List[List] = []
+        for entry in entries:
+            if groups and groups[-1][0].leaf_size == entry.leaf_size:
+                groups[-1].append(entry)
+            else:
+                groups.append([entry])
+        boundary = bisect_right([g[0].leaf_size for g in groups], leaf_size)
+        return groups[:boundary], groups[boundary:]
+
+    def _size_list(self) -> List:
+        if self._size_entries is None:
+            from ..core.index import LowerEntry
+
+            disk = self._owner._disk
+            perm = disk.ints("size_perm")
+            lsize = disk.ints("cat_lsize")
+            self._size_entries = [
+                LowerEntry(int(sid), 0, int(lsize[int(sid)])) for sid in perm
+            ]
+        return self._size_entries
+
+    def split_size_list(self, leaf_size: int):
+        inner = self._owner._inner
+        if inner is not None:
+            return inner.lower.split_size_list(leaf_size)
+        entries = self._size_list()
+        cut = bisect_right([e.leaf_size for e in entries], leaf_size)
+        low = list(entries[:cut])
+        low.reverse()
+        return low, list(entries[cut:])
+
+    def stats(self) -> Tuple[int, int]:
+        inner = self._owner._inner
+        if inner is not None:
+            return inner.lower.stats()
+        disk = self._owner._disk
+        if self._label_count is None:
+            poff = disk.ints("cat_poff")
+            self._label_count = sum(
+                1
+                for lid in range(disk.n_labels)
+                if int(poff[lid + 1]) > int(poff[lid])
+            )
+        return self._label_count, len(disk.ints("cat_prows")) + disk.n_stars
+
+
+class MappedTwoLevelIndex:
+    """A read-optimised two-level index backed by a mapped sidecar.
+
+    Presents the exact surface of :class:`~repro.core.index.TwoLevelIndex`
+    (catalog / upper / lower facades, graph metadata, the generation
+    counter, the three mutators) but starts fully *mapped*: reads
+    materialise only the views they touch.  The first §IV-C mutation
+    **promotes** the whole structure to a plain in-memory
+    ``TwoLevelIndex`` built straight from the arrays — no text parsing —
+    after which every call delegates.  Promotion is invisible:
+    identical answers before and after.
+    """
+
+    def __init__(self, disk: DiskCatalog) -> None:
+        self._disk = disk
+        self._inner = None  # type: Optional[object]
+        self._generation = disk.header.base_generation
+        self.catalog = _MappedCatalog(self)
+        self.upper = _MappedUpper(self)
+        self.lower = _MappedLower(self)
+        self._counts_cache: Dict[object, Counter] = {}
+        self._max_degree: Optional[int] = None
+
+    # -- generation ----------------------------------------------------
+    @property
+    def generation(self) -> int:
+        inner = self._inner
+        return inner.generation if inner is not None else self._generation
+
+    @generation.setter
+    def generation(self, value: int) -> None:
+        inner = self._inner
+        if inner is not None:
+            inner.generation = value
+        else:
+            self._generation = value
+
+    @property
+    def promoted(self) -> bool:
+        """True once a mutation has forced full materialisation."""
+        return self._inner is not None
+
+    # -- promotion -----------------------------------------------------
+    def _materialize(self):
+        """Build the in-memory index from the arrays (idempotent)."""
+        if self._inner is None:
+            from ..core.index import (
+                GraphMeta,
+                LowerEntry,
+                TwoLevelIndex,
+                UpperEntry,
+                _LazySortedList,
+                _lower_sort_key,
+                _upper_sort_key,
+            )
+
+            disk = self._disk
+            n = disk.n_stars
+            index = TwoLevelIndex()
+            index.generation = self._generation
+
+            stars = [self.catalog.star(sid) for sid in range(n)]
+            catalog = index.catalog
+            catalog._stars = list(stars)
+            catalog._refcount = [int(c) for c in disk.ints("cat_ref")]
+            catalog._sid_by_signature = {
+                star.signature: sid for sid, star in enumerate(stars)
+            }
+
+            off = disk.ints("up_off")
+            up_gids = disk.ints("up_gids")
+            up_freqs = disk.ints("up_freqs")
+            up_orders = disk.ints("up_orders")
+            gid_list = disk.gid_list()
+            for sid in range(n):
+                postings = _LazySortedList(key=_upper_sort_key)
+                for i in range(int(off[sid]), int(off[sid + 1])):
+                    gid = gid_list[int(up_gids[i])]
+                    postings.data[gid] = UpperEntry(
+                        gid, int(up_freqs[i]), int(up_orders[i])
+                    )
+                index.upper._lists[sid] = postings
+
+            poff = disk.ints("cat_poff")
+            prows = disk.ints("cat_prows")
+            pfreqs = disk.ints("cat_pfreqs")
+            lsize = disk.ints("cat_lsize")
+            for lid, label in enumerate(disk.labels()):
+                lo, hi = int(poff[lid]), int(poff[lid + 1])
+                if lo == hi:
+                    continue
+                postings = _LazySortedList(key=_lower_sort_key)
+                for i in range(lo, hi):
+                    sid = int(prows[i])
+                    postings.data[sid] = LowerEntry(
+                        sid, int(pfreqs[i]), int(lsize[sid])
+                    )
+                index.lower._lists[label] = postings
+            for sid in range(n):
+                index.lower._size_list.data[sid] = LowerEntry(sid, 0, int(lsize[sid]))
+
+            gs_off = disk.ints("gs_off")
+            gs_sids = disk.ints("gs_sids")
+            gs_cnts = disk.ints("gs_cnts")
+            g_order = disk.ints("g_order")
+            g_maxdeg = disk.ints("g_maxdeg")
+            for gidx, gid in enumerate(gid_list):
+                counts: Counter = Counter()
+                for i in range(int(gs_off[gidx]), int(gs_off[gidx + 1])):
+                    counts[int(gs_sids[i])] = int(gs_cnts[i])
+                index._graph_stars[gid] = counts
+                index._meta[gid] = GraphMeta(int(g_order[gidx]), int(g_maxdeg[gidx]))
+                index._max_degree_hist[int(g_maxdeg[gidx])] += 1
+
+            self._inner = index
+        return self._inner
+
+    # -- introspection -------------------------------------------------
+    def __len__(self) -> int:
+        inner = self._inner
+        if inner is not None:
+            return len(inner)
+        return self._disk.n_graphs
+
+    def __contains__(self, gid: object) -> bool:
+        inner = self._inner
+        if inner is not None:
+            return gid in inner
+        return gid in self._disk.gid_index()
+
+    def gids(self):
+        inner = self._inner
+        if inner is not None:
+            return inner.gids()
+        return list(self._disk.gid_list())
+
+    def meta(self, gid: object):
+        inner = self._inner
+        if inner is not None:
+            return inner.meta(gid)
+        from ..core.index import GraphMeta
+
+        gidx = self._disk.gid_index().get(gid)
+        if gidx is None:
+            raise GraphNotIndexed(gid)
+        return GraphMeta(
+            int(self._disk.ints("g_order")[gidx]),
+            int(self._disk.ints("g_maxdeg")[gidx]),
+        )
+
+    def graph_star_counts(self, gid: object) -> Counter:
+        inner = self._inner
+        if inner is not None:
+            return inner.graph_star_counts(gid)
+        counts = self._counts_cache.get(gid)
+        if counts is None:
+            disk = self._disk
+            gidx = disk.gid_index().get(gid)
+            if gidx is None:
+                raise GraphNotIndexed(gid)
+            gs_off = disk.ints("gs_off")
+            gs_sids = disk.ints("gs_sids")
+            gs_cnts = disk.ints("gs_cnts")
+            counts = Counter()
+            for i in range(int(gs_off[gidx]), int(gs_off[gidx + 1])):
+                counts[int(gs_sids[i])] = int(gs_cnts[i])
+            self._counts_cache[gid] = counts
+        return Counter(counts)
+
+    def database_max_degree(self) -> int:
+        inner = self._inner
+        if inner is not None:
+            return inner.database_max_degree()
+        if self._max_degree is None:
+            degrees = self._disk.ints("g_maxdeg")
+            if len(degrees) == 0:
+                self._max_degree = 0
+            elif _np is not None and isinstance(degrees, _np.ndarray):
+                self._max_degree = int(degrees.max())
+            else:
+                self._max_degree = max(degrees)
+        return self._max_degree
+
+    def size_estimate(self) -> int:
+        inner = self._inner
+        if inner is not None:
+            return inner.size_estimate()
+        _, upper_postings = self.upper.stats()
+        _, lower_postings = self.lower.stats()
+        return upper_postings + lower_postings + len(self.catalog)
+
+    # -- mutators: promote, then delegate ------------------------------
+    def add_graph(self, gid: object, graph: Graph, stars: Sequence[Star]) -> None:
+        self._materialize().add_graph(gid, graph, stars)
+
+    def remove_graph(self, gid: object) -> None:
+        self._materialize().remove_graph(gid)
+
+    def apply_star_delta(self, gid, removed, added, new_meta) -> None:
+        self._materialize().apply_star_delta(gid, removed, added, new_meta)
+
+    # -- consistency ---------------------------------------------------
+    def check_consistency(self) -> None:
+        """Structural invariants of the mapped arrays (or the inner index)."""
+        inner = self._inner
+        if inner is not None:
+            inner.check_consistency()
+            return
+        disk = self._disk
+        n = disk.n_stars
+        ref = disk.ints("cat_ref")
+        off = disk.ints("up_off")
+        up_freqs = disk.ints("up_freqs")
+        for sid in range(n):
+            lo, hi = int(off[sid]), int(off[sid + 1])
+            if hi <= lo:
+                raise IndexCorruptionError(f"star {sid} has no upper postings")
+            total = sum(int(up_freqs[i]) for i in range(lo, hi))
+            if total != int(ref[sid]):
+                raise IndexCorruptionError(
+                    f"star {sid}: refcount {int(ref[sid])} != posting total {total}"
+                )
+        gs_off = disk.ints("gs_off")
+        gs_cnts = disk.ints("gs_cnts")
+        occurrences = sum(int(c) for c in gs_cnts)
+        if occurrences != sum(int(r) for r in ref):
+            raise IndexCorruptionError("graph star counts disagree with refcounts")
+        if len(gs_off) != disk.n_graphs + 1:
+            raise IndexCorruptionError("graph CSR length mismatch")
+
+    # -- pickling ------------------------------------------------------
+    def __getstate__(self) -> Dict[str, object]:
+        # Promote, then ship the plain in-memory index: mapped views (and
+        # the memoryview-backed snapshot cache) cannot cross a process
+        # boundary, but the materialised index pickles like any other.
+        return {"inner": self._materialize()}
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self._disk = None
+        self._inner = state["inner"]
+        self._generation = self._inner.generation
+        self.catalog = _MappedCatalog(self)
+        self.upper = _MappedUpper(self)
+        self.lower = _MappedLower(self)
+        self._counts_cache = {}
+        self._max_degree = None

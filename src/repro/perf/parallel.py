@@ -39,6 +39,7 @@ import pickle
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple
 
 from ..config import ENV_BATCH_WORKERS, EngineConfig, env_int
+from ..errors import StaleSidecarError
 from ..obs.metrics import GLOBAL_METRICS, record_query_metrics
 from ..obs.trace import NULL_TRACER, activate
 from ..resilience.faults import FaultPlan
@@ -90,6 +91,33 @@ _WORKER_ENGINE: Optional["SegosIndex"] = None
 def _init_worker(engine_blob: bytes) -> None:
     global _WORKER_ENGINE
     _WORKER_ENGINE = pickle.loads(engine_blob)
+
+
+def _init_worker_disk(handle) -> None:
+    """Attach the worker's engine from the on-disk index (zero pickling).
+
+    The worker memory-maps the same sidecar the parent holds, sharing its
+    pages, and proves it reconstructed the *same* state: the deterministic
+    replay generation and the source hash must both match the handle.  Any
+    mismatch (an out-of-band writer, a deleted sidecar forcing a rebuild)
+    raises — the supervised pool turns that into a retry and ultimately a
+    serial salvage in the parent, never a silent divergence.
+    """
+    global _WORKER_ENGINE
+    from ..core.persistence import load_index  # lazy: core.engine imports us
+
+    engine = load_index(handle.graph_path, index_path=handle.index_path, mmap=True)
+    attached = engine.disk_handle()
+    if (
+        attached is None
+        or attached.disk_generation != handle.disk_generation
+        or attached.source_sha != handle.source_sha
+    ):
+        raise StaleSidecarError(
+            f"worker attached {handle.index_path!r} but reached a different "
+            f"state than the parent engine"
+        )
+    _WORKER_ENGINE = engine
 
 
 def _run_chunk(
@@ -150,32 +178,49 @@ def parallel_batch_range_query(
             )
         events.append(event)
 
-    injected = faults.fire("pickle.engine", stage="batch")
-    if injected is not None:
-        _note_event(
-            DegradationEvent(
-                point="pickle.engine",
-                stage="batch",
-                cause="injected fault: pickle.engine",
-                injected=True,
-                lost=len(queries),
-                fallback="serial",
+    # Transport selection: an engine whose on-disk index twin is still
+    # current ships workers a tiny (path, generation) handle — they attach
+    # the mapped sidecar and share its pages.  Everything else (engines
+    # built in memory, mutated since the last save, non-string gids) takes
+    # the legacy pickle-the-engine road.
+    handle = None
+    disk_handle = getattr(engine, "disk_handle", None)
+    if disk_handle is not None:
+        handle = disk_handle()
+    if handle is not None:
+        transport = "disk"
+        initializer = _init_worker_disk
+        initargs: Tuple[Any, ...] = (handle,)
+    else:
+        injected = faults.fire("pickle.engine", stage="batch")
+        if injected is not None:
+            _note_event(
+                DegradationEvent(
+                    point="pickle.engine",
+                    stage="batch",
+                    cause="injected fault: pickle.engine",
+                    injected=True,
+                    lost=len(queries),
+                    fallback="serial",
+                )
             )
-        )
-        return None, events
-    try:
-        engine_blob = pickle.dumps(engine, protocol=pickle.HIGHEST_PROTOCOL)
-    except PICKLE_ERRORS as exc:  # e.g. sqlite backend: connections don't pickle
-        _note_event(
-            DegradationEvent(
-                point="pickle.engine",
-                stage="batch",
-                cause=repr(exc),
-                lost=len(queries),
-                fallback="serial",
+            return None, events
+        try:
+            engine_blob = pickle.dumps(engine, protocol=pickle.HIGHEST_PROTOCOL)
+        except PICKLE_ERRORS as exc:  # e.g. sqlite backend: connections don't pickle
+            _note_event(
+                DegradationEvent(
+                    point="pickle.engine",
+                    stage="batch",
+                    cause=repr(exc),
+                    lost=len(queries),
+                    fallback="serial",
+                )
             )
-        )
-        return None, events
+            return None, events
+        transport = "pickle"
+        initializer = _init_worker
+        initargs = (engine_blob,)
 
     chunks = chunk_evenly(queries, workers)
     # verify_workers pinned to 1: the batch already owns the process fan-out,
@@ -190,11 +235,12 @@ def parallel_batch_range_query(
         tasks,
         workers=len(chunks),
         policy=policy,
-        initializer=_init_worker,
-        initargs=(engine_blob,),
+        initializer=initializer,
+        initargs=initargs,
         faults=faults,
         stage="batch",
         tracer=tracer,
+        transport=transport,
     )
     events.extend(outcome.events)
 

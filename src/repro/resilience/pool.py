@@ -119,6 +119,11 @@ class PoolOutcome:
     retries: int = 0
     deadline_blown: bool = False
     workers_used: int = 0
+    #: how task payloads reached the workers: "pickle" (serialized
+    #: engine/graphs through the initializer), "disk" (a DiskHandle the
+    #: workers attach by memory-mapping the on-disk index), or "" for
+    #: callers that predate transport tagging
+    transport: str = ""
 
     @property
     def ok(self) -> bool:
@@ -203,6 +208,7 @@ def run_supervised(
     deadline: Optional[float] = None,
     started: Optional[float] = None,
     tracer=None,
+    transport: str = "",
 ) -> PoolOutcome:
     """Run *tasks* on a supervised process pool; salvage whatever finishes.
 
@@ -222,13 +228,18 @@ def run_supervised(
     """
     faults = faults if faults is not None else EMPTY_PLAN
     tracer = tracer if tracer is not None else NULL_TRACER
-    outcome = PoolOutcome()
+    outcome = PoolOutcome(transport=transport)
     pending: List[PoolTask] = list(tasks)
     consecutive_failures = 0
     clock_started = started if started is not None else time.perf_counter()
 
     pool_span = (
-        tracer.begin(f"pool:{stage or 'run'}", tasks=len(tasks), workers=workers)
+        tracer.begin(
+            f"pool:{stage or 'run'}",
+            tasks=len(tasks),
+            workers=workers,
+            **({"transport": transport} if transport else {}),
+        )
         if tracer.enabled
         else None
     )

@@ -166,3 +166,32 @@ class TestJoin:
     def test_join_candidates_mode(self, db_file, capsys):
         assert main(["join", str(db_file), "--tau", "3"]) == 0
         assert "candidate pairs" in capsys.readouterr().out
+
+
+class TestIndexSidecar:
+    def test_build_writes_sidecar(self, db_file, capsys):
+        assert main(["index", "build", str(db_file)]) == 0
+        out = capsys.readouterr().out
+        assert "wrote sidecar for 2 graphs" in out
+        assert (db_file.parent / "db.segos.segosx").exists()
+
+    def test_inspect_reports_header(self, db_file, capsys):
+        assert main(["index", "inspect", str(db_file)]) == 0
+        out = capsys.readouterr().out
+        assert "format version: 1" in out
+        assert "graphs:         2" in out
+        assert "fresh" in out
+
+    def test_inspect_verify_clean(self, db_file, capsys):
+        assert main(["index", "inspect", str(db_file), "--verify"]) == 0
+        assert "all sections + delta journal OK" in capsys.readouterr().out
+
+    def test_inspect_flags_stale_sidecar(self, db_file, query_file, capsys):
+        # Appending a graph to the text invalidates the sidecar.
+        db_file.write_bytes(db_file.read_bytes() + query_file.read_bytes())
+        assert main(["index", "inspect", str(db_file)]) == 0
+        assert "STALE" in capsys.readouterr().out
+
+    def test_inspect_missing_sidecar_errors(self, corpus_file, capsys):
+        assert main(["index", "inspect", str(corpus_file)]) == 1
+        assert "error:" in capsys.readouterr().err

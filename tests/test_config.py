@@ -55,6 +55,9 @@ class TestPrecedence:
         assert config.trace is False
         assert config.trace_path is None
         assert config.metrics is False
+        assert config.index_path is None
+        assert config.mmap is True
+        assert config.delta_compact == 0.25
 
     def test_env_provides_defaults(self, monkeypatch):
         monkeypatch.setenv(ENV_SED_CACHE_SIZE, "1024")
@@ -151,6 +154,7 @@ class TestValidation:
             {"verify_workers": 0},
             {"verify_budget": 0},
             {"verify_deadline": 0.0},
+            {"delta_compact": -0.1},
         ],
     )
     def test_bounds(self, kwargs):

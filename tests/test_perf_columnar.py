@@ -143,6 +143,64 @@ class TestGenerationCoherence:
         index.remove_graph("extra")
         assert index.generation == start + 3
 
+    def test_sqlite_backend_invalidates_on_mutation(self):
+        """Generation coherence is backend-independent: the sqlite index must
+        invalidate its cached mirror exactly like the in-memory one."""
+        index, _ = build_index(backend="sqlite")
+        first = columnar_snapshot(index)
+        assert columnar_snapshot(index) is first
+        index.remove_graph("g0")
+        second = columnar_snapshot(index)
+        assert second is not first
+        assert second.generation == index.generation
+        assert list(map(int, second.sids)) == sorted(index.catalog.live_sids())
+
+    def test_concurrent_readers_get_a_coherent_snapshot(self):
+        """Racing columnar_snapshot calls between mutations may build the
+        mirror twice, but every snapshot handed out must be internally
+        consistent and match the generation it claims.  (Memory backend
+        only: sqlite connections are thread-affine by construction.)"""
+        import threading
+
+        index, _ = build_index(backend="memory")
+        errors = []
+
+        def reader(barrier):
+            try:
+                for _ in range(8):
+                    barrier.wait()  # released together: rebuilds race
+                    snapshot = columnar_snapshot(index)
+                    assert snapshot.generation == index.generation
+                    assert snapshot.n_rows == len(snapshot.sids)
+                    assert len(snapshot.leaf_offsets) == snapshot.n_rows + 1
+                    assert list(map(int, snapshot.sids)) == sorted(
+                        index.catalog.live_sids()
+                    )
+                    barrier.wait()  # all readers done before the next mutation
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+                barrier.abort()  # fail fast rather than strand the others
+
+        barrier = threading.Barrier(4)
+        threads = [
+            threading.Thread(target=reader, args=(barrier,)) for _ in range(3)
+        ]
+        for thread in threads:
+            thread.start()
+        try:
+            for victim in [f"g{i}" for i in range(8)]:
+                index.remove_graph(victim)  # invalidates the cached mirror
+                barrier.wait(timeout=30)
+                barrier.wait(timeout=30)
+        except threading.BrokenBarrierError:  # pragma: no cover - failure path
+            pass
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        final = columnar_snapshot(index)
+        assert final.generation == index.generation
+        assert list(map(int, final.sids)) == sorted(index.catalog.live_sids())
+
     def test_scan_results_track_mutations(self):
         index, graphs = build_index()
         query = decompose(graphs[0])[0]

@@ -89,3 +89,31 @@ class TestHeaderHandling:
         path = tmp_path / "empty.segos"
         save_index(SegosIndex(), path)
         assert len(load_index(path)) == 0
+
+    def test_full_config_round_trips(self, tmp_path, paper_g1):
+        """The v2 header persists the whole resolved EngineConfig, not just
+        the paper's three structural knobs."""
+        engine = SegosIndex(
+            k=12,
+            h=34,
+            partial_fraction=0.75,
+            verify_budget=4321,
+            batch_workers=2,
+            topk_backend="ta",
+            delta_compact=0.5,
+        )
+        engine.add("g", paper_g1)
+        path = tmp_path / "db.segos"
+        save_index(engine, path)
+        loaded = load_index(path)
+        assert loaded.config == engine.config
+
+    def test_v1_header_still_loads(self, tmp_path, paper_g1):
+        """Databases written before the sidecar era carry only k/h/fraction."""
+        path = tmp_path / "old.segos"
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write('#segos {"version": 1, "k": 7, "h": 9, "partial_fraction": 0.25}\n')
+            gio.write_graphs(fh, [("g", paper_g1)])
+        loaded = load_index(path)
+        assert (loaded.k, loaded.h, loaded.partial_fraction) == (7, 9, 0.25)
+        assert set(loaded.gids()) == {"g"}
