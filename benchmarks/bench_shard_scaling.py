@@ -1,0 +1,329 @@
+#!/usr/bin/env python
+"""Shard scaling benchmark: scatter-gather batch throughput + pivot pruning.
+
+Standalone like the other benches so CI can smoke it without the test
+harness::
+
+    PYTHONPATH=src python benchmarks/bench_shard_scaling.py [--smoke]
+
+Writes ``BENCH_shard_scaling.json`` at the repository root with:
+
+1. **scaling sweep** — batch range-query throughput and per-query p50
+   latency over a shard-count sweep (1 = the monolithic baseline).  The
+   worker count per cell is the *honest* machine-gated value
+   (``effective_workers(cpu_count, shards=n)``): on a single-core
+   container every cell degrades to the in-process serial scatter and the
+   sweep measures pure scatter overhead, so ``cpu_count`` is recorded
+   alongside every speedup and the ≥ 1× expectation only binds with
+   ≥ 2 cores;
+2. **pivot pruning** — a clone-mass / label-skew corpus (a mass of
+   near-clone small rings plus a distant cluster of large uniform-label
+   graphs, size-banded into different shards) where the per-shard pivot
+   ranges rule the far cluster out: the recorded ``prune_rate`` must be
+   nonzero, and pruned answers are asserted identical to unpruned ones.
+
+``--mode unsharded`` / ``--mode sharded`` run only the gate cell (shards=1
+vs shards=2 with pooled workers) under the identical ``time_batch_s`` key,
+so two runs feed ``check_bench_regression.py`` directly: on a multi-core
+runner the sharded batch must not be slower than the single-catalog batch.
+``--check-speedup`` exits non-zero when the full sweep misses that bar on
+multi-core hardware (single-core runs are exempt — there is nothing to
+scatter onto).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import random
+import statistics
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+if str(REPO_ROOT / "src") not in sys.path:  # allow running without PYTHONPATH
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.engine import SegosIndex  # noqa: E402
+from repro.graphs.model import Graph  # noqa: E402
+from repro.perf.columnar import numpy_available  # noqa: E402
+from repro.perf.parallel import effective_workers  # noqa: E402
+
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_shard_scaling.json"
+
+
+def _best_of(repeats, fn):
+    best, value = None, None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        value = fn()
+        elapsed = time.perf_counter() - started
+        best = elapsed if best is None else min(best, elapsed)
+    return best, value
+
+
+def _random_graph(rng: random.Random, order: int, labels: str) -> Graph:
+    graph = Graph([rng.choice(labels) for _ in range(order)])
+    for u in range(order - 1):  # connected path backbone
+        graph.add_edge(u, u + 1)
+    for _ in range(order // 2):
+        u, v = rng.randrange(order), rng.randrange(order)
+        if u != v and not graph.has_edge(u, v):
+            graph.add_edge(u, v)
+    return graph
+
+
+def sweep_corpus(n: int, seed: int):
+    """Size-diverse corpus: orders 5..10, so every shard band is live."""
+    rng = random.Random(seed)
+    return {
+        f"g{i}": _random_graph(rng, 5 + (i % 6), "cnos") for i in range(n)
+    }
+
+
+def clustered_corpus(n: int, seed: int):
+    """Clone mass + label skew: near-clone rings vs a far uniform cluster.
+
+    Small cluster: order-7 rings over a skewed label pool (mostly carbon,
+    chemistry-style).  Far cluster: order-12 'z' paths.  With
+    ``shard_by="size"`` and 2 shards the clusters land in different shards
+    (7 and 12 have different parities), so pivot ranges are tight and
+    small-cluster queries prune the far shard outright.
+    """
+    rng = random.Random(seed)
+    graphs = {}
+    for i in range(n):
+        if i % 3 == 2:
+            graphs[f"far{i}"] = Graph(
+                ["z"] * 12, [(j, j + 1) for j in range(11)]
+            )
+        else:
+            labels = [rng.choice("cccn") for _ in range(7)]
+            graphs[f"near{i}"] = Graph(
+                labels, [(j, (j + 1) % 7) for j in range(7)]
+            )
+    return graphs
+
+
+def sample_queries(graphs, count: int, seed: int):
+    rng = random.Random(seed)
+    picked = rng.sample(sorted(graphs), min(count, len(graphs)))
+    queries = []
+    for gid in picked:
+        graph = graphs[gid].copy()
+        graph.relabel_vertex(rng.randrange(graph.order), "o")  # perturb
+        queries.append(graph)
+    return queries
+
+
+def _timed_batch(engine, queries, tau, *, workers, repeats):
+    def run():
+        kwargs = {} if workers is None else {"workers": workers}
+        return engine.batch_range_query(queries, tau=tau, **kwargs)
+
+    elapsed, results = _best_of(repeats, run)
+    return elapsed, results
+
+
+def bench_scaling(n: int, q: int, shard_counts, tau, repeats, seed: int):
+    """Throughput/latency vs shard count, answers cross-checked per cell."""
+    graphs = sweep_corpus(n, seed)
+    queries = sample_queries(graphs, q, seed + 1)
+    cpu = os.cpu_count() or 1
+    cells = {}
+    baseline_answers = None
+    baseline_time = None
+    for shards in shard_counts:
+        engine = SegosIndex(graphs, shards=shards)
+        workers = effective_workers(cpu, shards=shards if shards > 1 else None)
+        elapsed, results = _timed_batch(
+            engine,
+            queries,
+            tau,
+            workers=workers if workers > 1 else None,
+            repeats=repeats,
+        )
+        answers = [sorted(map(str, r.candidates)) for r in results]
+        if baseline_answers is None:
+            baseline_answers, baseline_time = answers, elapsed
+        else:
+            assert answers == baseline_answers, (
+                f"shards={shards} changed answers"
+            )
+        latencies = sorted(r.elapsed for r in results)
+        scattered = sum(r.stats.shards_scattered for r in results)
+        pruned = sum(r.stats.shards_pruned for r in results)
+        cells[f"shards_{shards}"] = {
+            "shards": shards,
+            "workers": workers,
+            "time_batch_s": elapsed,
+            "throughput_qps": len(queries) / elapsed if elapsed else None,
+            "p50_latency_s": statistics.median(latencies),
+            "shards_scattered": scattered,
+            "shards_pruned": pruned,
+            "prune_rate": pruned / (scattered + pruned)
+            if scattered + pruned
+            else 0.0,
+            "speedup_vs_unsharded": (
+                baseline_time / elapsed if elapsed and baseline_time else None
+            ),
+        }
+    return {"graphs": n, "queries": q, "tau": tau, "cells": cells}
+
+
+def bench_pruning(n: int, q: int, tau, repeats, seed: int):
+    """Pivot pruning on the clone-mass corpus: rate + soundness."""
+    graphs = clustered_corpus(n, seed + 7)
+    near = [g for gid, g in sorted(graphs.items()) if gid.startswith("near")]
+    rng = random.Random(seed + 8)
+    queries = []
+    for _ in range(q):
+        graph = rng.choice(near).copy()
+        graph.relabel_vertex(rng.randrange(graph.order), "n")
+        queries.append(graph)
+
+    unpruned = SegosIndex(graphs, shards=2)
+    pruned = SegosIndex(graphs, shards=2, shard_pivots=2)
+    time_unpruned, base_results = _timed_batch(
+        unpruned, queries, tau, workers=None, repeats=repeats
+    )
+    time_pruned, pruned_results = _timed_batch(
+        pruned, queries, tau, workers=None, repeats=repeats
+    )
+    assert [sorted(map(str, r.matches)) for r in base_results] == [
+        sorted(map(str, r.matches)) for r in pruned_results
+    ], "pivot pruning changed the answer set"
+    scattered = sum(r.stats.shards_scattered for r in pruned_results)
+    pruned_count = sum(r.stats.shards_pruned for r in pruned_results)
+    rate = pruned_count / (scattered + pruned_count) if scattered + pruned_count else 0.0
+    assert rate > 0.0, "clone-mass corpus produced zero pivot prunes"
+    return {
+        "graphs": len(graphs),
+        "queries": len(queries),
+        "tau": tau,
+        "pivots_per_shard": 2,
+        "time_unpruned_s": time_unpruned,
+        "time_pruned_s": time_pruned,
+        "prune_rate": rate,
+        "speedup": time_unpruned / time_pruned if time_pruned else None,
+    }
+
+
+def bench_gate(n: int, q: int, tau, repeats, seed: int, mode: str):
+    """One cell under the mode-independent ``time_batch_s`` key.
+
+    ``unsharded`` runs the single-catalog batch with its defaulted worker
+    knobs; ``sharded`` runs shards=2 with the machine-gated pooled worker
+    count.  Identical keys let ``check_bench_regression.py`` compare the
+    two JSONs directly.
+    """
+    graphs = sweep_corpus(n, seed)
+    queries = sample_queries(graphs, q, seed + 1)
+    cpu = os.cpu_count() or 1
+    if mode == "sharded":
+        engine = SegosIndex(graphs, shards=2)
+        workers = effective_workers(cpu, shards=2)
+    else:
+        engine = SegosIndex(graphs)
+        workers = 1
+    elapsed, results = _timed_batch(
+        engine,
+        queries,
+        tau,
+        workers=workers if workers > 1 else None,
+        repeats=repeats,
+    )
+    return {
+        "mode": mode,
+        "graphs": n,
+        "queries": q,
+        "workers": workers,
+        "time_batch_s": elapsed,
+        "throughput_qps": len(queries) / elapsed if elapsed else None,
+        "candidates": sum(len(r.candidates) for r in results),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0], allow_abbrev=False
+    )
+    parser.add_argument(
+        "--smoke", action="store_true", help="tiny sizes, CI import/sanity check"
+    )
+    parser.add_argument(
+        "--mode",
+        choices=("full", "unsharded", "sharded"),
+        default="full",
+        help="'unsharded'/'sharded' run only the gate cell under identical "
+        "time_* keys, for check_bench_regression.py",
+    )
+    parser.add_argument(
+        "--check-speedup",
+        action="store_true",
+        help="exit 1 when shards=2 misses batch throughput parity on "
+        "multi-core hardware (ignored with --smoke or on 1 core)",
+    )
+    parser.add_argument("--seed", type=int, default=2012)
+    parser.add_argument("--repeats", type=int, default=3, help="best-of-N timing")
+    parser.add_argument(
+        "--output", type=Path, default=DEFAULT_OUTPUT, help="JSON report path"
+    )
+    args = parser.parse_args(argv)
+
+    n, q = (40, 4) if args.smoke else (240, 12)
+    gate_n, gate_q = (60, 6) if args.smoke else (240, 16)
+    shard_counts = [1, 2] if args.smoke else [1, 2, 4]
+    tau = 2.0
+    repeats = max(1, args.repeats)
+
+    report = {
+        "meta": {
+            "bench": "shard_scaling",
+            "smoke": args.smoke,
+            "mode": args.mode,
+            "seed": args.seed,
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+            "numpy": numpy_available(),
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        }
+    }
+    if args.mode == "full":
+        report["scaling"] = bench_scaling(
+            n, q, shard_counts, tau, repeats, args.seed
+        )
+        report["pruning"] = bench_pruning(n, q, tau, repeats, args.seed)
+    else:
+        report["gate"] = bench_gate(
+            gate_n, gate_q, tau, repeats, args.seed, args.mode
+        )
+
+    args.output.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(json.dumps(report, indent=2))
+    print(f"\nwrote {args.output}", file=sys.stderr)
+
+    cpu = os.cpu_count() or 1
+    if (
+        args.check_speedup
+        and not args.smoke
+        and args.mode == "full"
+        and cpu >= 2
+    ):
+        cell = report["scaling"]["cells"].get("shards_2")
+        if cell and (cell["speedup_vs_unsharded"] or 0.0) < 1.0:
+            print(
+                f"FAIL: shards=2 batch ran {cell['speedup_vs_unsharded']:.2f}x "
+                f"the single-catalog throughput on {cpu} cores (bar: >= 1x)",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

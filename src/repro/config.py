@@ -67,6 +67,12 @@ ENV_INDEX_PATH = "REPRO_INDEX_PATH"
 ENV_MMAP = "REPRO_MMAP"
 #: Delta-journal compaction threshold as a fraction of base graph count.
 ENV_DELTA_COMPACT = "REPRO_DELTA_COMPACT"
+#: Number of catalog shards for scatter-gather query execution (1 = off).
+ENV_SHARDS = "REPRO_SHARDS"
+#: Shard assignment strategy: ``size`` / ``hash`` / ``auto``.
+ENV_SHARD_BY = "REPRO_SHARD_BY"
+#: Pivot graphs per shard for triangle-inequality shard pruning (0 = off).
+ENV_SHARD_PIVOTS = "REPRO_SHARD_PIVOTS"
 
 #: Default SED-cache capacity (mirrored by ``repro.perf.sed_cache``).
 DEFAULT_SED_CACHE_SIZE = 1 << 18
@@ -161,6 +167,16 @@ def _env_topk_backend() -> Optional[str]:
     return raw if raw in ("ta", "scan", "auto") else None
 
 
+def _env_shard_by() -> str:
+    """Environment default for the shard strategy (unknown degrades to auto).
+
+    Mirrors the top-k backend knob's robustness contract: one bad shell
+    export must not take queries down.
+    """
+    raw = env_str(ENV_SHARD_BY).strip().lower()
+    return raw if raw in ("size", "hash", "auto") else "auto"
+
+
 # ---------------------------------------------------------------------------
 # EngineConfig
 # ---------------------------------------------------------------------------
@@ -249,6 +265,22 @@ class EngineConfig:
         exceed ``delta_compact * len(base)`` a save rewrites the full
         sidecar instead of appending.  ``0`` compacts on every save.
         Env: ``REPRO_DELTA_COMPACT``.
+    shards:
+        Number of catalog shards for scatter-gather query execution
+        (see :mod:`repro.perf.shard`); 1 = the monolithic single-catalog
+        path.  Env: ``REPRO_SHARDS``.
+    shard_by:
+        Shard assignment strategy: ``size`` bands graphs by order so
+        similarly-sized graphs colocate (tight pivot ranges), ``hash``
+        spreads gids uniformly by a stable signature hash, ``auto``
+        currently means ``size``.  Env: ``REPRO_SHARD_BY``.
+    shard_pivots:
+        Pivot graphs selected per shard at view-build time; the planner
+        skips shards the triangle inequality rules out at query time.
+        0 disables pivot pruning (the default — pruning may drop
+        non-answer candidates, so candidate sets are only guaranteed
+        identical to the unsharded path with pivots off; the *answer*
+        set is preserved either way).  Env: ``REPRO_SHARD_PIVOTS``.
     """
 
     k: int = DEFAULT_K
@@ -271,6 +303,9 @@ class EngineConfig:
     index_path: Optional[str] = None
     mmap: bool = True
     delta_compact: float = DEFAULT_DELTA_COMPACT
+    shards: int = 1
+    shard_by: str = "auto"
+    shard_pivots: int = 0
 
     def __post_init__(self) -> None:
         if self.k < 1:
@@ -297,6 +332,14 @@ class EngineConfig:
             raise ValueError("retry_backoff must be non-negative")
         if self.delta_compact < 0:
             raise ValueError("delta_compact must be non-negative")
+        if self.shards < 1:
+            raise ValueError("shards must be >= 1")
+        if self.shard_by not in ("size", "hash", "auto"):
+            raise ValueError(
+                f"unknown shard_by {self.shard_by!r} (size, hash or auto)"
+            )
+        if self.shard_pivots < 0:
+            raise ValueError("shard_pivots must be >= 0")
         if self.fault_plan is not None:
             # A typo'd fault plan fails fast here, not by silently never
             # firing mid-experiment.  Imported lazily (resilience imports
@@ -347,6 +390,9 @@ class EngineConfig:
             "index_path": env_raw(ENV_INDEX_PATH) or None,
             "mmap": env_bool(ENV_MMAP, True),
             "delta_compact": env_float(ENV_DELTA_COMPACT, DEFAULT_DELTA_COMPACT),
+            "shards": env_int(ENV_SHARDS, 1),
+            "shard_by": _env_shard_by(),
+            "shard_pivots": env_int(ENV_SHARD_PIVOTS, 0),
         }
         known = {f.name for f in fields(cls)}
         for name, value in overrides.items():
@@ -396,4 +442,7 @@ ENV_KNOBS: Tuple[Tuple[str, str], ...] = (
     ("index_path", ENV_INDEX_PATH),
     ("mmap", ENV_MMAP),
     ("delta_compact", ENV_DELTA_COMPACT),
+    ("shards", ENV_SHARDS),
+    ("shard_by", ENV_SHARD_BY),
+    ("shard_pivots", ENV_SHARD_PIVOTS),
 )

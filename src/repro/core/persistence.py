@@ -174,7 +174,11 @@ def _try_mmap_load(
     try:
         header = disk.header
         if os.path.getsize(path) != header.source_size:
-            raise StaleSidecarError(f"graph file {path!r} changed size")
+            raise StaleSidecarError(
+                f"graph file {path!r} changed size",
+                path=os.fspath(sidecar),
+                expected_sha=header.source_sha,
+            )
         # LazyGraphStore reads + hashes the text once; passing the expected
         # digest makes that single pass double as the freshness check.
         store = diskcat.LazyGraphStore(
@@ -191,8 +195,10 @@ def _try_mmap_load(
             _replay_segment(engine, segment)
         if engine.index.generation != header.generation:
             raise StaleSidecarError(
-                f"delta replay reached generation {engine.index.generation}, "
-                f"header says {header.generation}"
+                "delta replay did not reach the header generation",
+                path=os.fspath(sidecar),
+                expected_generation=header.generation,
+                found_generation=engine.index.generation,
             )
         engine._sync_disk_source(
             DiskHandle(

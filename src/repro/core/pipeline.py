@@ -44,7 +44,7 @@ from ..graphs.model import Graph, normalization_factor
 from ..graphs.star import decompose
 from ..matching.mapping import bounds as full_bounds
 from ..obs.trace import Trace
-from ..perf.parallel import parallel_batch_range_query
+from ..perf.parallel import effective_workers, parallel_batch_range_query
 from .bounds import SeenGraph
 from .ca_search import _GraphResolver
 from .engine import QueryResult, SegosIndex
@@ -159,6 +159,17 @@ class PipelinedSegos:
         return self._run(session, query, tau, verify=verify)
 
     def _run(self, session, query: Graph, tau: float, *, verify: str) -> QueryResult:
+        if session.config.shards > 1:
+            # Scatter-gather: the fused threaded filter runs once per
+            # surviving shard (the plan is engine-agnostic — stages read
+            # ctx.engine), merged under the global bounds.
+            return session.sharded_executor().execute(
+                query,
+                tau,
+                verify=verify,
+                mode="pipelined",
+                plan_for_shard=lambda shard: self.plan(),
+            )
         ctx = session.context(query, tau, verify=verify)
         return session.execute(self.plan(), ctx).to_result()
 
@@ -187,17 +198,22 @@ class PipelinedSegos:
         if verify not in ("none", "exact"):
             raise ValueError(f"unknown verify mode {verify!r}")
         config = self.engine.config.override(batch_workers=workers, trace=trace)
+        # Same 1-core gate as the engine's batch: defaulted worker counts
+        # fall through to serial when the machine cannot parallelise.
+        pool_workers = config.batch_workers
+        if workers is None:
+            pool_workers = effective_workers(pool_workers)
         with traced_scope(
             config, "batch", queries=len(queries), tau=tau
         ) as tracer:
             degradations: List = []
             results: Optional[List[QueryResult]] = None
-            if config.batch_workers > 1 and len(queries) > 1:
+            if pool_workers > 1 and len(queries) > 1:
                 results, degradations = parallel_batch_range_query(
                     self,
                     queries,
                     tau,
-                    workers=config.batch_workers,
+                    workers=pool_workers,
                     verify=verify,
                     tracer=tracer,
                 )

@@ -81,6 +81,12 @@ class QueryStats:
     astar_runs: int = 0
     #: A* states expanded across this query's GED runs (search effort)
     astar_expansions: int = 0
+    #: catalog shards the scatter-gather executor actually ran this query
+    #: against (0 on the monolithic single-catalog path)
+    shards_scattered: int = 0
+    #: catalog shards skipped outright by pivot-based triangle-inequality
+    #: pruning before TA ever ran (see :mod:`repro.perf.shard`)
+    shards_pruned: int = 0
     #: stage name → wall-clock seconds, captured uniformly by the plan
     #: executor (``ta``/``ca``/``verify`` on the serial path, ``ta+ca``/
     #: ``verify`` on the pipelined path — the threaded stages overlap, so
@@ -141,6 +147,11 @@ class QueryStats:
             if self.astar_expansions:
                 detail += f", {self.astar_expansions} states expanded"
             parts.append(detail)
+        if self.shards_scattered or self.shards_pruned:
+            parts.append(
+                f"shards: {self.shards_scattered} scattered, "
+                f"{self.shards_pruned} pruned"
+            )
         if self.stage_seconds:
             timed = " ".join(
                 f"{name}={seconds * 1000:.1f}ms"
@@ -172,6 +183,8 @@ class QueryStats:
         self.settled_by_bounds += other.settled_by_bounds
         self.astar_runs += other.astar_runs
         self.astar_expansions += other.astar_expansions
+        self.shards_scattered += other.shards_scattered
+        self.shards_pruned += other.shards_pruned
         for key, value in other.pruned_by.items():
             self.pruned_by[key] = self.pruned_by.get(key, 0) + value
         for key, value in other.topk_backends.items():

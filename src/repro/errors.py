@@ -92,6 +92,15 @@ class SidecarError(ReproError, ValueError):
     """
 
 
+def _sha_prefix(sha: object) -> str:
+    """Render a SHA-256 (bytes or hex string) as a short readable prefix."""
+    if sha is None:
+        return "?"
+    if isinstance(sha, (bytes, bytearray)):
+        sha = bytes(sha).hex()
+    return f"{str(sha)[:12]}…"
+
+
 class StaleSidecarError(SidecarError):
     """Raised when a sidecar is well-formed but out of date.
 
@@ -99,7 +108,44 @@ class StaleSidecarError(SidecarError):
     hash against the values recorded in the sidecar header, and — for
     worker processes attaching via a :class:`~repro.core.persistence.DiskHandle`
     — by comparing generation counters with the parent engine.
+
+    The structured keywords (all optional) are appended to the message so
+    degraded-shard telemetry is debuggable straight from the CLI's
+    ``degraded:`` lines: which sidecar file, which generation the attacher
+    expected vs found, and the source-hash prefixes that disagreed.
     """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        path: str | None = None,
+        expected_generation: int | None = None,
+        found_generation: int | None = None,
+        expected_sha: object = None,
+        found_sha: object = None,
+    ) -> None:
+        details = []
+        if path is not None:
+            details.append(f"sidecar={path!r}")
+        if expected_generation is not None or found_generation is not None:
+            details.append(
+                f"generation expected={expected_generation} "
+                f"found={found_generation}"
+            )
+        if expected_sha is not None or found_sha is not None:
+            details.append(
+                f"sha expected={_sha_prefix(expected_sha)} "
+                f"found={_sha_prefix(found_sha)}"
+            )
+        if details:
+            message = f"{message} [{', '.join(details)}]"
+        super().__init__(message)
+        self.path = path
+        self.expected_generation = expected_generation
+        self.found_generation = found_generation
+        self.expected_sha = expected_sha
+        self.found_sha = found_sha
 
 
 class PoolBrokenError(ReproError):

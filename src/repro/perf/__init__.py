@@ -19,7 +19,10 @@ configurable via environment variables (see the README's performance table):
 * :mod:`repro.perf.diskcat` — the zero-copy on-disk index: the ``.segosx``
   mmap sidecar format, lazily-materialising mapped index views, delta
   segments, and the :class:`DiskHandle` worker transport
-  (``REPRO_MMAP`` / ``REPRO_INDEX_PATH`` / ``REPRO_DELTA_COMPACT``).
+  (``REPRO_MMAP`` / ``REPRO_INDEX_PATH`` / ``REPRO_DELTA_COMPACT``);
+* :mod:`repro.perf.shard` — catalog sharding for scatter-gather query
+  execution with pivot-based shard pruning (``REPRO_SHARDS`` /
+  ``REPRO_SHARD_BY`` / ``REPRO_SHARD_PIVOTS``).
 """
 
 from .assignment import (
@@ -37,7 +40,13 @@ from .diskcat import (
     MappedTwoLevelIndex,
     default_sidecar_path,
 )
-from .parallel import chunk_evenly, parallel_batch_range_query, resolve_workers
+from .parallel import (
+    chunk_evenly,
+    effective_workers,
+    parallel_batch_range_query,
+    resolve_workers,
+)
+from .shard import PivotRange, ShardedView, ShardView, persist_shards, sharded_view
 from .sed_cache import (
     DEFAULT_CAPACITY,
     GLOBAL_SED_CACHE,
@@ -57,19 +66,25 @@ __all__ = [
     "GLOBAL_SED_CACHE",
     "LazyGraphStore",
     "MappedTwoLevelIndex",
+    "PivotRange",
     "SEDCache",
+    "ShardView",
+    "ShardedView",
     "available_backends",
     "cached_star_edit_distance",
     "chunk_evenly",
     "columnar_snapshot",
     "default_sidecar_path",
+    "effective_workers",
     "numpy_available",
     "parallel_batch_range_query",
+    "persist_shards",
     "register_backend",
     "resolve_backend",
     "resolve_workers",
     "scipy_available",
     "sed_cache_clear",
     "sed_cache_info",
+    "sharded_view",
     "solve_assignment",
 ]

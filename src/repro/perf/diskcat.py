@@ -845,9 +845,13 @@ class LazyGraphStore(MutableMapping):
         with open(self._path, "rb") as handle:
             self._data: bytes = handle.read()
         if expected_sha is not None:
-            if hashlib.sha256(self._data).digest() != expected_sha:
+            found_sha = hashlib.sha256(self._data).digest()
+            if found_sha != expected_sha:
                 raise StaleSidecarError(
-                    f"graph file {self._path!r} changed since the index was written"
+                    f"graph file {self._path!r} changed since the index was written",
+                    path=self._path,
+                    expected_sha=expected_sha,
+                    found_sha=found_sha,
                 )
         self._ranges = scan_graph_ranges(self._data)
         base = list(base_gids) if base_gids is not None else list(self._ranges)
@@ -862,11 +866,14 @@ class LazyGraphStore(MutableMapping):
         span = self._ranges.get(gid)
         if span is None:
             raise StaleSidecarError(
-                f"graph {gid!r} is indexed in the sidecar but absent from the text"
+                f"graph {gid!r} is indexed in the sidecar but absent from the text",
+                path=self._path,
             )
         parsed = gio.loads(self._data[span[0] : span[1]].decode("utf-8"))
         if len(parsed) != 1 or parsed[0][0] != gid:
-            raise StaleSidecarError(f"byte range for graph {gid!r} is inconsistent")
+            raise StaleSidecarError(
+                f"byte range for graph {gid!r} is inconsistent", path=self._path
+            )
         return parsed[0][1]
 
     # -- MutableMapping ------------------------------------------------

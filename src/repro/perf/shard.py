@@ -1,0 +1,342 @@
+"""Catalog sharding + pivot-based shard pruning for scatter-gather queries.
+
+The two-level index answers every staged :class:`~repro.core.plan.QueryPlan`
+against one monolithic catalog; past the sizes of Figures 17/18 that is the
+scaling wall — parallel workers all time-slice the same full index.  This
+module partitions a database into ``config.shards`` disjoint shards, each a
+complete, self-contained :class:`~repro.core.engine.SegosIndex` over its
+subset (own star catalog, own postings, own
+:func:`~repro.perf.columnar.columnar_snapshot`, optionally its own
+``.segosx`` sidecar so workers attach the shard through the existing
+:class:`~repro.perf.diskcat.DiskHandle` transport instead of the whole
+index).
+
+**This module is the only place shard partitions are constructed** — a
+grep-based guard test enforces that :func:`shard_of` is never referenced
+elsewhere, mirroring the resilience pool's ownership guard — so the
+assignment of graphs to shards cannot silently fork between the build,
+query and persistence paths.
+
+Soundness of the scatter-gather decomposition: every filter decision the
+CA stage makes is conservative with respect to the terminal exact
+``L_m(q, g) ≤ τ`` test, and the per-shard normalisation factor
+``δ' = max(4, max(δ(q), δ_max(shard)) + 1)`` still dominates every member's
+own factor, so the union of per-shard candidate *sets* equals the
+single-catalog candidate set (candidate *order* is canonicalised by the
+merge instead — global insertion order).
+
+Pivot pruning (Bause et al., *Metric Indexing for Graph Similarity
+Search*): GED is a metric, so for a pivot graph ``p`` and any member ``g``
+of its shard,
+
+    λ(q, g) ≥ max( λ(q, p) − λ(p, g),  λ(p, g) − λ(q, p) )
+            ≥ max( L_m(q, p) − hi_p,   lo_p − U_m(q, p) )
+
+where ``hi_p = max_g U_m(p, g)`` and ``lo_p = min_g L_m(p, g)`` are the
+shard's precomputed distance range to ``p``.  When that floor exceeds τ
+for some pivot, no member can be an answer and the planner skips the whole
+shard before TA ever runs — surfaced as ``shards_pruned`` in
+:class:`~repro.core.stats.QueryStats`.  The bound is *not* valid for the
+subgraph edit distance (not a metric), so subsearch scatters to every
+shard.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import zlib
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..config import EngineConfig
+from ..graphs.model import Graph
+
+
+def _mapping_bounds(g1, g2, *, backend=None):
+    # Deferred: matching.mapping itself imports repro.perf (assignment
+    # backends), so a module-level import here would be circular.
+    from ..matching.mapping import bounds
+
+    return bounds(g1, g2, backend=backend)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..core.engine import SegosIndex
+
+__all__ = [
+    "PivotRange",
+    "ShardView",
+    "ShardedView",
+    "persist_shards",
+    "shard_of",
+    "sharded_view",
+]
+
+#: Monotonic token source: every built view gets a process-unique id, used
+#: by the worker pools to key per-process shard-engine caches without any
+#: risk of a recycled ``id()`` colliding across generations.
+_VIEW_TOKENS = itertools.count(1)
+
+
+def shard_of(gid: object, graph: Graph, *, shards: int, shard_by: str = "auto") -> int:
+    """Assign one graph to a shard — the package's *only* partition function.
+
+    ``size`` (and ``auto``) band graphs by order modulo the shard count, so
+    graphs of equal order colocate — that keeps each shard's size spread
+    narrow, which is what makes the pivot distance ranges tight enough to
+    prune.  ``hash`` spreads gids uniformly by a stable CRC32 of the gid's
+    string form (never Python's randomised ``hash``), the right choice when
+    sizes are uniform but load balance matters.
+    """
+    if shards <= 1:
+        return 0
+    if shard_by == "hash":
+        return zlib.crc32(str(gid).encode("utf-8")) % shards
+    # "size" / "auto": order band
+    return graph.order % shards
+
+
+@dataclass(frozen=True)
+class PivotRange:
+    """One pivot graph's precomputed distance range over its shard.
+
+    ``lo ≤ min_g λ(p, g)`` and ``hi ≥ max_g λ(p, g)`` for every member
+    ``g`` — conservative on both sides, so the triangle-inequality floor
+    built from them never excludes a true answer.
+    """
+
+    gid: object
+    lo: float
+    hi: float
+
+
+@dataclass
+class ShardView:
+    """One shard: a full sub-engine over a disjoint subset of the database."""
+
+    shard_id: int
+    engine: "SegosIndex"
+    gids: Tuple[object, ...]
+    pivots: Tuple[PivotRange, ...] = ()
+
+    def query_floor(self, query: Graph, *, backend: Optional[str] = None) -> float:
+        """Largest triangle-inequality lower bound on λ(query, g), g ∈ shard.
+
+        One assignment solve per pivot yields ``(L_m, U_m)`` between the
+        query and the pivot; combined with the stored shard range the floor
+        is ``max_p max(L_m(q,p) − hi_p, lo_p − U_m(q,p))``.  Zero pivots ⇒
+        floor 0 (never prunes).
+        """
+        floor = 0.0
+        for pivot in self.pivots:
+            l_qp, u_qp, _ = _mapping_bounds(
+                query, self.engine.graph(pivot.gid), backend=backend
+            )
+            floor = max(floor, l_qp - pivot.hi, pivot.lo - float(u_qp))
+        return floor
+
+
+@dataclass
+class ShardedView:
+    """An engine's shard decomposition, cached per index generation."""
+
+    shards: Tuple[ShardView, ...]
+    key: tuple
+    token: int
+
+    def live_shards(self) -> List[ShardView]:
+        """Shards that actually hold graphs (empty ones answer nothing)."""
+        return [shard for shard in self.shards if shard.gids]
+
+    def skips(
+        self, query: Graph, tau: float, *, backend: Optional[str] = None
+    ) -> Set[int]:
+        """Shard ids the pivot floors rule out for this ``(query, tau)``.
+
+        Only shards carrying pivots can be skipped; a shard with no pivots
+        (knob off, or fewer members than requested pivots) always runs.
+        """
+        return {
+            shard.shard_id
+            for shard in self.shards
+            if shard.pivots and shard.query_floor(query, backend=backend) > tau
+        }
+
+
+def _select_pivots(
+    members: Sequence[Tuple[object, Graph]], count: int
+) -> List[Tuple[object, Graph]]:
+    """Deterministically pick ≤ *count* spread-out pivot graphs.
+
+    Members are ranked by (order, gid string) and sampled at even strides,
+    so pivots cover the shard's size spectrum and the choice is identical
+    in every process that builds the view.
+    """
+    if count <= 0 or not members:
+        return []
+    ranked = sorted(members, key=lambda item: (item[1].order, str(item[0])))
+    count = min(count, len(ranked))
+    stride = len(ranked) / count
+    picked = []
+    seen = set()
+    for i in range(count):
+        index = min(int(i * stride), len(ranked) - 1)
+        if index not in seen:
+            seen.add(index)
+            picked.append(ranked[index])
+    return picked
+
+
+def _pivot_ranges(
+    pivot_gid: object,
+    pivot_graph: Graph,
+    members: Sequence[Tuple[object, Graph]],
+    *,
+    backend: Optional[str] = None,
+) -> PivotRange:
+    """Compute one pivot's conservative ``[lo, hi]`` λ-range over *members*."""
+    lo = float("inf")
+    hi = 0.0
+    for _gid, graph in members:
+        l_m, u_m, _ = _mapping_bounds(pivot_graph, graph, backend=backend)
+        lo = min(lo, l_m)
+        hi = max(hi, float(u_m))
+    return PivotRange(gid=pivot_gid, lo=lo, hi=hi)
+
+
+def build_sharded_view(engine: "SegosIndex", config: EngineConfig) -> ShardedView:
+    """Partition *engine* into ``config.shards`` sub-engines (uncached).
+
+    Each shard is a normal in-memory :class:`~repro.core.engine.SegosIndex`
+    built with the parent's resolved config minus the scatter knobs
+    (``shards=1`` so shard queries never recurse, ``metrics=False`` so only
+    the merged query records metrics).  Graphs are inserted in the parent's
+    insertion order, so shard-local scan orders — and therefore every
+    per-shard answer — are deterministic functions of the parent database.
+    """
+    from ..core.engine import SegosIndex  # lazy: engine imports our siblings
+
+    key = _view_key(engine, config)
+    sub_config = config.override(shards=1, metrics=False)
+    buckets: Dict[int, List[object]] = {i: [] for i in range(config.shards)}
+    for gid in engine.gids():
+        buckets[
+            shard_of(
+                gid, engine.graph(gid), shards=config.shards, shard_by=config.shard_by
+            )
+        ].append(gid)
+    shards = []
+    for shard_id in range(config.shards):
+        sub = SegosIndex(config=sub_config)
+        members = []
+        for gid in buckets[shard_id]:
+            graph = engine.graph(gid)
+            sub.add(gid, graph)
+            members.append((gid, graph))
+        pivots: Tuple[PivotRange, ...] = ()
+        if config.shard_pivots > 0 and members:
+            pivots = tuple(
+                _pivot_ranges(
+                    gid, graph, members, backend=config.assignment_backend
+                )
+                for gid, graph in _select_pivots(members, config.shard_pivots)
+            )
+        shards.append(
+            ShardView(
+                shard_id=shard_id,
+                engine=sub,
+                gids=tuple(buckets[shard_id]),
+                pivots=pivots,
+            )
+        )
+    return ShardedView(shards=tuple(shards), key=key, token=next(_VIEW_TOKENS))
+
+
+def _view_key(engine: "SegosIndex", config: EngineConfig) -> tuple:
+    """Cache key: index identity + generation + the three scatter knobs.
+
+    Shard add/drain rides the existing generation counters — any §IV-C
+    mutation bumps ``index.generation``, so the next sharded query
+    transparently rebuilds the view, exactly like the columnar snapshot.
+    """
+    return (
+        id(engine.index),
+        engine.index.generation,
+        config.shards,
+        config.shard_by,
+        config.shard_pivots,
+    )
+
+
+def sharded_view(
+    engine: "SegosIndex", config: Optional[EngineConfig] = None
+) -> ShardedView:
+    """The engine's (lazily rebuilt) shard decomposition for *config*.
+
+    Cached on the engine keyed by index generation + shard knobs, mirroring
+    ``columnar_snapshot``'s lazy-rebuild pattern: mutations invalidate by
+    bumping the generation, never by explicit hooks.
+    """
+    config = config if config is not None else engine.config
+    key = _view_key(engine, config)
+    cached = getattr(engine, "_sharded_view_cache", None)
+    if cached is not None and cached.key == key:
+        return cached
+    view = build_sharded_view(engine, config)
+    engine._sharded_view_cache = view
+    return view
+
+
+# ---------------------------------------------------------------------------
+# Per-shard persistence: one (.segos text, .segosx sidecar) pair per shard
+# ---------------------------------------------------------------------------
+
+def shard_path(base_path: str, shard_id: int) -> str:
+    """The on-disk path of one shard's database file."""
+    return f"{os.fspath(base_path)}.shard{shard_id}"
+
+
+def persist_shards(
+    engine: "SegosIndex",
+    base_path: str,
+    *,
+    config: Optional[EngineConfig] = None,
+) -> List[str]:
+    """Write every shard as its own database + mmap sidecar pair.
+
+    After this call each shard sub-engine carries a valid
+    :class:`~repro.perf.diskcat.DiskHandle`, so the scatter pool ships
+    workers a tiny ``(path, generation)`` ticket per shard and the worker
+    memory-maps *only its shard's* sidecar — never the whole index.  The
+    shard layout and every pivot range are also recorded in a JSON manifest
+    (``<base>.shards.json``) next to the shard sidecars, so operators can
+    audit the partition and the pruning metadata without loading anything.
+
+    Returns the list of shard database paths, index-ordered.
+    """
+    import json
+
+    from ..core.persistence import save_index  # lazy: persistence imports engine
+
+    view = sharded_view(engine, config)
+    paths = []
+    manifest: Dict[str, object] = {
+        "shards": len(view.shards),
+        "shard_by": (config or engine.config).shard_by,
+        "layout": {},
+    }
+    for shard in view.shards:
+        path = shard_path(base_path, shard.shard_id)
+        save_index(shard.engine, path)
+        paths.append(path)
+        manifest["layout"][str(shard.shard_id)] = {
+            "path": path,
+            "graphs": len(shard.gids),
+            "pivots": [
+                {"gid": str(p.gid), "lo": p.lo, "hi": p.hi} for p in shard.pivots
+            ],
+        }
+    with open(f"{os.fspath(base_path)}.shards.json", "w", encoding="utf-8") as fh:
+        json.dump(manifest, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return paths

@@ -1,0 +1,571 @@
+"""Sharded scatter-gather execution (repro.perf.shard + ShardedExecutor).
+
+The contract under test is *decomposition invariance*: partitioning the
+catalog into shards must never change what a query answers — candidate
+membership, exact matches, kNN neighbours, join pairs and subsearch
+answers are all identical to the monolithic path, for every shard count,
+with and without pivot pruning, serially and through the worker pool.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.config import EngineConfig
+from repro.core.engine import SegosIndex
+from repro.core.explain import explain_range_query
+from repro.core.join import similarity_self_join
+from repro.core.knn import knn_query
+from repro.core.persistence import save_index
+from repro.core.pipeline import PipelinedSegos
+from repro.core.plan import merge_shard_results
+from repro.core.subsearch import SubgraphSearch
+from repro.errors import StaleSidecarError
+from repro.graphs.model import Graph
+from repro.perf.parallel import effective_workers
+from repro.perf.shard import (
+    PivotRange,
+    build_sharded_view,
+    persist_shards,
+    shard_of,
+    shard_path,
+    sharded_view,
+)
+
+LABELS = "abc"
+
+labels_st = st.sampled_from(LABELS)
+
+
+@st.composite
+def graph_st(draw, max_order=4):
+    order = draw(st.integers(min_value=1, max_value=max_order))
+    graph = Graph([draw(labels_st) for _ in range(order)])
+    for u in range(order):
+        for v in range(u + 1, order):
+            if draw(st.booleans()):
+                graph.add_edge(u, v)
+    return graph
+
+
+corpus_st = st.lists(graph_st(), min_size=2, max_size=6)
+
+
+def ring(n: int, labels: str = "abc") -> Graph:
+    return Graph(
+        [labels[i % len(labels)] for i in range(n)],
+        [(i, (i + 1) % n) for i in range(n)],
+    )
+
+
+def build_engine(graphs, **config) -> SegosIndex:
+    engine = SegosIndex(**config)
+    for i, graph in enumerate(graphs):
+        engine.add(f"g{i}", graph)
+    return engine
+
+
+def mixed_corpus():
+    return [ring(3 + (i % 4)) for i in range(12)]
+
+
+def canonical(result):
+    """Order-insensitive fingerprint of a query result."""
+    return (sorted(map(str, result.candidates)), sorted(map(str, result.matches)))
+
+
+# ----------------------------------------------------------------------
+# Partition + view mechanics
+# ----------------------------------------------------------------------
+class TestPartition:
+    def test_single_shard_is_identity(self):
+        g = ring(3)
+        assert shard_of("x", g, shards=1) == 0
+        assert shard_of("x", g, shards=1, shard_by="hash") == 0
+
+    def test_size_banding_colocates_equal_orders(self):
+        a, b = ring(4), ring(4, "zzz")
+        assert shard_of("a", a, shards=3) == shard_of("b", b, shards=3)
+
+    def test_hash_is_stable_and_in_range(self):
+        g = ring(3)
+        first = shard_of("g17", g, shards=5, shard_by="hash")
+        assert first == shard_of("g17", g, shards=5, shard_by="hash")
+        assert 0 <= first < 5
+
+    def test_view_covers_database_disjointly(self):
+        engine = build_engine(mixed_corpus())
+        view = build_sharded_view(engine, engine.config.override(shards=3))
+        seen = [gid for shard in view.shards for gid in shard.gids]
+        assert sorted(seen) == sorted(engine.gids())
+        assert len(seen) == len(set(seen))
+
+    def test_view_cached_until_mutation(self):
+        engine = build_engine(mixed_corpus(), shards=2)
+        first = sharded_view(engine)
+        assert sharded_view(engine) is first
+        engine.add("extra", ring(5))
+        rebuilt = sharded_view(engine)
+        assert rebuilt is not first
+        assert any("extra" in shard.gids for shard in rebuilt.shards)
+
+    def test_view_tokens_are_unique(self):
+        engine = build_engine(mixed_corpus())
+        one = build_sharded_view(engine, engine.config.override(shards=2))
+        two = build_sharded_view(engine, engine.config.override(shards=2))
+        assert one.token != two.token
+
+    def test_live_shards_drop_empty_partitions(self):
+        # Orders 3..6 mod 5 leave shard 2 empty (no order ≡ 2 mod 5).
+        engine = build_engine(mixed_corpus())
+        view = build_sharded_view(engine, engine.config.override(shards=5))
+        live = {shard.shard_id for shard in view.live_shards()}
+        assert 2 not in live and live
+
+
+# ----------------------------------------------------------------------
+# Decomposition invariance (hypothesis)
+# ----------------------------------------------------------------------
+class TestShardedEquivalence:
+    @settings(
+        deadline=None, max_examples=10, suppress_health_check=[HealthCheck.too_slow]
+    )
+    @given(corpus=corpus_st, query=graph_st(), shards=st.sampled_from([1, 2, 5]))
+    def test_range_query_invariant(self, corpus, query, shards):
+        base = build_engine(corpus)
+        sharded = build_engine(corpus, shards=shards)
+        expected = base.range_query(query, tau=2.0, verify="exact")
+        got = sharded.range_query(query, tau=2.0, verify="exact")
+        assert canonical(got) == canonical(expected)
+        assert got.verified
+
+    @settings(
+        deadline=None, max_examples=8, suppress_health_check=[HealthCheck.too_slow]
+    )
+    @given(corpus=corpus_st, query=graph_st(), shards=st.sampled_from([2, 5]))
+    def test_pivot_pruning_never_drops_answers(self, corpus, query, shards):
+        base = build_engine(corpus)
+        pruned = build_engine(corpus, shards=shards, shard_pivots=2)
+        expected = base.range_query(query, tau=1.0, verify="exact")
+        got = pruned.range_query(query, tau=1.0, verify="exact")
+        # Pruning may shrink the candidate list (that is its job) but the
+        # exact answer set must survive untouched.
+        assert sorted(map(str, got.matches)) == sorted(map(str, expected.matches))
+        assert set(map(str, got.candidates)) <= set(map(str, expected.candidates))
+
+    @settings(
+        deadline=None, max_examples=6, suppress_health_check=[HealthCheck.too_slow]
+    )
+    @given(corpus=corpus_st, queries=st.lists(graph_st(), min_size=1, max_size=3))
+    def test_batch_invariant(self, corpus, queries):
+        base = build_engine(corpus)
+        sharded = build_engine(corpus, shards=2)
+        expected = base.batch_range_query(queries, tau=2.0, verify="exact")
+        got = sharded.batch_range_query(queries, tau=2.0, verify="exact")
+        assert [canonical(r) for r in got] == [canonical(r) for r in expected]
+
+    @settings(
+        deadline=None, max_examples=6, suppress_health_check=[HealthCheck.too_slow]
+    )
+    @given(corpus=corpus_st, query=graph_st())
+    def test_pipelined_invariant(self, corpus, query):
+        base = build_engine(corpus)
+        sharded = build_engine(corpus, shards=2)
+        expected = PipelinedSegos(base).range_query(query, tau=2.0, verify="exact")
+        got = PipelinedSegos(sharded).range_query(query, tau=2.0, verify="exact")
+        assert canonical(got) == canonical(expected)
+
+    @settings(
+        deadline=None, max_examples=6, suppress_health_check=[HealthCheck.too_slow]
+    )
+    @given(corpus=corpus_st, query=graph_st())
+    def test_knn_invariant(self, corpus, query):
+        base = build_engine(corpus)
+        sharded = build_engine(corpus, shards=2)
+        expected = knn_query(base, query, k=2)
+        got = knn_query(sharded, query, k=2)
+        assert [(str(g), d) for g, d in got.neighbours] == [
+            (str(g), d) for g, d in expected.neighbours
+        ]
+
+    @settings(
+        deadline=None, max_examples=5, suppress_health_check=[HealthCheck.too_slow]
+    )
+    @given(corpus=corpus_st)
+    def test_join_invariant(self, corpus):
+        base = build_engine(corpus)
+        sharded = build_engine(corpus, shards=2)
+        expected = similarity_self_join(base, tau=1.0, verify="exact")
+        got = similarity_self_join(sharded, tau=1.0, verify="exact")
+        assert {tuple(map(str, p)) for p in got.matches} == {
+            tuple(map(str, p)) for p in expected.matches
+        }
+
+    @settings(
+        deadline=None, max_examples=6, suppress_health_check=[HealthCheck.too_slow]
+    )
+    @given(corpus=corpus_st, query=graph_st(), shards=st.sampled_from([2, 5]))
+    def test_subsearch_invariant(self, corpus, query, shards):
+        base = build_engine(corpus)
+        sharded = build_engine(corpus, shards=shards)
+        expected = SubgraphSearch(base).range_query(query, tau=1.0, verify="exact")
+        got = SubgraphSearch(sharded).range_query(query, tau=1.0, verify="exact")
+        assert canonical(got) == canonical(expected)
+
+    def test_sharded_order_is_deterministic_across_shard_counts(self):
+        corpus = mixed_corpus()
+        orders = []
+        for shards in (2, 3, 5):
+            engine = build_engine(corpus, shards=shards)
+            result = engine.range_query(ring(4), tau=3.0)
+            orders.append(list(map(str, result.candidates)))
+        assert orders[0] == orders[1] == orders[2]
+
+
+# ----------------------------------------------------------------------
+# Pivot pruning specifics
+# ----------------------------------------------------------------------
+class TestPivotPruning:
+    def clustered_engine(self, **config):
+        # Two well-separated clusters that size-band into different
+        # shards: tiny labelled rings (order 3) vs long 'z' paths
+        # (order 8, 8 ≢ 3 mod 2).
+        engine = SegosIndex(shards=2, shard_pivots=2, **config)
+        far = Graph(["z"] * 8, [(i, i + 1) for i in range(7)])
+        for i in range(4):
+            engine.add(f"s{i}", ring(3))
+            engine.add(f"b{i}", far)
+        return engine
+
+    def test_distant_shard_is_pruned(self):
+        engine = self.clustered_engine()
+        result = engine.range_query(ring(3), tau=0.5, verify="exact")
+        assert result.stats.shards_pruned == 1
+        assert result.stats.shards_scattered == 1
+        assert sorted(map(str, result.matches)) == ["s0", "s1", "s2", "s3"]
+
+    def test_pruned_stats_render_in_summary_and_explain(self):
+        engine = self.clustered_engine()
+        result = engine.range_query(ring(3), tau=0.5)
+        assert "shards: 1 scattered, 1 pruned" in result.stats.summary()
+        explanation = explain_range_query(engine, ring(3), tau=0.5)
+        assert "shard stage: 1 shards scattered, 1 pruned" in explanation.render()
+
+    def test_generous_tau_prunes_nothing(self):
+        engine = self.clustered_engine()
+        result = engine.range_query(ring(3), tau=50.0)
+        assert result.stats.shards_pruned == 0
+        assert result.stats.shards_scattered == 2
+
+    def test_zero_pivots_never_prune(self):
+        engine = build_engine(mixed_corpus(), shards=3)
+        view = sharded_view(engine)
+        assert all(shard.pivots == () for shard in view.shards)
+        assert view.skips(ring(3), 0.0) == set()
+
+    def test_query_floor_zero_without_pivots(self):
+        engine = build_engine(mixed_corpus(), shards=2)
+        shard = sharded_view(engine).live_shards()[0]
+        assert shard.query_floor(ring(3)) == 0.0
+
+    def test_pivot_ranges_are_conservative(self):
+        from repro.matching.mapping import bounds
+
+        engine = build_engine(mixed_corpus(), shards=2, shard_pivots=2)
+        for shard in sharded_view(engine).live_shards():
+            for pivot in shard.pivots:
+                pivot_graph = shard.engine.graph(pivot.gid)
+                for gid in shard.gids:
+                    l_m, u_m, _ = bounds(pivot_graph, shard.engine.graph(gid))
+                    assert pivot.lo <= l_m
+                    assert pivot.hi >= float(u_m)
+
+    def test_subsearch_ignores_pivots(self):
+        # Pivot floors are unsound for the (non-metric) subgraph distance;
+        # the sub-distance path must scatter to every live shard.
+        engine = self.clustered_engine()
+        result = SubgraphSearch(engine).range_query(ring(3), tau=0.0, verify="exact")
+        assert result.stats.shards_pruned == 0
+        assert result.stats.shards_scattered == 2
+
+
+# ----------------------------------------------------------------------
+# Merge semantics
+# ----------------------------------------------------------------------
+class TestMerge:
+    def test_candidates_canonicalised_to_insertion_order(self):
+        engine = build_engine(mixed_corpus())
+        shard_results = [
+            engine.range_query(ring(4), tau=3.0),
+        ]
+        merged = merge_shard_results(
+            engine, shard_results, verify="none", shards_scattered=1, shards_pruned=0
+        )
+        assert merged.candidates == [
+            gid for gid in engine.gids() if gid in set(shard_results[0].candidates)
+        ]
+
+    def test_empty_scatter_yields_empty_result(self):
+        engine = build_engine(mixed_corpus())
+        merged = merge_shard_results(
+            engine, [], verify="none", shards_scattered=0, shards_pruned=2
+        )
+        assert merged.candidates == [] and merged.matches == set()
+        assert not merged.verified
+        assert merged.stats.shards_pruned == 2
+
+    def test_all_shards_pruned_still_answers(self):
+        engine = SegosIndex(shards=2, shard_pivots=1)
+        engine.add("a", ring(3))
+        engine.add("b", Graph(["z"] * 8, [(i, i + 1) for i in range(7)]))
+        result = engine.range_query(Graph(["q"] * 20), tau=0.0, verify="exact")
+        assert result.matches == set()
+
+    def test_validation_hoisted_above_scatter(self):
+        engine = build_engine(mixed_corpus(), shards=2)
+        with pytest.raises(ValueError):
+            engine.range_query(Graph([]), tau=1.0)
+        with pytest.raises(ValueError):
+            engine.range_query(ring(3), tau=-1.0)
+        with pytest.raises(ValueError):
+            engine.range_query(ring(3), tau=1.0, verify="sometimes")
+
+
+# ----------------------------------------------------------------------
+# Pool scatter + persistence transports
+# ----------------------------------------------------------------------
+class TestPoolScatter:
+    QUERIES = [ring(3), ring(4), ring(5), ring(6)]
+
+    def test_pool_scatter_matches_serial(self):
+        corpus = mixed_corpus()
+        base = build_engine(corpus)
+        sharded = build_engine(corpus, shards=2)
+        expected = base.batch_range_query(self.QUERIES, tau=2.0, verify="exact")
+        got = sharded.batch_range_query(
+            self.QUERIES, tau=2.0, verify="exact", workers=2
+        )
+        assert [canonical(r) for r in got] == [canonical(r) for r in expected]
+        assert got[0].stats.shards_scattered == 2
+
+    def test_pool_scatter_disk_transport(self, tmp_path):
+        corpus = mixed_corpus()
+        sharded = build_engine(corpus, shards=2)
+        db = tmp_path / "db.segos"
+        save_index(sharded, db)
+        persist_shards(sharded, str(db) + ".segosx")
+        view = sharded_view(sharded)
+        assert all(
+            shard.engine.disk_handle() is not None for shard in view.live_shards()
+        )
+        expected = build_engine(corpus).batch_range_query(
+            self.QUERIES, tau=2.0, verify="exact"
+        )
+        got = sharded.batch_range_query(
+            self.QUERIES, tau=2.0, verify="exact", workers=2
+        )
+        assert [canonical(r) for r in got] == [canonical(r) for r in expected]
+
+    def test_persist_shards_writes_manifest(self, tmp_path):
+        engine = build_engine(mixed_corpus(), shards=2, shard_pivots=1)
+        base = tmp_path / "db.segosx"
+        paths = persist_shards(engine, str(base))
+        assert paths == [shard_path(str(base), 0), shard_path(str(base), 1)]
+        import json
+
+        manifest = json.loads((tmp_path / "db.segosx.shards.json").read_text())
+        assert manifest["shards"] == 2
+        assert sum(entry["graphs"] for entry in manifest["layout"].values()) == len(
+            engine.gids()
+        )
+        assert all(entry["pivots"] for entry in manifest["layout"].values())
+
+    def test_lost_shards_salvaged_serially_and_loudly(self):
+        corpus = mixed_corpus()
+        expected = build_engine(corpus).batch_range_query(
+            self.QUERIES, tau=2.0, verify="exact"
+        )
+        crashing = build_engine(
+            corpus,
+            shards=2,
+            fault_plan="worker.crash:times=8",
+            retry_backoff=0.0,
+            max_pool_retries=1,
+        )
+        got = crashing.batch_range_query(
+            self.QUERIES, tau=2.0, verify="exact", workers=2
+        )
+        assert [canonical(r) for r in got] == [canonical(r) for r in expected]
+        assert any(
+            e.point == "worker.crash" and e.stage == "shard-batch"
+            for e in got[0].stats.degradations
+        )
+
+    def test_unpicklable_shard_falls_back_serially(self, monkeypatch):
+        import pickle as _pickle
+
+        from repro.perf import parallel
+
+        corpus = mixed_corpus()
+        sharded = build_engine(corpus, shards=2)
+
+        def refuse(obj, protocol=None):
+            raise _pickle.PicklingError("engine cannot travel")
+
+        monkeypatch.setattr(parallel.pickle, "dumps", refuse)
+        got = sharded.batch_range_query(
+            self.QUERIES, tau=2.0, verify="exact", workers=2
+        )
+        expected = build_engine(corpus).batch_range_query(
+            self.QUERIES, tau=2.0, verify="exact"
+        )
+        assert [canonical(r) for r in got] == [canonical(r) for r in expected]
+        assert any(
+            e.point == "pickle.shard" for e in got[0].stats.degradations
+        )
+
+
+# ----------------------------------------------------------------------
+# Worker gating (satellite 1)
+# ----------------------------------------------------------------------
+class TestEffectiveWorkers:
+    def test_single_core_falls_through_to_serial(self, monkeypatch):
+        import repro.perf.parallel as parallel
+
+        monkeypatch.setattr(parallel.os, "cpu_count", lambda: 1)
+        assert effective_workers(8) == 1
+        assert effective_workers(8, shards=4) == 1
+
+    def test_multi_core_caps_at_cpu_and_shards(self, monkeypatch):
+        import repro.perf.parallel as parallel
+
+        monkeypatch.setattr(parallel.os, "cpu_count", lambda: 8)
+        assert effective_workers(16) == 8
+        assert effective_workers(4) == 4
+        assert effective_workers(16, shards=2) == 2
+        assert effective_workers(1, shards=4) == 1
+
+    def test_cpu_count_none_is_serial(self, monkeypatch):
+        import repro.perf.parallel as parallel
+
+        monkeypatch.setattr(parallel.os, "cpu_count", lambda: None)
+        assert effective_workers(8) == 1
+
+    def test_defaulted_batch_workers_gated_on_one_core(self, monkeypatch):
+        import repro.perf.parallel as parallel
+
+        monkeypatch.setattr(parallel.os, "cpu_count", lambda: 1)
+        calls = []
+        engine = build_engine(mixed_corpus(), batch_workers=4)
+        original = parallel.parallel_batch_range_query
+
+        def spy(*args, **kwargs):
+            calls.append(kwargs.get("workers"))
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(
+            "repro.core.engine.parallel_batch_range_query", spy
+        )
+        engine.batch_range_query([ring(3), ring(4)], tau=1.0)
+        assert calls == []  # gate resolved to serial; the pool never ran
+
+    def test_explicit_workers_bypass_the_gate(self, monkeypatch):
+        import repro.perf.parallel as parallel
+
+        monkeypatch.setattr(parallel.os, "cpu_count", lambda: 1)
+        engine = build_engine(mixed_corpus())
+        results = engine.batch_range_query([ring(3), ring(4)], tau=1.0, workers=2)
+        assert len(results) == 2
+
+
+# ----------------------------------------------------------------------
+# StaleSidecarError detail (satellite 2)
+# ----------------------------------------------------------------------
+class TestStaleSidecarDetails:
+    def test_message_carries_structured_details(self):
+        err = StaleSidecarError(
+            "worker attached a different state",
+            path="/tmp/db.segosx",
+            expected_generation=4,
+            found_generation=2,
+            expected_sha=b"\xab" * 32,
+            found_sha="deadbeef" * 8,
+        )
+        text = str(err)
+        assert "sidecar='/tmp/db.segosx'" in text
+        assert "generation expected=4 found=2" in text
+        assert "sha expected=abababababab…" in text
+        assert "found=deadbeefdead…" in text
+        assert err.path == "/tmp/db.segosx"
+        assert err.expected_generation == 4
+        assert err.found_generation == 2
+
+    def test_plain_message_unchanged_without_details(self):
+        assert str(StaleSidecarError("stale")) == "stale"
+
+    def test_lazy_store_sha_mismatch_names_the_file(self, tmp_path):
+        from repro.graphs import io as gio
+        from repro.perf.diskcat import LazyGraphStore
+
+        path = tmp_path / "corpus.txt"
+        gio.save(path, [("g", ring(3))])
+        with pytest.raises(StaleSidecarError) as info:
+            LazyGraphStore(path, expected_sha=b"\x00" * 32)
+        text = str(info.value)
+        assert str(path) in text
+        assert "sha expected=000000000000…" in text
+
+
+# ----------------------------------------------------------------------
+# Ownership guard (satellite 6): shard partitions are built in one place
+# ----------------------------------------------------------------------
+class TestShardOwnershipGuard:
+    def test_shard_of_only_referenced_in_shard_module(self):
+        src = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro"
+        offenders = []
+        for path in sorted(src.rglob("*.py")):
+            if path.name == "shard.py" and path.parent.name == "perf":
+                continue
+            if re.search(r"\bshard_of\b", path.read_text()):
+                offenders.append(str(path.relative_to(src)))
+        assert offenders == [], (
+            "shard partitions constructed outside repro.perf.shard: "
+            f"{offenders}"
+        )
+
+
+# ----------------------------------------------------------------------
+# Config knobs
+# ----------------------------------------------------------------------
+class TestShardConfig:
+    def test_env_knobs(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARDS", "4")
+        monkeypatch.setenv("REPRO_SHARD_BY", "hash")
+        monkeypatch.setenv("REPRO_SHARD_PIVOTS", "3")
+        config = EngineConfig.from_env()
+        assert config.shards == 4
+        assert config.shard_by == "hash"
+        assert config.shard_pivots == 3
+
+    def test_unknown_shard_by_degrades_to_auto(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARD_BY", "astrology")
+        assert EngineConfig.from_env().shard_by == "auto"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EngineConfig(shards=0)
+        with pytest.raises(ValueError):
+            EngineConfig(shard_by="modulo")
+        with pytest.raises(ValueError):
+            EngineConfig(shard_pivots=-1)
+
+    def test_constructor_knobs_reach_config(self):
+        engine = SegosIndex(shards=3, shard_by="hash", shard_pivots=2)
+        assert engine.config.shards == 3
+        assert engine.config.shard_by == "hash"
+        assert engine.config.shard_pivots == 2
