@@ -241,6 +241,12 @@ def _cmd_index_inspect(args: argparse.Namespace) -> int:
         ops = sum(len(s.ops) for s in segments)
         print(f"delta segments: {len(segments)} ({ops} ops, "
               f"{header.delta_bytes} bytes)")
+        if disk.has_embeddings():
+            print(f"embeddings:     present ({disk.embedding_bytes()} bytes; "
+                  f"embed tier reads them zero-copy)")
+        else:
+            print("embeddings:     MISSING (pre-embedding layout; the embed "
+                  "tier degrades to an on-the-fly build)")
         config = disk.config()
         if config:
             print(f"built with:     k={config.get('k')} h={config.get('h')} "

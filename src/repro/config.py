@@ -73,6 +73,8 @@ ENV_SHARDS = "REPRO_SHARDS"
 ENV_SHARD_BY = "REPRO_SHARD_BY"
 #: Pivot graphs per shard for triangle-inequality shard pruning (0 = off).
 ENV_SHARD_PIVOTS = "REPRO_SHARD_PIVOTS"
+#: Comma-separated filter-tier chain (ordered subset of the full chain).
+ENV_FILTER_TIERS = "REPRO_FILTER_TIERS"
 
 #: Default SED-cache capacity (mirrored by ``repro.perf.sed_cache``).
 DEFAULT_SED_CACHE_SIZE = 1 << 18
@@ -90,6 +92,46 @@ DEFAULT_RETRY_BACKOFF = 0.05
 #: Default delta-compaction threshold: rewrite the sidecar once the journal
 #: exceeds this fraction of the base graph count (see repro.perf.diskcat).
 DEFAULT_DELTA_COMPACT = 0.25
+
+#: The full filter-tier chain, in execution order.  ``embed`` is the
+#: constant-time label/degree embedding pre-filter, ``anchor`` the
+#: assignment-based anchored lower/upper bound ahead of exact A*; the
+#: three paper stages keep their names.  A configured chain must be an
+#: ordered subsequence of this tuple containing the three paper stages.
+FULL_TIER_CHAIN = ("embed", "ta", "ca", "anchor", "verify")
+#: Default chain: the paper's TA -> CA -> verify pipeline, new tiers off.
+DEFAULT_FILTER_TIERS = ("ta", "ca", "verify")
+
+
+def validate_filter_tiers(tiers) -> Tuple[str, ...]:
+    """Normalise and validate a filter-tier chain.
+
+    Accepts a comma-separated string, or any iterable of names (lists
+    arrive from the persisted JSON config round-trip).  The result must
+    be an ordered subsequence of :data:`FULL_TIER_CHAIN` that keeps the
+    three paper stages (``ta``, ``ca``, ``verify``) — the new tiers are
+    strictly additive pre-filters, never replacements.
+    """
+    if isinstance(tiers, str):
+        names = tuple(part.strip() for part in tiers.split(",") if part.strip())
+    else:
+        names = tuple(tiers)
+    unknown = [name for name in names if name not in FULL_TIER_CHAIN]
+    if unknown:
+        raise ValueError(
+            f"unknown filter tier(s) {unknown} (choose from {FULL_TIER_CHAIN})"
+        )
+    if len(set(names)) != len(names):
+        raise ValueError(f"filter_tiers contains duplicates: {names}")
+    ordered = tuple(name for name in FULL_TIER_CHAIN if name in names)
+    if ordered != names:
+        raise ValueError(
+            f"filter_tiers must follow the chain order {FULL_TIER_CHAIN}, got {names}"
+        )
+    missing = [name for name in ("ta", "ca", "verify") if name not in names]
+    if missing:
+        raise ValueError(f"filter_tiers must include {missing}")
+    return names
 
 
 # ---------------------------------------------------------------------------
@@ -175,6 +217,21 @@ def _env_shard_by() -> str:
     """
     raw = env_str(ENV_SHARD_BY).strip().lower()
     return raw if raw in ("size", "hash", "auto") else "auto"
+
+
+def _env_filter_tiers() -> Optional[Tuple[str, ...]]:
+    """Environment default for the tier chain (invalid degrades to default).
+
+    Explicit kwargs still fail fast in ``__post_init__``; only the
+    environment path degrades, per the shared robustness contract.
+    """
+    raw = env_raw(ENV_FILTER_TIERS)
+    if raw is None:
+        return None
+    try:
+        return validate_filter_tiers(raw)
+    except ValueError:
+        return None
 
 
 # ---------------------------------------------------------------------------
@@ -281,6 +338,16 @@ class EngineConfig:
         non-answer candidates, so candidate sets are only guaranteed
         identical to the unsharded path with pivots off; the *answer*
         set is preserved either way).  Env: ``REPRO_SHARD_PIVOTS``.
+    filter_tiers:
+        The composable filter-tier chain the query planner executes, as
+        an ordered subsequence of :data:`FULL_TIER_CHAIN` that keeps the
+        three paper stages.  The default is the paper pipeline
+        (``ta, ca, verify``); enabling ``embed`` adds the constant-time
+        label/degree embedding pre-filter ahead of TA and ``anchor``
+        adds the assignment-based anchored bound ahead of exact A*.
+        Both new tiers prune only provable non-answers, so the match set
+        is identical with any valid chain.  Accepts a comma-separated
+        string or a sequence of names.  Env: ``REPRO_FILTER_TIERS``.
     """
 
     k: int = DEFAULT_K
@@ -306,8 +373,14 @@ class EngineConfig:
     shards: int = 1
     shard_by: str = "auto"
     shard_pivots: int = 0
+    filter_tiers: Tuple[str, ...] = DEFAULT_FILTER_TIERS
 
     def __post_init__(self) -> None:
+        # Normalise before validating: the persisted-config JSON round-trip
+        # hands back a list, and front-end callers may pass a comma string.
+        object.__setattr__(
+            self, "filter_tiers", validate_filter_tiers(self.filter_tiers)
+        )
         if self.k < 1:
             raise ValueError("k must be >= 1")
         if self.h < 1:
@@ -393,6 +466,7 @@ class EngineConfig:
             "shards": env_int(ENV_SHARDS, 1),
             "shard_by": _env_shard_by(),
             "shard_pivots": env_int(ENV_SHARD_PIVOTS, 0),
+            "filter_tiers": _env_filter_tiers() or DEFAULT_FILTER_TIERS,
         }
         known = {f.name for f in fields(cls)}
         for name, value in overrides.items():
@@ -445,4 +519,5 @@ ENV_KNOBS: Tuple[Tuple[str, str], ...] = (
     ("shards", ENV_SHARDS),
     ("shard_by", ENV_SHARD_BY),
     ("shard_pivots", ENV_SHARD_PIVOTS),
+    ("filter_tiers", ENV_FILTER_TIERS),
 )

@@ -24,6 +24,33 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..matching.mapping import bounds as full_bounds
+
+
+def settle_by_full_bounds(
+    query, graph, tau, *, backend=None, stats=None
+) -> Tuple[str, float]:
+    """Terminal Lemma 2/3 filtering from a single assignment solve.
+
+    The one place the ``L_m ≤ λ ≤ U_m`` decision is spelled out — the CA
+    scan's C-Star linear fallback, the forced one-shot resolution, the
+    pipelined variant's unseen handling, and the verifier's pre-A* settle
+    all call this (a grep guard pins it).  Returns ``(decision, L_m)``
+    where the decision is ``"pruned"`` (``L_m > τ``), ``"match"``
+    (``U_m ≤ τ``) or ``"candidate"``; callers use ``L_m`` to schedule the
+    surviving candidates cheapest-first.  *stats*, when given, gets the
+    mapping-computation and prune counters the callers previously kept by
+    hand.
+    """
+    l_m, u_m, _mu = full_bounds(query, graph, backend=backend)
+    if stats is not None:
+        stats.full_mapping_computations += 1
+    if l_m > tau:
+        if stats is not None:
+            stats.count_prune("l_m")
+        return "pruned", l_m
+    return ("match" if u_m <= tau else "candidate"), l_m
+
 
 @dataclass
 class SeenGraph:

@@ -28,12 +28,8 @@ from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from ..graphs.model import Graph, normalization_factor
 from ..graphs.star import Star, decompose, star_at
-from ..matching.mapping import (
-    DynamicMappingDistance,
-    bounds as full_bounds,
-    edit_cost_under_mapping,
-)
-from .bounds import SeenGraph
+from ..matching.mapping import DynamicMappingDistance, edit_cost_under_mapping
+from .bounds import SeenGraph, settle_by_full_bounds
 from .graph_lists import QueryStarLists
 from .index import TwoLevelIndex
 from .stats import QueryStats
@@ -227,15 +223,15 @@ class _GraphResolver:
     def _resolve_one_shot(self, sg: SeenGraph) -> None:
         """Terminal Lemma 2/3 filtering via a single assignment solve."""
         self.stats.graphs_accessed += 1
-        self.stats.full_mapping_computations += 1
-        l_m, u_m, _mu = full_bounds(
-            self.query, self.graphs[sg.gid], backend=self.assignment_backend
+        sg.resolution, _ = settle_by_full_bounds(
+            self.query,
+            self.graphs[sg.gid],
+            self.tau,
+            backend=self.assignment_backend,
+            stats=self.stats,
         )
-        if l_m > self.tau:
-            sg.resolution, sg.pruned_by = "pruned", "l_m"
-            self.stats.count_prune("l_m")
-            return
-        sg.resolution = "match" if u_m <= self.tau else "candidate"
+        if sg.resolution == "pruned":
+            sg.pruned_by = "l_m"
 
     def _upper_bound_from_alignment(
         self, dyn: DynamicMappingDistance, graph: Graph
@@ -275,6 +271,7 @@ def ca_range_query(
     stats: Optional[QueryStats] = None,
     disabled_bounds: frozenset = frozenset(),
     assignment_backend: Optional[str] = None,
+    excluded: frozenset = frozenset(),
 ) -> CAResult:
     """Run the CA scan + DC resolution over pre-built graph score lists.
 
@@ -285,6 +282,12 @@ def ca_range_query(
     ``disabled_bounds`` (ablation benches only) skips named checks of the
     bound chain; soundness is unaffected because only pruning/accepting
     shortcuts are removed, never the terminal Lemma 2/3 filtering.
+
+    ``excluded`` gids were already proven non-answers by an earlier filter
+    tier (the embedding pre-filter): the scan never accumulates state for
+    them and the unseen partition skips them.  The cursor walk and the
+    ``accesses % h`` checkpoint cadence are unchanged, so every other
+    graph sees the exact same bound evaluations as an unfiltered run.
     """
     if tau < 0:
         raise ValueError("tau must be non-negative")
@@ -338,7 +341,7 @@ def ca_range_query(
                 stats.list_entries_scanned += 1
                 accesses += 1
                 sg = seen.get(entry.gid)
-                if sg is None:
+                if sg is None and entry.gid not in excluded:
                     meta = index.meta(entry.gid)
                     sg = SeenGraph(
                         gid=entry.gid,
@@ -348,7 +351,8 @@ def ca_range_query(
                     )
                     seen[entry.gid] = sg
                     unresolved.add(entry.gid)
-                sg.observe(j, entry.sid, entry.sed, entry.freq)
+                if sg is not None:
+                    sg.observe(j, entry.sid, entry.sed, entry.freq)
                 if accesses % h == 0:
                     checkpoint(forced=False)
             if side.omega() > global_threshold:
@@ -361,7 +365,7 @@ def ca_range_query(
     unseen_small: List[object] = []
     unseen_large: List[object] = []
     for gid in index.gids():
-        if gid in seen:
+        if gid in seen or gid in excluded:
             continue
         if index.meta(gid).order <= query_order:
             unseen_small.append(gid)
@@ -394,14 +398,13 @@ def ca_range_query(
         for gid in unseen_gids:
             stats.linear_fallback += 1
             stats.graphs_accessed += 1
-            stats.full_mapping_computations += 1
-            graph = graphs[gid]
-            l_m, u_m, _mu = full_bounds(query, graph, backend=assignment_backend)
-            if l_m > tau:
-                stats.count_prune("l_m")
+            verdict, _ = settle_by_full_bounds(
+                query, graphs[gid], tau, backend=assignment_backend, stats=stats
+            )
+            if verdict == "pruned":
                 continue
             candidates.append(gid)
-            if u_m <= tau:
+            if verdict == "match":
                 confirmed.add(gid)
 
     stats.candidates = len(candidates)

@@ -98,6 +98,7 @@ class SegosIndex:
         shards: Optional[int] = None,
         shard_by: Optional[str] = None,
         shard_pivots: Optional[int] = None,
+        filter_tiers: Optional[object] = None,
         config: Optional[EngineConfig] = None,
     ) -> None:
         base = config if config is not None else EngineConfig.from_env()
@@ -125,6 +126,7 @@ class SegosIndex:
             shards=shards,
             shard_by=shard_by,
             shard_pivots=shard_pivots,
+            filter_tiers=filter_tiers,
         )
         # The SED memo cache is process-global (it memoises a pure function
         # of signature pairs); an engine only touches it when its resolved
@@ -179,6 +181,10 @@ class SegosIndex:
     @property
     def topk_backend(self) -> Optional[str]:
         return self.config.topk_backend
+
+    @property
+    def filter_tiers(self) -> tuple:
+        return self.config.filter_tiers
 
     # ------------------------------------------------------------------
     # Database accessors
@@ -280,6 +286,49 @@ class SegosIndex:
         """
         return QuerySession(self, config=self.config.override(**overrides))
 
+    def embeddings(self, stats: Optional[QueryStats] = None):
+        """The per-graph embedding vectors of the ``embed`` filter tier.
+
+        Cached on the index object keyed by its generation counter (same
+        discipline as the columnar snapshot, and cached in the same place
+        so worker-bound pickles never carry memoryview-backed columns).
+        Mapped engines reuse the ``.segosx`` embedding sections zero-copy;
+        a stale sidecar written before those sections existed degrades
+        **loudly** — a :class:`~repro.resilience.telemetry.DegradationEvent`
+        lands in *stats* — to an on-the-fly build from the graph store.
+        """
+        from ..perf.columnar import GraphEmbeddings
+
+        generation = getattr(self.index, "generation", 0)
+        cached = getattr(self.index, "_graph_embeddings", None)
+        if cached is not None and cached.generation == generation:
+            return cached
+        embeddings = None
+        disk = getattr(self.index, "_disk", None)
+        if disk is not None and not getattr(self.index, "promoted", False):
+            if disk.has_embeddings():
+                embeddings = disk.embeddings(generation)
+            elif stats is not None:
+                from ..resilience.telemetry import DegradationEvent
+
+                stats.degradations.append(
+                    DegradationEvent(
+                        point="embeddings.sidecar",
+                        stage="embed",
+                        cause="sidecar predates embedding sections",
+                        fallback="recompute",
+                    )
+                )
+        if embeddings is None:
+            embeddings = GraphEmbeddings.build(
+                list(self._graphs.items()), generation
+            )
+        try:
+            self.index._graph_embeddings = embeddings
+        except AttributeError:  # pragma: no cover - slotted stand-ins
+            pass
+        return embeddings
+
     def top_k_sub_units(self, star: Star, k: Optional[int] = None) -> TopKResult:
         """TA stage on its own: the k most SED-similar database stars."""
         return top_k_stars(
@@ -300,6 +349,7 @@ class SegosIndex:
         verify_workers: Optional[int] = None,
         verify_budget: Optional[int] = None,
         verify_deadline: Optional[float] = None,
+        filter_tiers: Optional[object] = None,
         trace: Optional[bool] = None,
     ) -> QueryResult:
         """Answer ``{g : λ(query, g) ≤ tau}`` with filter(-and-verify).
@@ -333,6 +383,7 @@ class SegosIndex:
             verify_workers=verify_workers,
             verify_budget=verify_budget,
             verify_deadline=verify_deadline,
+            filter_tiers=filter_tiers,
             trace=trace,
         )
 

@@ -46,6 +46,8 @@ class QueryExplanation:
     tau: float
     k: int
     h: int
+    #: the configured filter-tier chain the plan was built from
+    filter_tiers: tuple = ()
     star_traces: List[StarTrace] = field(default_factory=list)
     stats: QueryStats = field(default_factory=QueryStats)
     candidates: List[object] = field(default_factory=list)
@@ -57,6 +59,22 @@ class QueryExplanation:
         lines = [
             f"range query: |q|={self.query_order}, τ={self.tau}, "
             f"k={self.k}, h={self.h}",
+        ]
+        if self.filter_tiers:
+            lines.append("tier chain: " + " -> ".join(self.filter_tiers))
+        for name, entry in sorted(self.stats.tier_bounds.items()):
+            pruned = self.stats.pruned_by.get(name, 0)
+            evaluated = int(entry["evaluated"])
+            mean = entry["bound_sum"] / evaluated if evaluated else 0.0
+            line = (
+                f"{name} tier: {evaluated} bounds evaluated "
+                f"(mean {mean:.2f}, max {entry['bound_max']:g}), "
+                f"{pruned} pruned"
+            )
+            if name == "anchor" and self.stats.anchor_settled:
+                line += f", {self.stats.anchor_settled} settled as matches"
+            lines.append(line)
+        lines.append(
             f"TA stage: {self.distinct_stars} distinct stars "
             f"({self.query_stars} occurrences), "
             f"{self.stats.ta_accesses} sorted accesses"
@@ -64,8 +82,8 @@ class QueryExplanation:
                 f", {self.stats.topk_scan_width} rows vector-scanned"
                 if self.stats.topk_scan_width
                 else ""
-            ),
-        ]
+            )
+        )
         for trace in self.star_traces:
             spread = (
                 f"SED {trace.best_sed}..{trace.kth_sed:g}"
@@ -160,6 +178,7 @@ def explain_range_query(
         tau=tau,
         k=session.config.k,
         h=session.config.h,
+        filter_tiers=session.config.filter_tiers,
         star_traces=traces,
         stats=result.stats,
         candidates=list(result.candidates),

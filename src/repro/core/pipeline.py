@@ -42,14 +42,15 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..graphs.model import Graph, normalization_factor
 from ..graphs.star import decompose
-from ..matching.mapping import bounds as full_bounds
 from ..obs.trace import Trace
 from ..perf.parallel import effective_workers, parallel_batch_range_query
-from .bounds import SeenGraph
+from .bounds import SeenGraph, settle_by_full_bounds
 from .ca_search import _GraphResolver
 from .engine import QueryResult, SegosIndex
 from .graph_lists import build_query_star_lists
 from .plan import (
+    AnchorStage,
+    EmbedStage,
     ExecutionContext,
     QueryPlan,
     Stage,
@@ -57,6 +58,7 @@ from .plan import (
     apply_call_aliases,
     traced_scope,
 )
+from .tiers import resolve_tier_chain
 from .stats import QueryStats
 from .ta_search import top_k_stars
 
@@ -112,10 +114,29 @@ class PipelinedSegos:
         self.k = k
 
     def plan(self) -> QueryPlan:
-        """The pipelined plan: fused threaded filter, then shared verify."""
+        """The pipelined plan: fused threaded filter, then shared verify.
+
+        The engine's tier chain composes around the fused stage: an
+        enabled ``embed`` tier runs its vectorized pre-filter before the
+        threads start (the fused CA loop skips excluded graphs), and an
+        enabled ``anchor`` tier screens the surviving candidates before
+        verification — same stage objects as the serial plan.
+        """
+        tiers = resolve_tier_chain(self.engine.config.filter_tiers)
+        stages: List[Stage] = []
+        names: List[str] = []
+        if "embed" in tiers:
+            stages.append(EmbedStage())
+            names.append("embed")
+        stages.append(PipelinedFilterStage())
+        names.append("ta+ca (threaded)")
+        if "anchor" in tiers:
+            stages.append(AnchorStage())
+            names.append("anchor")
+        stages.append(VerifyStage())
+        names.append("verify")
         return QueryPlan(
-            stages=(PipelinedFilterStage(), VerifyStage()),
-            description="ta+ca (threaded) -> verify",
+            stages=tuple(stages), description=" -> ".join(names)
         )
 
     # ------------------------------------------------------------------
@@ -272,6 +293,9 @@ class _PipelineRun:
         #: writes during a run; batch queries run sequentially, so reuse
         #: across queries is race-free)
         self.topk_cache = ctx.topk_cache
+        #: gids the embedding pre-filter tier proved non-answers; the CA
+        #: loop never accumulates state for them
+        self.excluded = ctx.embed_excluded
         self.ta_queue: "queue.Queue" = queue.Queue()
         self.dc_queues: List["queue.Queue"] = [queue.Queue(), queue.Queue()]
         self.result_queue: "queue.Queue" = queue.Queue()
@@ -482,7 +506,7 @@ class _PipelineRun:
                     progressed = True
                     self.stats.list_entries_scanned += 1
                     sg = seen.get(entry.gid)
-                    if sg is None:
+                    if sg is None and entry.gid not in self.excluded:
                         meta = self.index.meta(entry.gid)
                         sg = SeenGraph(
                             gid=entry.gid,
@@ -492,7 +516,8 @@ class _PipelineRun:
                         )
                         seen[entry.gid] = sg
                         unresolved.add(entry.gid)
-                    sg.observe(j, entry.sid, entry.sed, entry.freq)
+                    if sg is not None:
+                        sg.observe(j, entry.sid, entry.sed, entry.freq)
                 if side.omega() > self.global_threshold:
                     side.halted = True
             if not progressed and not ta_finished:
@@ -544,6 +569,7 @@ class _PipelineRun:
                 gid
                 for gid in self.index.gids()
                 if gid not in seen
+                and gid not in self.excluded
                 and (self.index.meta(gid).order <= query_order) == small
             ]
             if not unseen:
@@ -557,16 +583,17 @@ class _PipelineRun:
             for gid in unseen:
                 self.stats.linear_fallback += 1
                 self.stats.graphs_accessed += 1
-                self.stats.full_mapping_computations += 1
-                graph = self.engine.graph(gid)
-                l_m, u_m, _ = full_bounds(
-                    self.query, graph, backend=self.config.assignment_backend
+                verdict, _ = settle_by_full_bounds(
+                    self.query,
+                    self.engine.graph(gid),
+                    self.tau,
+                    backend=self.config.assignment_backend,
+                    stats=self.stats,
                 )
-                if l_m > self.tau:
-                    self.stats.count_prune("l_m")
+                if verdict == "pruned":
                     continue
                 candidates.append(gid)
-                if u_m <= self.tau:
+                if verdict == "match":
                     confirmed.add(gid)
 
 

@@ -52,6 +52,7 @@ from .ca_search import ca_range_query
 from .graph_lists import QueryStarLists, build_all_lists
 from .stats import QueryStats, WallClock
 from .ta_search import TopKResult
+from .tiers import AnchorTier, resolve_tier_chain
 from .verify import verify_candidates
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (engine imports us)
@@ -118,6 +119,9 @@ class ExecutionContext:
     stats: QueryStats = field(default_factory=QueryStats)
     # --- stage outputs -------------------------------------------------
     query_stars: List[Star] = field(default_factory=list)
+    #: gids proven non-answers by the embedding pre-filter tier; the CA
+    #: scan (serial and pipelined alike) never accumulates state for them
+    embed_excluded: frozenset = frozenset()
     lists: List[QueryStarLists] = field(default_factory=list)
     candidates: List[object] = field(default_factory=list)
     confirmed: Set[object] = field(default_factory=set)
@@ -286,6 +290,72 @@ class TAStage(Stage):
         return ctx
 
 
+class EmbedStage(Stage):
+    """The embedding pre-filter tier: one vectorized sweep before TA.
+
+    Scores the admissible label/degree bound of every database graph
+    against the query (:meth:`repro.perf.columnar.GraphEmbeddings.lower_bounds`)
+    and marks graphs whose bound already exceeds τ·1 — provable
+    non-answers, since the bound never exceeds the exact GED — as
+    excluded.  The CA scan then skips their state entirely while walking
+    the same cursor/checkpoint cadence, so every surviving graph sees the
+    exact same bound evaluations as an unfiltered run.
+    """
+
+    name = "embed"
+
+    def run(self, ctx: ExecutionContext) -> ExecutionContext:
+        embeddings = ctx.engine.embeddings(stats=ctx.stats)
+        bounds = embeddings.lower_bounds(ctx.query)
+        excluded = set()
+        tau = ctx.tau
+        for gid, bound in zip(embeddings.gids, bounds):
+            value = float(bound)
+            ctx.stats.record_tier_bound("embed", value)
+            if value > tau:
+                excluded.add(gid)
+                ctx.stats.count_prune("embed")
+        ctx.embed_excluded = frozenset(excluded)
+        return ctx
+
+
+class AnchorStage(Stage):
+    """The anchored assignment tier between CA and exact verification.
+
+    One linear-assignment solve per unconfirmed candidate yields a lower
+    bound (prunes candidates the aggregation bounds let through) *and*
+    anchors a vertex mapping whose edit cost is an upper bound (settles
+    candidates as matches without paying for an A* run —
+    ``stats.anchor_settled`` counts those).
+    """
+
+    name = "anchor"
+
+    def run(self, ctx: ExecutionContext) -> ExecutionContext:
+        if not ctx.candidates:
+            return ctx
+        tier = AnchorTier(ctx.config.assignment_backend)
+        survivors: List[object] = []
+        for gid in ctx.candidates:
+            if gid in ctx.confirmed:
+                survivors.append(gid)
+                continue
+            lower, upper = tier.bounds(ctx.query, ctx.engine._graphs[gid])
+            ctx.stats.record_tier_bound("anchor", float(lower))
+            if lower > ctx.tau:
+                ctx.stats.count_prune("anchor")
+                continue
+            survivors.append(gid)
+            if upper <= ctx.tau:
+                ctx.confirmed.add(gid)
+                ctx.matches.add(gid)
+                ctx.stats.anchor_settled += 1
+        ctx.candidates = survivors
+        ctx.stats.candidates = len(survivors)
+        ctx.stats.confirmed_matches = len(ctx.confirmed)
+        return ctx
+
+
 class CAStage(Stage):
     """CA round-robin scan + DC bound chain (Algorithm 3, Sections V-C/D)."""
 
@@ -306,6 +376,7 @@ class CAStage(Stage):
             stats=ctx.stats,
             disabled_bounds=self.disabled_bounds,
             assignment_backend=ctx.config.assignment_backend,
+            excluded=ctx.embed_excluded,
         )
         ctx.candidates = result.candidates
         ctx.confirmed = set(result.confirmed)
@@ -366,10 +437,35 @@ class QueryPlan:
     def range_query(
         cls, *, disabled_bounds: frozenset = frozenset()
     ) -> "QueryPlan":
-        """The serial filter-and-verify plan every non-pipelined mode uses."""
+        """The legacy paper chain (TA → CA → verify), tier knob ignored."""
         return cls(
             stages=(TAStage(), CAStage(disabled_bounds), VerifyStage()),
             description="ta -> ca -> verify",
+        )
+
+    @classmethod
+    def from_tiers(
+        cls,
+        config: EngineConfig,
+        *,
+        disabled_bounds: frozenset = frozenset(),
+    ) -> "QueryPlan":
+        """The serial plan for ``config.filter_tiers`` — one stage per tier.
+
+        ``("ta", "ca", "verify")`` reproduces :meth:`range_query` exactly;
+        enabling ``embed``/``anchor`` inserts their stages in chain order.
+        """
+        tiers = resolve_tier_chain(config.filter_tiers)
+        builders = {
+            "embed": EmbedStage,
+            "ta": TAStage,
+            "ca": lambda: CAStage(disabled_bounds),
+            "anchor": AnchorStage,
+            "verify": VerifyStage,
+        }
+        return cls(
+            stages=tuple(builders[name]() for name in tiers),
+            description=" -> ".join(tiers),
         )
 
 
@@ -520,10 +616,14 @@ class ShardedExecutor:
             raise ValueError("tau must be non-negative")
         if verify not in ("none", "exact"):
             raise ValueError(f"unknown verify mode {verify!r}")
-        if plan_for_shard is None:
-            plan_for_shard = lambda shard: QueryPlan.range_query()  # noqa: E731
         view = self.view()
         shard_config = self.config.override(shards=1, metrics=False)
+        if plan_for_shard is None:
+            # The default shard plan follows the configured tier chain, so
+            # sharded and monolithic executions run the same stages.
+            plan_for_shard = (
+                lambda shard: QueryPlan.from_tiers(shard_config)  # noqa: E731
+            )
         clock = WallClock.start()
         with traced_scope(
             self.config,
@@ -627,10 +727,16 @@ class QuerySession:
         )
 
     def plan(
-        self, *, disabled_bounds: frozenset = frozenset()
+        self,
+        *,
+        disabled_bounds: frozenset = frozenset(),
+        config: Optional[EngineConfig] = None,
     ) -> QueryPlan:
         """The plan this session would execute (introspection/extension)."""
-        return QueryPlan.range_query(disabled_bounds=disabled_bounds)
+        return QueryPlan.from_tiers(
+            config if config is not None else self.config,
+            disabled_bounds=disabled_bounds,
+        )
 
     def context(
         self, query: Graph, tau: float, *, verify: str = "none", **overrides
@@ -670,4 +776,4 @@ class QuerySession:
                 query, tau, verify=verify
             )
         ctx = self.context(query, tau, verify=verify, **overrides)
-        return self.execute(self.plan(), ctx).to_result()
+        return self.execute(self.plan(config=config), ctx).to_result()

@@ -87,6 +87,14 @@ class QueryStats:
     #: catalog shards skipped outright by pivot-based triangle-inequality
     #: pruning before TA ever ran (see :mod:`repro.perf.shard`)
     shards_pruned: int = 0
+    #: filter tier name → bound-tightness counters: ``evaluated`` (pairs the
+    #: tier scored), ``bound_sum`` (Σ of its lower bounds — tightness in
+    #: aggregate) and ``bound_max`` (its tightest single claim); filled by
+    #: the ``embed``/``anchor`` tier stages, merged by +/+/max
+    tier_bounds: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: candidates settled as matches by the anchor tier's upper bound —
+    #: exact answers that never paid for an A* run
+    anchor_settled: int = 0
     #: stage name → wall-clock seconds, captured uniformly by the plan
     #: executor (``ta``/``ca``/``verify`` on the serial path, ``ta+ca``/
     #: ``verify`` on the pipelined path — the threaded stages overlap, so
@@ -110,6 +118,16 @@ class QueryStats:
         """Record one top-k search answered by *backend*."""
         self.topk_backends[backend] = self.topk_backends.get(backend, 0) + 1
         self.topk_scan_width += scan_width
+
+    def record_tier_bound(self, tier: str, bound: float) -> None:
+        """Fold one lower-bound evaluation into *tier*'s tightness counters."""
+        entry = self.tier_bounds.setdefault(
+            tier, {"evaluated": 0.0, "bound_sum": 0.0, "bound_max": 0.0}
+        )
+        entry["evaluated"] += 1
+        entry["bound_sum"] += bound
+        if bound > entry["bound_max"]:
+            entry["bound_max"] = bound
 
     def summary(self) -> str:
         """One-line human-readable account of where the filtering work went.
@@ -139,6 +157,14 @@ class QueryStats:
                 f"{name}={count}" for name, count in sorted(self.topk_backends.items())
             )
             parts.append(f"top-k backends: {chosen}")
+        if self.tier_bounds:
+            tiers = " ".join(
+                f"{name}={int(entry['evaluated'])}@{entry['bound_max']:g}"
+                for name, entry in sorted(self.tier_bounds.items())
+            )
+            parts.append(f"tiers (evaluated@max bound): {tiers}")
+        if self.anchor_settled:
+            parts.append(f"anchor settled: {self.anchor_settled}")
         if self.astar_runs or self.settled_by_bounds:
             detail = (
                 f"verify: {self.astar_runs} A* runs, "
@@ -185,6 +211,15 @@ class QueryStats:
         self.astar_expansions += other.astar_expansions
         self.shards_scattered += other.shards_scattered
         self.shards_pruned += other.shards_pruned
+        self.anchor_settled += other.anchor_settled
+        for tier, entry in other.tier_bounds.items():
+            mine = self.tier_bounds.setdefault(
+                tier, {"evaluated": 0.0, "bound_sum": 0.0, "bound_max": 0.0}
+            )
+            mine["evaluated"] += entry["evaluated"]
+            mine["bound_sum"] += entry["bound_sum"]
+            if entry["bound_max"] > mine["bound_max"]:
+                mine["bound_max"] = entry["bound_max"]
         for key, value in other.pruned_by.items():
             self.pruned_by[key] = self.pruned_by.get(key, 0) + value
         for key, value in other.topk_backends.items():

@@ -33,10 +33,10 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from ..errors import SearchBudgetExceeded
-from ..graphs.edit_distance import graph_edit_distance
+from ..graphs.edit_distance import PreparedQuery, graph_edit_distance, prepare_query
 from ..graphs.model import Graph
 from ..config import ENV_VERIFY_WORKERS, env_int
-from ..matching.mapping import bounds as mapping_bounds
+from .bounds import settle_by_full_bounds
 from ..obs.trace import NULL_TRACER, current_tracer
 from ..resilience.faults import FaultPlan, resolve_fault_plan
 from ..resilience.pool import PoolTask, ResiliencePolicy, run_supervised
@@ -83,13 +83,27 @@ class VerificationReport:
 
 
 def _astar_outcome(
-    query: Graph, graph: Graph, tau: int, budget: int
+    query: Graph,
+    graph: Graph,
+    tau: int,
+    budget: int,
+    prepared: Optional[PreparedQuery] = None,
 ) -> Tuple[str, int]:
-    """One A* run folded to ``(scheduling outcome, states expanded)``."""
+    """One A* run folded to ``(scheduling outcome, states expanded)``.
+
+    *prepared* is the hoisted query-side search state
+    (:func:`~repro.graphs.edit_distance.prepare_query`) — candidates of one
+    query share it instead of each A* run recomputing it cold.
+    """
     counters: dict = {}
     try:
         distance = graph_edit_distance(
-            query, graph, threshold=tau, budget=budget, counters=counters
+            query,
+            graph,
+            threshold=tau,
+            budget=budget,
+            counters=counters,
+            prepared=prepared,
         )
     except SearchBudgetExceeded:
         return "undecided", counters.get("expanded", 0)
@@ -98,8 +112,9 @@ def _astar_outcome(
 
 
 # The query/τ/budget triple travels to each worker exactly once through the
-# executor initializer; tasks then carry only (gid, graph).
-_WORKER_CTX: Optional[Tuple[Graph, int, int]] = None
+# executor initializer (plus the worker's own prepared query state, built
+# once there); tasks then carry only (gid, graph).
+_WORKER_CTX: Optional[Tuple[Graph, int, int, PreparedQuery]] = None
 
 # Disk-transport alternative: the worker holds a lazily-parsing graph store
 # over the mapped database text, and tasks carry only the gid.
@@ -108,7 +123,8 @@ _WORKER_GRAPHS: Optional[Mapping[object, Graph]] = None
 
 def _init_verify_worker(blob: bytes) -> None:
     global _WORKER_CTX
-    _WORKER_CTX = pickle.loads(blob)
+    query, tau, budget = pickle.loads(blob)
+    _WORKER_CTX = (query, tau, budget, prepare_query(query))
 
 
 def _init_verify_worker_disk(handle, ctx_blob: bytes) -> None:
@@ -121,7 +137,8 @@ def _init_verify_worker_disk(handle, ctx_blob: bytes) -> None:
     global _WORKER_CTX, _WORKER_GRAPHS
     from ..perf.diskcat import LazyGraphStore  # lazy: keeps core import-light
 
-    _WORKER_CTX = pickle.loads(ctx_blob)
+    query, tau, budget = pickle.loads(ctx_blob)
+    _WORKER_CTX = (query, tau, budget, prepare_query(query))
     _WORKER_GRAPHS = LazyGraphStore(
         handle.graph_path, expected_sha=bytes.fromhex(handle.source_sha)
     )
@@ -134,15 +151,17 @@ def _run_verify_task_disk(gid: object) -> Tuple[object, str, int]:
 
 def _run_verify_task(gid: object, graph: Graph) -> Tuple[object, str, int]:
     assert _WORKER_CTX is not None, "verify worker initializer did not run"
-    query, tau, budget = _WORKER_CTX
+    query, tau, budget, prepared = _WORKER_CTX
     tracer = current_tracer()  # the worker-side tracer installed by the pool
     if tracer is not None:
         with tracer.span("verify.astar", gid=str(gid)) as span:
-            verdict, expanded = _astar_outcome(query, graph, tau, budget)
+            verdict, expanded = _astar_outcome(
+                query, graph, tau, budget, prepared
+            )
             span.attrs["verdict"] = verdict
             span.attrs["expanded"] = expanded
     else:
-        verdict, expanded = _astar_outcome(query, graph, tau, budget)
+        verdict, expanded = _astar_outcome(query, graph, tau, budget, prepared)
     return gid, verdict, expanded
 
 
@@ -318,13 +337,13 @@ def verify_candidates(
     for gid in candidates:
         if gid in report.matches:
             continue
-        l_m, u_m, _ = mapping_bounds(
-            query, graphs[gid], backend=assignment_backend
+        verdict, l_m = settle_by_full_bounds(
+            query, graphs[gid], tau, backend=assignment_backend
         )
-        if u_m <= tau:
+        if verdict == "match":
             report.matches.add(gid)
             report.settled_by_bounds += 1
-        elif l_m > tau:
+        elif verdict == "pruned":
             report.rejected.add(gid)
             report.settled_by_bounds += 1
         else:
@@ -352,6 +371,7 @@ def verify_candidates(
             disk_handle,
         )
 
+    prepared = prepare_query(query) if remaining else None
     for l_m, gid in remaining:
         if deadline is not None and time.perf_counter() - started > deadline:
             report.undecided.add(gid)
@@ -360,13 +380,13 @@ def verify_candidates(
         if tracer.enabled:
             with tracer.span("verify.astar", gid=str(gid)) as span:
                 outcome, expanded = _astar_outcome(
-                    query, graphs[gid], tau, budget_per_candidate
+                    query, graphs[gid], tau, budget_per_candidate, prepared
                 )
                 span.attrs["verdict"] = outcome
                 span.attrs["expanded"] = expanded
         else:
             outcome, expanded = _astar_outcome(
-                query, graphs[gid], tau, budget_per_candidate
+                query, graphs[gid], tau, budget_per_candidate, prepared
             )
         report.astar_expansions += expanded
         if outcome == "match":

@@ -27,6 +27,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from collections import Counter
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..errors import SearchBudgetExceeded
@@ -42,6 +43,44 @@ def _label_bound(labels1: List[str], labels2: List[str]) -> int:
     return max(len(labels1), len(labels2)) - common
 
 
+@dataclass(frozen=True)
+class PreparedQuery:
+    """The g1-only precomputation of :func:`graph_edit_distance`, hoisted.
+
+    Verifying a candidate set runs one A* per candidate with the *same*
+    query graph; preparing the query once and passing it to every run
+    shares the vertex ordering, the suffix label multisets, and the
+    suffix edge counts instead of rebuilding them cold per candidate
+    (the Nass-style state reuse of the verification tier).  The derived
+    arrays are positional over ``order1``, so a prepared query must only
+    ever be used with the graph it was built from — ``graph`` is kept to
+    enforce that by identity.
+    """
+
+    graph: Graph
+    order1: List[int]
+    labels1: List[str]
+    suffix_labels1: List[List[str]]
+    suffix_edges1: List[int]
+
+
+def prepare_query(g1: Graph) -> PreparedQuery:
+    """Precompute the query-side A* state shared across candidates."""
+    # Order g1 vertices by descending degree: high-degree vertices constrain
+    # the search most, so mapping them first prunes earlier.
+    order1 = sorted(g1.vertices(), key=lambda v: -g1.degree(v))
+    n1 = len(order1)
+    labels1 = [g1.label(v) for v in order1]
+    suffix_labels1: List[List[str]] = [sorted(labels1[i:]) for i in range(n1 + 1)]
+    pos1 = {v: i for i, v in enumerate(order1)}
+    suffix_edges1 = [0] * (n1 + 1)
+    for i in range(n1 - 1, -1, -1):
+        v = order1[i]
+        later = sum(1 for n in g1.neighbors(v) if pos1[n] > i)
+        suffix_edges1[i] = suffix_edges1[i + 1] + later
+    return PreparedQuery(g1, order1, labels1, suffix_labels1, suffix_edges1)
+
+
 def _record_expansions(counters: Optional[Dict[str, int]], expanded: int) -> None:
     if counters is not None:
         counters["expanded"] = counters.get("expanded", 0) + expanded
@@ -54,12 +93,17 @@ def graph_edit_distance(
     threshold: Optional[int] = None,
     budget: int = DEFAULT_BUDGET,
     counters: Optional[Dict[str, int]] = None,
+    prepared: Optional[PreparedQuery] = None,
 ) -> Optional[int]:
     """Exact ``λ(g1, g2)``, or ``None`` if it exceeds *threshold*.
 
     *counters*, when given, accumulates search-effort telemetry: the
     number of A* states expanded is added under ``"expanded"`` on every
     exit path (success, threshold prune, and blown budget alike).
+
+    *prepared* supplies the hoisted g1-only precomputation (see
+    :func:`prepare_query`); it must have been built from this exact
+    ``g1`` object.
 
     Examples
     --------
@@ -68,23 +112,17 @@ def graph_edit_distance(
     >>> graph_edit_distance(a, b)
     1
     """
-    # Order g1 vertices by descending degree: high-degree vertices constrain
-    # the search most, so mapping them first prunes earlier.
-    order1 = sorted(g1.vertices(), key=lambda v: -g1.degree(v))
+    if prepared is None or prepared.graph is not g1:
+        prepared = prepare_query(g1)
+    order1 = prepared.order1
+    labels1 = prepared.labels1
+    # Suffix label multisets of g1's remaining vertices, and edges of g1
+    # entirely inside the suffix starting at position i.
+    suffix_labels1 = prepared.suffix_labels1
+    suffix_edges1 = prepared.suffix_edges1
     ids2 = list(g2.vertices())
     n1, n2 = len(order1), len(ids2)
-    labels1 = [g1.label(v) for v in order1]
     labels2 = [g2.label(v) for v in ids2]
-
-    # Precompute suffix label multisets of g1's remaining vertices.
-    suffix_labels1: List[List[str]] = [sorted(labels1[i:]) for i in range(n1 + 1)]
-    # Edges of g1 entirely inside the suffix starting at position i.
-    pos1 = {v: i for i, v in enumerate(order1)}
-    suffix_edges1 = [0] * (n1 + 1)
-    for i in range(n1 - 1, -1, -1):
-        v = order1[i]
-        later = sum(1 for n in g1.neighbors(v) if pos1[n] > i)
-        suffix_edges1[i] = suffix_edges1[i + 1] + later
 
     adj2 = {v: g2.neighbors(v) for v in ids2}
 
@@ -212,10 +250,13 @@ def ged_within(
     *,
     budget: int = DEFAULT_BUDGET,
     counters: Optional[Dict[str, int]] = None,
+    prepared: Optional[PreparedQuery] = None,
 ) -> bool:
     """True iff ``λ(g1, g2) ≤ tau`` (threshold-pruned A*)."""
     return (
-        graph_edit_distance(g1, g2, threshold=tau, budget=budget, counters=counters)
+        graph_edit_distance(
+            g1, g2, threshold=tau, budget=budget, counters=counters, prepared=prepared
+        )
         is not None
     )
 

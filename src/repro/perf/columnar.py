@@ -303,6 +303,174 @@ class ColumnarCatalog:
         return [(sid, d) for d, sid in scored[:k]], n
 
 
+class GraphEmbeddings:
+    """Per-graph label/degree embedding vectors for the ``embed`` tier.
+
+    Each database graph is summarised by its vertex-label multiset (a CSR
+    of ``(label id, multiplicity)`` pairs), its order, and its edge count.
+    From these, :meth:`lower_bounds` evaluates the admissible bound
+
+        ``max(|V_q|, |V_g|) − |Ψ(V_q) ∩ Ψ(V_g)| + | |E_q| − |E_g| |``
+
+    (the A* root heuristic of :func:`repro.graphs.edit_distance`) against
+    *every* graph in one vectorized sweep — a constant-time-per-graph
+    pre-filter that runs before TA ever touches the index.  Bounds are
+    independent of the label-id assignment (query labels outside the
+    vocabulary simply contribute nothing to the intersection), so mapped
+    and rebuilt embeddings score identically.
+
+    Rows follow the engine's gid order.  Like :class:`ColumnarCatalog`,
+    snapshots are immutable and keyed by the index generation counter;
+    :meth:`from_mmap` wraps zero-copy views over ``.segosx`` sections.
+    """
+
+    __slots__ = (
+        "generation",
+        "n_graphs",
+        "gids",
+        "orders",
+        "edges",
+        "emb_offsets",
+        "emb_lids",
+        "emb_counts",
+        "label_to_id",
+    )
+
+    def __init__(
+        self,
+        generation: int,
+        gids: List[object],
+        orders: List[int],
+        edges: List[int],
+        emb_offsets: List[int],
+        emb_lids: List[int],
+        emb_counts: List[int],
+        label_to_id: Dict[str, int],
+    ) -> None:
+        self.generation = generation
+        self.n_graphs = len(orders)
+        self.gids = list(gids)
+        self.label_to_id = label_to_id
+        if _np is not None:
+            self.orders = _np.asarray(orders, dtype=_np.int64)
+            self.edges = _np.asarray(edges, dtype=_np.int64)
+            self.emb_offsets = _np.asarray(emb_offsets, dtype=_np.int64)
+            self.emb_lids = _np.asarray(emb_lids, dtype=_np.int64)
+            self.emb_counts = _np.asarray(emb_counts, dtype=_np.int64)
+        else:
+            self.orders = orders
+            self.edges = edges
+            self.emb_offsets = emb_offsets
+            self.emb_lids = emb_lids
+            self.emb_counts = emb_counts
+
+    @classmethod
+    def build(cls, pairs, generation: int) -> "GraphEmbeddings":
+        """Embed ``(gid, graph)`` *pairs* (in engine gid order)."""
+        gids: List[object] = []
+        orders: List[int] = []
+        edges: List[int] = []
+        multisets: List[List[Tuple[str, int]]] = []
+        vocabulary = set()
+        for gid, graph in pairs:
+            gids.append(gid)
+            orders.append(graph.order)
+            edges.append(graph.size)
+            counts = sorted(Counter(graph.label_multiset()).items())
+            multisets.append(counts)
+            vocabulary.update(label for label, _ in counts)
+        label_to_id = {label: i for i, label in enumerate(sorted(vocabulary))}
+        emb_offsets: List[int] = [0]
+        emb_lids: List[int] = []
+        emb_counts: List[int] = []
+        for counts in multisets:
+            for label, freq in counts:
+                emb_lids.append(label_to_id[label])
+                emb_counts.append(freq)
+            emb_offsets.append(len(emb_lids))
+        return cls(
+            generation,
+            gids,
+            orders,
+            edges,
+            emb_offsets,
+            emb_lids,
+            emb_counts,
+            label_to_id,
+        )
+
+    @classmethod
+    def from_mmap(
+        cls,
+        generation: int,
+        gids,
+        orders,
+        edges,
+        emb_offsets,
+        emb_lids,
+        emb_counts,
+        label_to_id: Dict[str, int],
+    ) -> "GraphEmbeddings":
+        """Wrap already-mapped int64 columns without copying."""
+        snapshot = object.__new__(cls)
+        snapshot.generation = generation
+        snapshot.n_graphs = len(orders)
+        snapshot.gids = gids
+        snapshot.label_to_id = label_to_id
+        snapshot.orders = orders
+        snapshot.edges = edges
+        snapshot.emb_offsets = emb_offsets
+        snapshot.emb_lids = emb_lids
+        snapshot.emb_counts = emb_counts
+        return snapshot
+
+    def lower_bounds(self, query):
+        """The embedding GED lower bound against every graph, in row order.
+
+        Returns an int64 ndarray (a plain list under the pure-Python
+        fallback), element-wise equal to
+        :func:`repro.graphs.edit_distance.trivial_lower_bound` between the
+        query and each database graph — the soundness test pins this.
+        """
+        qcounts = Counter(query.label_multiset())
+        q_order = query.order
+        q_edges = query.size
+        if _np is not None:
+            qvec = _np.zeros(len(self.label_to_id) + 1, dtype=_np.int64)
+            for label, count in qcounts.items():
+                lid = self.label_to_id.get(label)
+                if lid is not None:
+                    qvec[lid] = count
+            terms = _np.minimum(self.emb_counts, qvec[self.emb_lids])
+            prefix = _np.zeros(len(terms) + 1, dtype=_np.int64)
+            _np.cumsum(terms, out=prefix[1:])
+            common = prefix[self.emb_offsets[1:]] - prefix[self.emb_offsets[:-1]]
+            return (
+                _np.maximum(self.orders, q_order)
+                - common
+                + _np.abs(self.edges - q_edges)
+            )
+        qmap = {}
+        for label, count in qcounts.items():
+            lid = self.label_to_id.get(label)
+            if lid is not None:
+                qmap[lid] = count
+        bounds: List[int] = []
+        for row in range(self.n_graphs):
+            common = 0
+            for i in range(self.emb_offsets[row], self.emb_offsets[row + 1]):
+                qc = qmap.get(self.emb_lids[i], 0)
+                freq = self.emb_counts[i]
+                common += freq if freq < qc else qc
+            order = self.orders[row]
+            bounds.append(
+                (order if order > q_order else q_order)
+                - common
+                + abs(self.edges[row] - q_edges)
+            )
+        return bounds
+
+
 def columnar_snapshot(index) -> Optional["ColumnarCatalog"]:
     """The current columnar mirror of *index*, rebuilt lazily on mutation.
 

@@ -96,7 +96,7 @@ from ..errors import GraphNotIndexed, IndexCorruptionError, SidecarError, StaleS
 from ..graphs import io as gio
 from ..graphs.model import Graph
 from ..graphs.star import Star, decompose
-from .columnar import ColumnarCatalog
+from .columnar import ColumnarCatalog, GraphEmbeddings
 
 try:  # numpy is an optional [perf] extra; everything degrades without it
     import numpy as _np
@@ -152,6 +152,19 @@ SECTION_NAMES = (
     "up_orders",
     "low_perm",
     "size_perm",
+)
+
+#: Optional sections: the per-graph label/degree embedding vectors of the
+#: ``embed`` filter tier (a label-multiset CSR plus per-graph edge counts;
+#: orders are already in ``g_order``).  Written by default, but a sidecar
+#: without them still opens — :class:`DiskCatalog` only hard-requires
+#: :data:`SECTION_NAMES`, and the engine degrades *loudly* to computing
+#: embeddings on the fly from the graph store.
+OPTIONAL_SECTION_NAMES = (
+    "emb_off",
+    "emb_lids",
+    "emb_cnts",
+    "emb_edges",
 )
 
 
@@ -455,6 +468,20 @@ def _columnarize(pairs: Sequence[Tuple[str, Graph]]) -> Dict[str, object]:
             gs_cnts.append(freq)
         gs_off.append(len(gs_sids))
 
+    # Embedding columns (the ``embed`` tier): per-graph label-multiset CSR
+    # + edge counts.  Every vertex label is some star's root label, so the
+    # star vocabulary covers the graph multisets.
+    emb_off = [0]
+    emb_lids: List[int] = []
+    emb_cnts: List[int] = []
+    emb_edges: List[int] = []
+    for _, graph in pairs:
+        emb_edges.append(graph.size)
+        for label, freq in sorted(Counter(graph.label_multiset()).items()):
+            emb_lids.append(label_to_id[label])
+            emb_cnts.append(freq)
+        emb_off.append(len(emb_lids))
+
     labels_off, labels_blob = _pack_string_table(labels)
     gids_off, gids_blob = _pack_string_table(gid_strings)
     return {
@@ -482,6 +509,10 @@ def _columnarize(pairs: Sequence[Tuple[str, Graph]]) -> Dict[str, object]:
         "up_orders": _pack_int64(up_orders),
         "low_perm": _pack_int64(low_perm),
         "size_perm": _pack_int64(size_perm),
+        "emb_off": _pack_int64(emb_off),
+        "emb_lids": _pack_int64(emb_lids),
+        "emb_cnts": _pack_int64(emb_cnts),
+        "emb_edges": _pack_int64(emb_edges),
         "_counts": {
             "n_graphs": len(pairs),
             "n_stars": len(stars),
@@ -505,20 +536,27 @@ def write_sidecar(
     generation: int,
     source_size: int,
     source_sha: bytes,
+    embeddings: bool = True,
 ) -> None:
-    """Write a full (delta-free) sidecar atomically (temp + rename)."""
+    """Write a full (delta-free) sidecar atomically (temp + rename).
+
+    ``embeddings=False`` omits the optional embedding sections — the
+    pre-embedding file layout, kept writable so the loud-degradation path
+    (and its test) can produce a stale-layout sidecar on demand.
+    """
     index_path = os.fspath(index_path)
     columns = _columnarize(pairs)
     counts = columns.pop("_counts")
     meta = json.dumps({"counts": counts, "config": config}, sort_keys=True).encode(
         "utf-8"
     )
+    names = SECTION_NAMES + (OPTIONAL_SECTION_NAMES if embeddings else ())
 
     meta_off = HEADER_SIZE
     table_off = _align(meta_off + len(meta))
-    cursor = _align(table_off + _SECTION.size * len(SECTION_NAMES))
+    cursor = _align(table_off + _SECTION.size * len(names))
     table_entries = []
-    for name in SECTION_NAMES:
+    for name in names:
         payload = columns[name]
         table_entries.append((name, cursor, len(payload), zlib.crc32(payload)))
         cursor = _align(cursor + len(payload))
@@ -533,7 +571,7 @@ def write_sidecar(
         meta_off=meta_off,
         meta_len=len(meta),
         table_off=table_off,
-        section_count=len(SECTION_NAMES),
+        section_count=len(names),
         delta_off=delta_off,
         delta_count=0,
         delta_bytes=0,
@@ -794,6 +832,41 @@ class DiskCatalog:
             self.ints("cat_pfreqs"),
             self.label_to_id(),
             n - 1 if n else 0,
+        )
+
+    # -- graph embeddings ---------------------------------------------
+    def has_section(self, name: str) -> bool:
+        """True when an (optional) section is present in this sidecar."""
+        return name in self._sections
+
+    def has_embeddings(self) -> bool:
+        """True when every ``embed``-tier section is present."""
+        return all(name in self._sections for name in OPTIONAL_SECTION_NAMES)
+
+    def embedding_bytes(self) -> int:
+        """Total payload bytes of the embedding sections (0 when absent)."""
+        return sum(
+            self._sections[name][1]
+            for name in OPTIONAL_SECTION_NAMES
+            if name in self._sections
+        )
+
+    def embeddings(self, generation: int) -> GraphEmbeddings:
+        """Zero-copy :class:`GraphEmbeddings` over the mapped columns.
+
+        Raises ``KeyError`` when the sidecar predates the embedding
+        sections — callers check :meth:`has_embeddings` first and degrade
+        to an on-the-fly build.
+        """
+        return GraphEmbeddings.from_mmap(
+            generation,
+            self.gid_list(),
+            self.ints("g_order"),
+            self.ints("emb_edges"),
+            self.ints("emb_off"),
+            self.ints("emb_lids"),
+            self.ints("emb_cnts"),
+            self.label_to_id(),
         )
 
 

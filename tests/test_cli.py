@@ -191,6 +191,33 @@ class TestIndexSidecar:
         assert "graphs:         2" in out
         assert "fresh" in out
 
+    def test_inspect_reports_embedding_sections(self, db_file, capsys):
+        assert main(["index", "inspect", str(db_file)]) == 0
+        out = capsys.readouterr().out
+        assert "embeddings:     present (" in out
+
+    def test_inspect_flags_pre_embedding_layout(self, db_file, capsys):
+        import dataclasses
+        import hashlib
+
+        from repro.core.persistence import load_index
+        from repro.perf import diskcat
+
+        engine = load_index(db_file)
+        data = db_file.read_bytes()
+        diskcat.write_sidecar(
+            db_file.parent / "db.segos.segosx",
+            list(engine._graphs.items()),
+            config=dataclasses.asdict(engine.config),
+            generation=0,
+            source_size=len(data),
+            source_sha=hashlib.sha256(data).digest(),
+            embeddings=False,
+        )
+        assert main(["index", "inspect", str(db_file)]) == 0
+        out = capsys.readouterr().out
+        assert "embeddings:     MISSING" in out
+
     def test_inspect_verify_clean(self, db_file, capsys):
         assert main(["index", "inspect", str(db_file), "--verify"]) == 0
         assert "all sections + delta journal OK" in capsys.readouterr().out
