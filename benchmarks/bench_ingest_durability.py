@@ -1,0 +1,254 @@
+#!/usr/bin/env python
+"""Streaming-ingest durability benchmark: mutation throughput per fsync policy.
+
+Standalone like the other benches so CI can smoke it without the test
+harness::
+
+    PYTHONPATH=src python benchmarks/bench_ingest_durability.py [--smoke]
+
+Writes ``BENCH_ingest_durability.json`` at the repository root with, per
+fsync policy (``always`` / ``batch`` / ``never``):
+
+1. **sustained ingest** — a stream of interleaved inserts and deletes,
+   each followed by ``save_index`` (delta appends, compacting when the
+   journal overflows), timed end-to-end and reported as mutations/second
+   alongside the exact number of ``os.fsync`` calls the policy issued —
+   the knob's overhead is *measured*, not assumed;
+2. **concurrent snapshot reads** — while the writer streams, a reader
+   thread repeatedly reopens the pair with ``load_index`` and records
+   ``(generation, source_sha, graphs)``.  Consistency means every
+   ``(generation, sha)`` snapshot it ever observed maps to exactly one
+   graph count — readers racing an in-place append may *degrade* to a
+   rebuild, but two reads of the same snapshot can never disagree.
+
+``--mode always`` / ``--mode batch`` / ``--mode never`` restrict the run
+to one policy while keeping identical ``time_*`` keys, so two runs feed
+``check_bench_regression.py`` directly — the CI leg proves ``always`` is
+bounded relative to the ``never`` baseline.  ``--check-overhead`` (with
+``--mode all``) exits non-zero unless the fsync counts are ordered the
+way the policies promise: ``never`` issues zero, ``batch`` more, and
+``always`` the most.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import threading
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+if str(REPO_ROOT / "src") not in sys.path:  # allow running without PYTHONPATH
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.config import FSYNC_POLICIES  # noqa: E402
+from repro.core.engine import SegosIndex  # noqa: E402
+from repro.core.persistence import load_index, save_index  # noqa: E402
+from repro.datasets import aids_like  # noqa: E402
+
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_ingest_durability.json"
+
+
+class FsyncCounter:
+    """Counts every ``os.fsync`` issued while installed (single-process)."""
+
+    def __init__(self) -> None:
+        self.calls = 0
+        self._real = None
+
+    def __enter__(self) -> "FsyncCounter":
+        self._real = os.fsync
+
+        def counting(fd):
+            self.calls += 1
+            return self._real(fd)
+
+        os.fsync = counting
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        os.fsync = self._real
+
+
+def _reader_loop(path, stop, observations, errors):
+    """Reopen the pair until told to stop, recording snapshot identities."""
+    while not stop.is_set():
+        try:
+            engine = load_index(path)
+        except Exception as exc:  # a reader crash is itself a finding
+            errors.append(repr(exc))
+            continue
+        handle = engine.disk_handle()
+        if handle is not None:
+            observations.append(
+                (handle.disk_generation, handle.source_sha, len(engine))
+            )
+        else:
+            observations.append((None, None, len(engine)))
+
+
+def bench_policy(workdir, policy, n, mutations, seed, with_reader):
+    """One full ingest stream under *policy*; returns the report entry."""
+    data = aids_like(n + mutations, seed=seed, mean_order=8, stddev=2)
+    gids = sorted(data.graphs)
+    base, extra = gids[:n], gids[n:]
+    engine = SegosIndex(
+        {gid: data.graphs[gid] for gid in base}, fsync_policy=policy
+    )
+    path = workdir / f"ingest-{policy}.segos"
+    save_index(engine, path)
+
+    stop = threading.Event()
+    observations, errors = [], []
+    reader = None
+    if with_reader:
+        reader = threading.Thread(
+            target=_reader_loop, args=(path, stop, observations, errors),
+            daemon=True,
+        )
+        reader.start()
+
+    present = list(base)
+    with FsyncCounter() as counter:
+        started = time.perf_counter()
+        for i in range(mutations):
+            if i % 2 == 0 and extra:
+                gid = extra.pop()
+                engine.add(gid, data.graphs[gid])
+                present.append(gid)
+            else:
+                engine.remove(present.pop(0))
+            save_index(engine, path)
+        elapsed = time.perf_counter() - started
+    if reader is not None:
+        stop.set()
+        reader.join(timeout=30)
+
+    # Snapshot consistency: one graph count per observed (generation, sha).
+    snapshots = {}
+    consistent = True
+    for generation, sha, count in observations:
+        if generation is None:
+            continue
+        key = (generation, sha)
+        if snapshots.setdefault(key, count) != count:
+            consistent = False
+    final = load_index(path)
+    assert sorted(map(str, final.gids())) == sorted(map(str, present)), (
+        f"policy {policy}: final reload disagrees with the writer"
+    )
+    return {
+        "policy": policy,
+        "graphs": n,
+        "mutations": mutations,
+        "time_ingest_s": elapsed,
+        "mutations_per_s": mutations / elapsed if elapsed else None,
+        "fsync_calls": counter.calls,
+        "reader": {
+            "enabled": with_reader,
+            "reads": len(observations),
+            "mapped_reads": sum(1 for g, _, _ in observations if g is not None),
+            "distinct_snapshots": len(snapshots),
+            "snapshot_consistent": consistent,
+            "errors": errors,
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0], allow_abbrev=False
+    )
+    parser.add_argument(
+        "--smoke", action="store_true", help="tiny sizes, CI import/sanity check"
+    )
+    parser.add_argument(
+        "--mode",
+        choices=("all",) + FSYNC_POLICIES,
+        default="all",
+        help="restrict to one fsync policy (identical time_* keys, for "
+        "check_bench_regression.py)",
+    )
+    parser.add_argument(
+        "--check-overhead",
+        action="store_true",
+        help="with --mode all: exit 1 unless fsync counts order as "
+        "never(0) < batch <= always",
+    )
+    parser.add_argument("--seed", type=int, default=2012)
+    parser.add_argument("--graphs", type=int, default=None)
+    parser.add_argument("--mutations", type=int, default=None)
+    parser.add_argument(
+        "--no-reader", action="store_true", help="skip the concurrent reader"
+    )
+    parser.add_argument(
+        "--output", type=Path, default=DEFAULT_OUTPUT, help="JSON report path"
+    )
+    args = parser.parse_args(argv)
+
+    import tempfile
+
+    n = args.graphs or (12 if args.smoke else 80)
+    mutations = args.mutations or (8 if args.smoke else 60)
+    policies = FSYNC_POLICIES if args.mode == "all" else (args.mode,)
+    with tempfile.TemporaryDirectory(prefix="bench-ingest-") as tmp:
+        workdir = Path(tmp)
+        report = {
+            "meta": {
+                "bench": "ingest_durability",
+                "smoke": args.smoke,
+                "mode": args.mode,
+                "seed": args.seed,
+                "graphs": n,
+                "mutations": mutations,
+                "python": platform.python_version(),
+                "platform": platform.platform(),
+                "cpu_count": os.cpu_count(),
+                "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+            },
+        }
+        if args.mode == "all":
+            report["policies"] = {
+                policy: bench_policy(
+                    workdir, policy, n, mutations, args.seed, not args.no_reader
+                )
+                for policy in policies
+            }
+        else:
+            # Single-policy runs share one key shape so two of them feed
+            # the regression gate directly.
+            report["ingest"] = bench_policy(
+                workdir, args.mode, n, mutations, args.seed, not args.no_reader
+            )
+
+    args.output.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(json.dumps(report, indent=2))
+    print(f"\nwrote {args.output}", file=sys.stderr)
+
+    entries = (
+        report["policies"].values() if args.mode == "all" else [report["ingest"]]
+    )
+    for entry in entries:
+        if entry["reader"]["enabled"] and not entry["reader"]["snapshot_consistent"]:
+            print(
+                f"FAIL: policy {entry['policy']} served two different graph "
+                f"counts for one (generation, sha) snapshot",
+                file=sys.stderr,
+            )
+            return 1
+    if args.check_overhead and args.mode == "all":
+        counts = {p: report["policies"][p]["fsync_calls"] for p in FSYNC_POLICIES}
+        ordered = counts["never"] == 0 < counts["batch"] <= counts["always"]
+        if not ordered:
+            print(f"FAIL: fsync counts out of order: {counts}", file=sys.stderr)
+            return 1
+        print(f"fsync counts ordered as promised: {counts}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -10,6 +10,7 @@ Installed as ``python -m repro`` (see ``__main__.py``).  Subcommands::
     generate {aids,pdg} <out.txt> -n N     write a synthetic corpus
     index build   <db.segos>               (re)write the .segosx mmap sidecar
     index inspect <db.segos> [--verify]    describe / checksum-audit a sidecar
+    index scrub   <db.segos> [--repair]    audit / repair torn delta tails
 
 The query file is the usual transaction format; its first graph is the
 query.  Everything prints plain text and exits non-zero on bad input.
@@ -267,6 +268,34 @@ def _cmd_index_inspect(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_index_scrub(args: argparse.Namespace) -> int:
+    from .perf import diskcat
+
+    sidecar = args.index or (
+        args.database + ".segosx" if not args.database.endswith(".segosx")
+        else args.database
+    )
+    report = diskcat.scrub_sidecar(sidecar, repair=args.repair)
+    print(f"sidecar:  {report.path}")
+    if report.clean:
+        print("scrub:    clean (header, sections and delta journal OK)")
+        return 0
+    for problem in report.problems:
+        print(f"problem:  {problem}")
+    verb = "repaired" if report.repaired else "would repair"
+    for action in report.actions:
+        print(f"{verb}: {action}")
+    if report.fatal:
+        print("scrub:    NOT repairable in place -- rebuild with "
+              "'repro index build'")
+        return 1
+    if report.repaired:
+        print("scrub:    repaired in place; the sidecar loads again")
+        return 0
+    print("scrub:    problems found (re-run with --repair to fix in place)")
+    return 1
+
+
 def _cmd_generate(args: argparse.Namespace) -> int:
     maker = aids_like if args.kind == "aids" else pdg_like
     data = maker(args.count, seed=args.seed)
@@ -393,6 +422,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="CRC-audit every section and delta segment",
     )
     index_inspect.set_defaults(func=_cmd_index_inspect)
+    index_scrub = index_sub.add_parser(
+        "scrub",
+        help="audit a sidecar's CRCs; --repair truncates torn delta tails "
+        "in place",
+    )
+    index_scrub.add_argument(
+        "database", help=".segos database file (or the .segosx sidecar itself)"
+    )
+    index_scrub.add_argument(
+        "--index", help="explicit sidecar path (default <database>.segosx)"
+    )
+    index_scrub.add_argument(
+        "--repair",
+        action="store_true",
+        help="fix repairable damage in place (adopt orphan delta records, "
+        "truncate torn bytes, revert the header to the last intact state)",
+    )
+    index_scrub.set_defaults(func=_cmd_index_scrub)
 
     generate = sub.add_parser("generate", help="write a synthetic corpus")
     generate.add_argument("kind", choices=["aids", "pdg"])

@@ -75,6 +75,8 @@ ENV_SHARD_BY = "REPRO_SHARD_BY"
 ENV_SHARD_PIVOTS = "REPRO_SHARD_PIVOTS"
 #: Comma-separated filter-tier chain (ordered subset of the full chain).
 ENV_FILTER_TIERS = "REPRO_FILTER_TIERS"
+#: Durability discipline for persistence writes: ``always``/``batch``/``never``.
+ENV_FSYNC = "REPRO_FSYNC"
 
 #: Default SED-cache capacity (mirrored by ``repro.perf.sed_cache``).
 DEFAULT_SED_CACHE_SIZE = 1 << 18
@@ -92,6 +94,15 @@ DEFAULT_RETRY_BACKOFF = 0.05
 #: Default delta-compaction threshold: rewrite the sidecar once the journal
 #: exceeds this fraction of the base graph count (see repro.perf.diskcat).
 DEFAULT_DELTA_COMPACT = 0.25
+
+#: Valid fsync disciplines, strongest first.  ``always`` fsyncs at every
+#: durability barrier (and the parent directory after renames), ``batch``
+#: keeps only the ordering-critical barriers (one fsync per save), and
+#: ``never`` trusts write ordering alone — safe against process crashes
+#: (the page cache survives a SIGKILL) but not against power loss.
+FSYNC_POLICIES = ("always", "batch", "never")
+#: Default durability discipline: the ordering-critical barriers only.
+DEFAULT_FSYNC_POLICY = "batch"
 
 #: The full filter-tier chain, in execution order.  ``embed`` is the
 #: constant-time label/degree embedding pre-filter, ``anchor`` the
@@ -219,6 +230,17 @@ def _env_shard_by() -> str:
     return raw if raw in ("size", "hash", "auto") else "auto"
 
 
+def _env_fsync_policy() -> str:
+    """Environment default for the fsync discipline (unknown degrades).
+
+    Mirrors the shard/top-k knobs' robustness contract: a typo'd shell
+    export degrades to the default rather than taking persistence down.
+    Explicit constructor kwargs still fail fast in ``__post_init__``.
+    """
+    raw = env_str(ENV_FSYNC).strip().lower()
+    return raw if raw in FSYNC_POLICIES else DEFAULT_FSYNC_POLICY
+
+
 def _env_filter_tiers() -> Optional[Tuple[str, ...]]:
     """Environment default for the tier chain (invalid degrades to default).
 
@@ -316,6 +338,16 @@ class EngineConfig:
         (zero-copy cold start) and write/refresh one on ``save_index``.
         Off ⇒ always rebuild from the transaction text and never write a
         sidecar.  Env: ``REPRO_MMAP``.
+    fsync_policy:
+        Durability discipline for every persistence write (text replace,
+        sidecar write, delta append): ``always`` fsyncs at each barrier
+        plus the parent directory after renames, ``batch`` (the default)
+        keeps only the ordering-critical barriers — the delta record
+        before the header that claims it, the temp file before the
+        ``os.replace``, the directory after it — and ``never`` issues no
+        fsync at all.  All three keep the write *ordering*, so a killed
+        process can never corrupt the pair; ``never`` additionally bets
+        against power loss.  Env: ``REPRO_FSYNC``.
     delta_compact:
         Compaction threshold for the sidecar's append-only delta journal,
         as a fraction of the base graph count: once the accumulated ops
@@ -369,6 +401,7 @@ class EngineConfig:
     metrics: bool = False
     index_path: Optional[str] = None
     mmap: bool = True
+    fsync_policy: str = DEFAULT_FSYNC_POLICY
     delta_compact: float = DEFAULT_DELTA_COMPACT
     shards: int = 1
     shard_by: str = "auto"
@@ -403,6 +436,11 @@ class EngineConfig:
             raise ValueError("max_pool_retries must be >= 0")
         if self.retry_backoff < 0:
             raise ValueError("retry_backoff must be non-negative")
+        if self.fsync_policy not in FSYNC_POLICIES:
+            raise ValueError(
+                f"unknown fsync_policy {self.fsync_policy!r} "
+                f"(choose from {', '.join(FSYNC_POLICIES)})"
+            )
         if self.delta_compact < 0:
             raise ValueError("delta_compact must be non-negative")
         if self.shards < 1:
@@ -462,6 +500,7 @@ class EngineConfig:
             "metrics": env_bool(ENV_METRICS, False),
             "index_path": env_raw(ENV_INDEX_PATH) or None,
             "mmap": env_bool(ENV_MMAP, True),
+            "fsync_policy": _env_fsync_policy(),
             "delta_compact": env_float(ENV_DELTA_COMPACT, DEFAULT_DELTA_COMPACT),
             "shards": env_int(ENV_SHARDS, 1),
             "shard_by": _env_shard_by(),
@@ -515,6 +554,7 @@ ENV_KNOBS: Tuple[Tuple[str, str], ...] = (
     ("metrics", ENV_METRICS),
     ("index_path", ENV_INDEX_PATH),
     ("mmap", ENV_MMAP),
+    ("fsync_policy", ENV_FSYNC),
     ("delta_compact", ENV_DELTA_COMPACT),
     ("shards", ENV_SHARDS),
     ("shard_by", ENV_SHARD_BY),

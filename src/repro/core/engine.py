@@ -94,6 +94,7 @@ class SegosIndex:
         metrics: Optional[bool] = None,
         index_path: Optional[str] = None,
         mmap: Optional[bool] = None,
+        fsync_policy: Optional[str] = None,
         delta_compact: Optional[float] = None,
         shards: Optional[int] = None,
         shard_by: Optional[str] = None,
@@ -122,6 +123,7 @@ class SegosIndex:
             metrics=metrics,
             index_path=index_path,
             mmap=mmap,
+            fsync_policy=fsync_policy,
             delta_compact=delta_compact,
             shards=shards,
             shard_by=shard_by,

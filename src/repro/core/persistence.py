@@ -26,7 +26,15 @@ instead of rewriting it; once the journal outgrows ``delta_compact`` ×
 base-graph-count the next save compacts.  The ``(text, sidecar)`` pair is
 kept crash-consistent by ordering: the text is replaced atomically first,
 and the sidecar's recorded source hash is updated last, so any crash in
-between leaves a stale sidecar (→ rebuild), never a wrong index.
+between leaves a stale sidecar (→ rebuild), never a wrong index.  Every
+write flows through :mod:`repro.perf.durability`'s guarded primitives,
+which enforce the fsync discipline ``EngineConfig.fsync_policy`` selects
+(and host the deterministic crash points the kill-torture harness uses).
+A crash *inside* ``append_delta`` — record durably on disk, header not
+yet rewritten — is cheaper than stale: ``_try_mmap_load`` salvages the
+orphan tail records (each carries the post-append source ``(size, sha)``)
+and attaches without a rebuild; ``repro index scrub --repair`` performs
+the equivalent fix in place.
 """
 
 from __future__ import annotations
@@ -42,6 +50,13 @@ from ..errors import ParseError, SidecarError, StaleSidecarError
 from ..graphs import io as gio
 from ..perf import diskcat
 from ..perf.diskcat import DiskHandle, default_sidecar_path, file_sha256
+from ..perf.durability import (
+    fsync_dir,
+    guarded_fsync,
+    guarded_replace,
+    resolve_fsync_policy,
+    resolve_io_plan,
+)
 from .engine import SegosIndex
 
 PathLike = Union[str, Path]
@@ -166,57 +181,138 @@ def load_index(
 def _try_mmap_load(
     path: str, sidecar: str, config: EngineConfig
 ) -> Optional[SegosIndex]:
-    """Attach a mapped engine from *sidecar*, or ``None`` to rebuild."""
+    """Attach a mapped engine from *sidecar*, or ``None`` to rebuild.
+
+    A stale pairing (the text is newer than the sidecar header claims)
+    gets one salvage attempt before falling back: a writer SIGKILLed
+    between the delta-record barrier and the header rewrite leaves the
+    new record durably on disk *beyond* the header — adopting it
+    reattaches without a rebuild.
+    """
     try:
         disk = diskcat.DiskCatalog(sidecar)
     except (SidecarError, OSError):
         return None
     try:
         header = disk.header
-        if os.path.getsize(path) != header.source_size:
-            raise StaleSidecarError(
-                f"graph file {path!r} changed size",
-                path=os.fspath(sidecar),
-                expected_sha=header.source_sha,
-            )
-        # LazyGraphStore reads + hashes the text once; passing the expected
-        # digest makes that single pass double as the freshness check.
-        store = diskcat.LazyGraphStore(
-            path, base_gids=disk.gid_list(), expected_sha=header.source_sha
-        )
-        wrapper = diskcat.MappedTwoLevelIndex(disk)
-        # Seed the kernel snapshot with the zero-copy mapped columns.  It is
-        # keyed to the *base* generation: delta replay below bumps the
-        # counter, so a post-replay query transparently rebuilds it.
-        wrapper._columnar_snapshot = disk.columnar(wrapper.generation)
-        engine = SegosIndex(config=config)
-        engine._attach_mapped_storage(wrapper, store, None)
-        for segment in disk.delta_segments():
-            _replay_segment(engine, segment)
-        if engine.index.generation != header.generation:
-            raise StaleSidecarError(
-                "delta replay did not reach the header generation",
-                path=os.fspath(sidecar),
-                expected_generation=header.generation,
-                found_generation=engine.index.generation,
-            )
-        engine._sync_disk_source(
-            DiskHandle(
-                graph_path=os.path.abspath(path),
-                index_path=os.path.abspath(sidecar),
-                local_generation=engine.index.generation,
-                disk_generation=header.generation,
-                source_sha=header.source_sha.hex(),
+        try:
+            return _attach_mapped(
+                path,
+                sidecar,
+                disk,
+                config,
+                segments=disk.delta_segments(),
+                generation=header.generation,
                 source_size=header.source_size,
+                source_sha=header.source_sha,
                 delta_count=header.delta_count,
-                base_graphs=disk.n_graphs,
-                delta_ops=disk.total_delta_ops(),
             )
-        )
-        return engine
+        except StaleSidecarError:
+            engine = _salvage_mmap_load(path, sidecar, disk, config)
+            if engine is None:
+                raise
+            return engine
     except (SidecarError, ParseError, OSError):
         disk.close()
         return None
+
+
+def _salvage_mmap_load(
+    path: str, sidecar: str, disk: "diskcat.DiskCatalog", config: EngineConfig
+) -> Optional[SegosIndex]:
+    """Adopt orphan delta records a crashed append left past the header.
+
+    Only an *exact* match salvages: the covered journal prefix must be
+    intact and the last complete tail record's salvage token must equal
+    the current text's ``(size, sha)`` — then replaying through the tail
+    deterministically reproduces the state the dead writer was committing.
+    (Workers reopening the same pair rerun the same salvage and reach the
+    same generation, so the DiskHandle equality checks still hold.)
+    Anything less returns ``None`` and the caller rebuilds.
+    """
+    try:
+        scan = disk.salvage_scan()
+    except (SidecarError, OSError):
+        return None
+    adopted = diskcat.adoptable_tail(scan)
+    if not scan.covered_ok or not adopted:
+        return None
+    last = adopted[-1]
+    try:
+        if os.path.getsize(path) != last.source_size:
+            return None
+    except OSError:
+        return None
+    try:
+        return _attach_mapped(
+            path,
+            sidecar,
+            disk,
+            config,
+            segments=scan.covered + adopted,
+            generation=last.generation,
+            source_size=last.source_size,
+            source_sha=last.source_sha,
+            delta_count=disk.header.delta_count + len(adopted),
+        )
+    except (StaleSidecarError, SidecarError, ParseError, OSError):
+        return None
+
+
+def _attach_mapped(
+    path: str,
+    sidecar: str,
+    disk: "diskcat.DiskCatalog",
+    config: EngineConfig,
+    *,
+    segments: List["diskcat.DeltaSegment"],
+    generation: int,
+    source_size: int,
+    source_sha: bytes,
+    delta_count: int,
+) -> SegosIndex:
+    """Attach + replay one candidate ``(segments, source)`` state."""
+    if os.path.getsize(path) != source_size:
+        raise StaleSidecarError(
+            f"graph file {path!r} changed size",
+            path=os.fspath(sidecar),
+            expected_sha=source_sha,
+        )
+    # LazyGraphStore reads + hashes the text once; passing the expected
+    # digest makes that single pass double as the freshness check.
+    store = diskcat.LazyGraphStore(
+        path, base_gids=disk.gid_list(), expected_sha=source_sha
+    )
+    wrapper = diskcat.MappedTwoLevelIndex(disk)
+    # Seed the kernel snapshot with the zero-copy mapped columns.  It is
+    # keyed to the *base* generation: delta replay below bumps the
+    # counter, so a post-replay query transparently rebuilds it.
+    wrapper._columnar_snapshot = disk.columnar(wrapper.generation)
+    engine = SegosIndex(config=config)
+    engine._attach_mapped_storage(wrapper, store, None)
+    for segment in segments:
+        _replay_segment(engine, segment)
+    if engine.index.generation != generation:
+        raise StaleSidecarError(
+            "delta replay did not reach the expected generation",
+            path=os.fspath(sidecar),
+            expected_generation=generation,
+            found_generation=engine.index.generation,
+        )
+    engine._sync_disk_source(
+        DiskHandle(
+            graph_path=os.path.abspath(path),
+            index_path=os.path.abspath(sidecar),
+            local_generation=engine.index.generation,
+            disk_generation=generation,
+            source_sha=source_sha.hex(),
+            source_size=source_size,
+            delta_count=delta_count,
+            base_graphs=disk.n_graphs,
+            delta_ops=sum(len(segment.ops) for segment in segments),
+        )
+    )
+    return engine
 
 
 def _replay_segment(engine: SegosIndex, segment: "diskcat.DeltaSegment") -> None:
@@ -298,6 +394,11 @@ def save_index(
         if total <= config.delta_compact * max(1, prev.base_graphs):
             delta = (prev, net_ops, total)
 
+    # One policy + one stateful fault plan for the whole save, so a
+    # times=N countdown spans every barrier the operation crosses.
+    policy = resolve_fsync_policy(config.fsync_policy)
+    plan = resolve_io_plan(config.fault_plan or None)
+
     # Text first (atomic), sidecar second: a crash in between leaves the
     # sidecar pointing at the old hash — stale, so load falls back.
     pairs = [(gid, engine.graph(gid)) for gid in engine.gids()]
@@ -306,9 +407,15 @@ def save_index(
         with open(tmp, "w", encoding="utf-8") as handle:
             handle.write(_header_line(engine))
             gio.write_graphs(handle, pairs)
+            # The temp file must be durable *before* the rename publishes
+            # it — otherwise a power cut can expose a zero-length text.
+            guarded_fsync(
+                handle, stage="text.tmp", plan=plan, policy=policy, critical=True
+            )
         source_sha = file_sha256(tmp)
         source_size = os.path.getsize(tmp)
-        os.replace(tmp, path_str)
+        guarded_replace(tmp, path_str, stage="text.replace", plan=plan)
+        fsync_dir(path_str, stage="text.dir", plan=plan, policy=policy)
     finally:
         if os.path.exists(tmp):
             os.unlink(tmp)
@@ -326,6 +433,8 @@ def save_index(
             generation=generation,
             source_size=source_size,
             source_sha=source_sha,
+            fsync_policy=policy,
+            fault_plan=plan,
         )
         handle_after = DiskHandle(
             graph_path=os.path.abspath(path_str),
@@ -346,6 +455,8 @@ def save_index(
             generation=0,
             source_size=source_size,
             source_sha=source_sha,
+            fsync_policy=policy,
+            fault_plan=plan,
         )
         handle_after = DiskHandle(
             graph_path=os.path.abspath(path_str),

@@ -97,6 +97,15 @@ from ..graphs import io as gio
 from ..graphs.model import Graph
 from ..graphs.star import Star, decompose
 from .columnar import ColumnarCatalog, GraphEmbeddings
+from .durability import (
+    fsync_dir,
+    guarded_fsync,
+    guarded_replace,
+    guarded_truncate,
+    guarded_write,
+    resolve_fsync_policy,
+    resolve_io_plan,
+)
 
 try:  # numpy is an optional [perf] extra; everything degrades without it
     import numpy as _np
@@ -328,10 +337,21 @@ class DeltaSegment:
     text so replay never depends on the (since rewritten) graph file;
     ``("remove", gid, None)`` needs none — the mapped index already
     knows the graph's star counts.
+
+    ``source_size``/``source_sha`` record the graph file the segment
+    brought the sidecar in sync with.  Recovery hangs on them: a complete
+    record the header does not cover yet (the writer died between the
+    record write and the header rewrite) can be *adopted* when its
+    recorded source still matches the text on disk, and a scrub that
+    truncates a torn tail can revert the header's freshness token to the
+    last surviving segment.  Segments written before this field existed
+    carry ``None`` — they still replay, but cannot be adopted.
     """
 
     generation: int
     ops: Tuple[Tuple[str, str, Optional[str]], ...]
+    source_size: Optional[int] = None
+    source_sha: Optional[bytes] = None
 
 
 def replay_generation_bumps(ops: Iterable[Tuple[str, str, Optional[str]]]) -> int:
@@ -537,19 +557,36 @@ def write_sidecar(
     source_size: int,
     source_sha: bytes,
     embeddings: bool = True,
+    fsync_policy: Optional[str] = None,
+    fault_plan=None,
 ) -> None:
     """Write a full (delta-free) sidecar atomically (temp + rename).
+
+    Durability: the temp file is flushed and fsynced (policy-gated)
+    before the ``os.replace``, and the directory entry after it — a
+    crash at any point leaves either the old sidecar or the new one,
+    plus at worst a stray temp file.
 
     ``embeddings=False`` omits the optional embedding sections — the
     pre-embedding file layout, kept writable so the loud-degradation path
     (and its test) can produce a stale-layout sidecar on demand.
     """
     index_path = os.fspath(index_path)
+    policy = resolve_fsync_policy(fsync_policy)
+    plan = resolve_io_plan(fault_plan)
     columns = _columnarize(pairs)
     counts = columns.pop("_counts")
-    meta = json.dumps({"counts": counts, "config": config}, sort_keys=True).encode(
-        "utf-8"
-    )
+    meta = json.dumps(
+        {
+            "counts": counts,
+            "config": config,
+            # The base state's own salvage token: a scrub that truncates
+            # every delta segment can revert the header's freshness token
+            # to the state the sections describe.
+            "source": {"size": source_size, "sha": source_sha.hex()},
+        },
+        sort_keys=True,
+    ).encode("utf-8")
     names = SECTION_NAMES + (OPTIONAL_SECTION_NAMES if embeddings else ())
 
     meta_off = HEADER_SIZE
@@ -580,7 +617,7 @@ def write_sidecar(
     tmp_path = f"{index_path}.tmp.{os.getpid()}"
     try:
         with open(tmp_path, "wb") as out:
-            out.write(header.pack())
+            guarded_write(out, header.pack(), stage="sidecar.header", plan=plan)
             out.write(meta)
             out.write(b"\0" * (table_off - meta_off - len(meta)))
             for name, offset, length, crc in table_entries:
@@ -591,7 +628,13 @@ def write_sidecar(
                 out.write(columns[name])
                 position = offset + length
             out.write(b"\0" * (delta_off - position))
-        os.replace(tmp_path, index_path)
+            # The whole file must be durable before the rename publishes
+            # it — otherwise a crash could leave a named, empty sidecar.
+            guarded_fsync(
+                out, stage="sidecar.tmp", plan=plan, policy=policy, critical=True
+            )
+        guarded_replace(tmp_path, index_path, stage="sidecar.replace", plan=plan)
+        fsync_dir(index_path, stage="sidecar.dir", plan=plan, policy=policy)
     finally:
         if os.path.exists(tmp_path):
             os.unlink(tmp_path)
@@ -604,31 +647,404 @@ def append_delta(
     generation: int,
     source_size: int,
     source_sha: bytes,
+    fsync_policy: Optional[str] = None,
+    fault_plan=None,
 ) -> None:
     """Append one journal segment and refresh the header in place.
 
-    The record is written before the header, so a crash in between
-    leaves the header blind to the partial record (``delta_bytes``
-    bounds every read) and pointing at a now-mismatched source hash —
-    the sidecar degrades to a rebuild, never to wrong answers.
+    Ordering contract: the record is written **and flushed/fsynced**
+    (policy-gated) before the header rewrite that claims it, so the OS
+    can never persist a header covering ``delta_bytes`` it does not have.
+    A crash before the barrier leaves the header blind to the partial
+    record (``delta_bytes`` bounds every read); a crash after it leaves a
+    complete, un-adopted record that recovery salvages by matching its
+    recorded source hash against the text (see ``DeltaScan``).  Either
+    way: the old or the new state, never wrong answers.
+
+    The payload records the post-append source ``(size, sha)`` — the
+    salvage token — alongside the ops.
     """
     index_path = os.fspath(index_path)
+    policy = resolve_fsync_policy(fsync_policy)
+    plan = resolve_io_plan(fault_plan)
     header = read_header(index_path)
     payload = json.dumps(
-        {"generation": generation, "ops": [list(op) for op in ops]},
+        {
+            "generation": generation,
+            "ops": [list(op) for op in ops],
+            "source_size": source_size,
+            "source_sha": source_sha.hex(),
+        },
         sort_keys=True,
     ).encode("utf-8")
     record = _DELTA.pack(DELTA_MAGIC, len(ops), zlib.crc32(payload), len(payload))
     with open(index_path, "r+b") as out:
         out.seek(header.delta_off + header.delta_bytes)
-        out.write(record + payload)
+        guarded_write(out, record + payload, stage="delta.record", plan=plan)
+        # The ordering barrier (the satellite bug this PR fixes): without
+        # it, record and header share one unflushed userspace buffer and
+        # the kernel may persist the new header first.
+        guarded_fsync(
+            out, stage="delta.record", plan=plan, policy=policy, critical=True
+        )
         header.generation = generation
         header.source_size = source_size
         header.source_sha = source_sha
         header.delta_count += 1
         header.delta_bytes += len(record) + len(payload)
         out.seek(0)
-        out.write(header.pack())
+        guarded_write(out, header.pack(), stage="delta.header", plan=plan)
+        # Trailing hardening only: losing this sync costs tail freshness
+        # (salvage re-adopts the record), never consistency.
+        guarded_fsync(
+            out, stage="delta.header", plan=plan, policy=policy, critical=False
+        )
+
+
+# ---------------------------------------------------------------------------
+# Delta-record parsing, torn-tail scanning, and scrub
+# ---------------------------------------------------------------------------
+
+def _parse_delta_record(buf, cursor: int, limit: int) -> Tuple[DeltaSegment, int]:
+    """Parse one ``SEGD`` record at *cursor*; returns ``(segment, end)``.
+
+    Raises :class:`SidecarError` unless the bytes at *cursor* form a
+    complete, CRC-valid, self-consistent record ending at or before
+    *limit*.  Shared by the strict reader (:meth:`DiskCatalog.delta_segments`)
+    and the tolerant recovery scanner (:func:`scan_delta_region`).
+    """
+    if cursor + _DELTA.size > limit:
+        raise SidecarError("delta journal truncated")
+    magic, op_count, crc, length = _DELTA.unpack_from(buf, cursor)
+    if magic != DELTA_MAGIC:
+        raise SidecarError(f"bad delta magic {magic!r}")
+    cursor += _DELTA.size
+    if cursor + length > limit:
+        raise SidecarError("delta payload truncated")
+    payload = bytes(buf[cursor : cursor + length])
+    cursor += length
+    if zlib.crc32(payload) != crc:
+        raise SidecarError("delta payload CRC mismatch")
+    try:
+        decoded = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise SidecarError(f"malformed delta payload: {exc}") from exc
+    ops = tuple(
+        (op[0], op[1], op[2] if len(op) > 2 else None) for op in decoded["ops"]
+    )
+    if len(ops) != op_count or any(kind not in _OP_BUMPS for kind, _, _ in ops):
+        raise SidecarError("delta op list inconsistent with its record")
+    sha_hex = decoded.get("source_sha")
+    segment = DeltaSegment(
+        int(decoded["generation"]),
+        ops,
+        source_size=(
+            int(decoded["source_size"]) if "source_size" in decoded else None
+        ),
+        source_sha=bytes.fromhex(sha_hex) if sha_hex else None,
+    )
+    return segment, cursor
+
+
+@dataclass
+class DeltaScan:
+    """A tolerant walk of the whole delta region, for crash recovery.
+
+    ``covered`` is the valid record prefix inside the header-claimed
+    region (``covered_ok`` when it accounts for *exactly* the claimed
+    bytes and count).  ``tail`` holds complete, CRC-valid records found
+    *beyond* the claimed region — the signature of a writer killed between
+    the record write and the header rewrite; ``tail_ends`` gives each tail
+    record's absolute end offset so a repair can adopt a prefix of them.
+    ``valid_end`` is one past the last valid record anywhere; anything
+    between it and the file end is torn garbage (``torn_bytes``).
+    """
+
+    covered: List[DeltaSegment]
+    covered_ok: bool
+    covered_end: int
+    tail: List[DeltaSegment]
+    tail_ends: List[int]
+    valid_end: int
+    torn_bytes: int
+    problems: List[str]
+
+
+def scan_delta_region(buf, header: SidecarHeader, file_size: int) -> DeltaScan:
+    """Walk the delta region tolerantly: valid prefix, salvageable tail.
+
+    Never raises on torn bytes — recovery needs the report, not the
+    exception.  *buf* may be the raw file bytes or the open mmap.
+    """
+    problems: List[str] = []
+    covered: List[DeltaSegment] = []
+    cursor = header.delta_off
+    claimed_end = header.delta_off + header.delta_bytes
+    covered_ok = True
+    while len(covered) < header.delta_count:
+        try:
+            segment, cursor = _parse_delta_record(
+                buf, cursor, min(claimed_end, file_size)
+            )
+        except SidecarError as exc:
+            covered_ok = False
+            problems.append(
+                f"torn delta record inside the header-claimed region "
+                f"(segment {len(covered) + 1} of {header.delta_count}): {exc}"
+            )
+            break
+        covered.append(segment)
+    if covered_ok and cursor != claimed_end:
+        covered_ok = False
+        problems.append(
+            f"header claims {header.delta_bytes} delta bytes but its "
+            f"{header.delta_count} record(s) end {claimed_end - cursor} "
+            f"byte(s) early"
+        )
+    covered_end = cursor
+    tail: List[DeltaSegment] = []
+    tail_ends: List[int] = []
+    valid_end = covered_end
+    if covered_ok:
+        cursor = claimed_end
+        valid_end = claimed_end
+        while cursor < file_size:
+            try:
+                segment, cursor = _parse_delta_record(buf, cursor, file_size)
+            except SidecarError:
+                break
+            tail.append(segment)
+            tail_ends.append(cursor)
+            valid_end = cursor
+        if tail:
+            problems.append(
+                f"{len(tail)} complete delta record(s) beyond the header "
+                f"(writer died before the header rewrite)"
+            )
+    torn_bytes = file_size - valid_end
+    if torn_bytes:
+        problems.append(
+            f"{torn_bytes} torn byte(s) past the last valid delta record"
+        )
+    return DeltaScan(
+        covered,
+        covered_ok,
+        covered_end,
+        tail,
+        tail_ends,
+        valid_end,
+        torn_bytes,
+        problems,
+    )
+
+
+def adoptable_tail(scan: DeltaScan) -> List[DeltaSegment]:
+    """The tail prefix that recovery may adopt: records carrying the
+    source ``(size, sha)`` salvage token (legacy records without one
+    cannot vouch for the header's freshness, so adoption stops there)."""
+    adopted: List[DeltaSegment] = []
+    for segment in scan.tail:
+        if segment.source_sha is None or segment.source_size is None:
+            break
+        adopted.append(segment)
+    return adopted
+
+
+@dataclass
+class ScrubReport:
+    """What ``scrub_sidecar`` found and what it did (or would do).
+
+    ``problems`` lists every inconsistency found; ``actions`` the repairs
+    — performed when ``repaired`` is set, proposed otherwise.  ``fatal``
+    means in-place repair cannot help (header or section payloads are
+    gone): rebuild with ``repro index build``.
+    """
+
+    path: str
+    problems: List[str]
+    actions: List[str]
+    repaired: bool = False
+    fatal: bool = False
+
+    @property
+    def clean(self) -> bool:
+        return not self.problems
+
+
+def _rebuild_action() -> str:
+    return "rebuild the sidecar from the text (repro index build)"
+
+
+def scrub_sidecar(
+    path,
+    *,
+    repair: bool = False,
+    fsync_policy: Optional[str] = None,
+    fault_plan=None,
+) -> ScrubReport:
+    """Audit (and with ``repair=True``, fix in place) one sidecar file.
+
+    Checks the header CRC, meta/table/section bounds, every section CRC,
+    and the delta journal.  Repairable damage — torn delta tails, orphan
+    records a crashed append left beyond the header — is fixed *in place*:
+    complete tail records whose salvage token is intact are adopted into
+    the header, torn bytes are truncated, and the header's generation and
+    freshness token are reverted to the last surviving segment (or the
+    base state recorded in the meta block).  The repair sequence is
+    crash-safe itself: surviving data is fsynced before the header vouches
+    for it, and the header is corrected before garbage is truncated, so a
+    scrub killed midway leaves a state a second scrub (or plain load)
+    still handles.
+    """
+    path = os.fspath(path)
+    policy = resolve_fsync_policy(fsync_policy)
+    plan = resolve_io_plan(fault_plan)
+    problems: List[str] = []
+    actions: List[str] = []
+    try:
+        with open(path, "rb") as handle:
+            raw = handle.read()
+    except OSError as exc:
+        return ScrubReport(path, [f"unreadable: {exc}"], [], fatal=True)
+    size = len(raw)
+    try:
+        header = SidecarHeader.unpack(raw)
+    except SidecarError as exc:
+        return ScrubReport(
+            path, [f"header: {exc}"], [_rebuild_action()], fatal=True
+        )
+
+    fatal = False
+    if header.meta_off + header.meta_len > size:
+        problems.append("meta block extends past end of file")
+        fatal = True
+    if header.table_off + header.section_count * _SECTION.size > size:
+        problems.append("section table extends past end of file")
+        fatal = True
+    meta = None
+    if not fatal:
+        try:
+            meta = json.loads(
+                raw[header.meta_off : header.meta_off + header.meta_len].decode(
+                    "utf-8"
+                )
+            )
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            problems.append(f"malformed meta block: {exc}")
+            fatal = True
+    if not fatal:
+        for i in range(header.section_count):
+            start = header.table_off + i * _SECTION.size
+            raw_name, offset, length, crc = _SECTION.unpack_from(raw, start)
+            name = raw_name.rstrip(b"\0").decode("ascii", "replace")
+            if offset + length > size:
+                problems.append(f"section {name!r} extends past end of file")
+                fatal = True
+            elif zlib.crc32(raw[offset : offset + length]) != crc:
+                problems.append(
+                    f"section {name!r}: CRC mismatch (stored {crc})"
+                )
+                fatal = True
+    if fatal:
+        return ScrubReport(path, problems, [_rebuild_action()], fatal=True)
+
+    scan = scan_delta_region(raw, header, size)
+    problems.extend(scan.problems)
+    if not problems:
+        return ScrubReport(path, [], [])
+
+    # Desired end state: header covering covered-prefix + adoptable tail,
+    # file truncated after the last kept record.
+    adopted = adoptable_tail(scan)
+    if scan.covered_ok:
+        kept = scan.covered + adopted
+        new_end = scan.tail_ends[len(adopted) - 1] if adopted else scan.covered_end
+    else:
+        kept = list(scan.covered)
+        new_end = scan.covered_end
+    new_header = SidecarHeader(**{
+        f: getattr(header, f) for f in (
+            "version",
+            "generation",
+            "base_generation",
+            "source_size",
+            "source_sha",
+            "meta_off",
+            "meta_len",
+            "table_off",
+            "section_count",
+            "delta_off",
+            "delta_count",
+            "delta_bytes",
+        )
+    })
+    new_header.delta_count = len(kept)
+    new_header.delta_bytes = new_end - header.delta_off
+    if kept:
+        last = kept[-1]
+        new_header.generation = last.generation
+        if last.source_sha is not None and last.source_size is not None:
+            new_header.source_size = last.source_size
+            new_header.source_sha = last.source_sha
+        elif len(kept) != header.delta_count:
+            # Reverting to a legacy segment that recorded no salvage
+            # token: the freshness claim is unknowable, so poison it —
+            # the next load degrades to a rebuild instead of trusting it.
+            new_header.source_size = 0
+            new_header.source_sha = b"\0" * 32
+            problems.append(
+                "recovered state predates the salvage token; freshness "
+                "poisoned, next load rebuilds"
+            )
+    else:
+        new_header.generation = header.base_generation
+        base_source = (meta or {}).get("source") or {}
+        if base_source.get("sha"):
+            new_header.source_size = int(base_source["size"])
+            new_header.source_sha = bytes.fromhex(base_source["sha"])
+        elif header.delta_count:
+            new_header.source_size = 0
+            new_header.source_sha = b"\0" * 32
+            problems.append(
+                "base state records no salvage token; freshness poisoned, "
+                "next load rebuilds"
+            )
+
+    header_changed = new_header.pack() != header.pack()
+    if adopted:
+        actions.append(
+            f"adopt {len(adopted)} recovered delta record(s) into the header "
+            f"(generation {header.generation} -> {new_header.generation})"
+        )
+    if not scan.covered_ok:
+        actions.append(
+            f"revert the header to the last intact segment "
+            f"(generation {header.generation} -> {new_header.generation}, "
+            f"{header.delta_count} -> {new_header.delta_count} segment(s))"
+        )
+    if new_end < size:
+        actions.append(f"truncate {size - new_end} torn byte(s) at offset {new_end}")
+
+    if not repair:
+        return ScrubReport(path, problems, actions)
+
+    with open(path, "r+b") as out:
+        # Everything the new header vouches for must be durable first.
+        guarded_fsync(out, stage="scrub.data", plan=plan, policy=policy, critical=True)
+        if header_changed:
+            out.seek(0)
+            guarded_write(out, new_header.pack(), stage="scrub.header", plan=plan)
+            guarded_fsync(
+                out, stage="scrub.header", plan=plan, policy=policy, critical=True
+            )
+        if new_end < size:
+            # Header first, truncate second: a crash in between leaves
+            # benign garbage beyond the (already-corrected) header.
+            guarded_truncate(out, new_end, stage="scrub.truncate", plan=plan)
+            guarded_fsync(
+                out, stage="scrub.truncate", plan=plan, policy=policy, critical=False
+            )
+    return ScrubReport(path, problems, actions, repaired=True)
 
 
 # ---------------------------------------------------------------------------
@@ -655,6 +1071,20 @@ class DiskCatalog:
             raise SidecarError(f"cannot map sidecar {self.path!r}: {exc}") from exc
         try:
             self.header = SidecarHeader.unpack(self._mmap[:HEADER_SIZE])
+            # Bound every header-claimed region against the actual file
+            # size *before* dereferencing it: a short or corrupt file must
+            # surface as SidecarError (-> rebuild), never a raw
+            # struct.error from unpacking past EOF.
+            size = len(self._mmap)
+            if self.header.meta_off + self.header.meta_len > size:
+                raise SidecarError("sidecar meta block extends past end of file")
+            if (
+                self.header.table_off + self.header.section_count * _SECTION.size
+                > size
+            ):
+                raise SidecarError("sidecar section table extends past end of file")
+            if self.header.delta_off + self.header.delta_bytes > size:
+                raise SidecarError("sidecar delta region extends past end of file")
             meta_raw = bytes(
                 self._mmap[self.header.meta_off : self.header.meta_off + self.header.meta_len]
             )
@@ -772,30 +1202,13 @@ class DiskCatalog:
         cursor = self.header.delta_off
         end = self.header.delta_off + self.header.delta_bytes
         for _ in range(self.header.delta_count):
-            if cursor + _DELTA.size > end:
-                raise SidecarError("delta journal truncated")
-            magic, op_count, crc, length = _DELTA.unpack_from(self._mmap, cursor)
-            if magic != DELTA_MAGIC:
-                raise SidecarError(f"bad delta magic {magic!r}")
-            cursor += _DELTA.size
-            if cursor + length > end:
-                raise SidecarError("delta payload truncated")
-            payload = bytes(self._mmap[cursor : cursor + length])
-            cursor += length
-            if zlib.crc32(payload) != crc:
-                raise SidecarError("delta payload CRC mismatch")
-            try:
-                decoded = json.loads(payload.decode("utf-8"))
-            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-                raise SidecarError(f"malformed delta payload: {exc}") from exc
-            ops = tuple(
-                (op[0], op[1], op[2] if len(op) > 2 else None)
-                for op in decoded["ops"]
-            )
-            if len(ops) != op_count or any(kind not in _OP_BUMPS for kind, _, _ in ops):
-                raise SidecarError("delta op list inconsistent with its record")
-            segments.append(DeltaSegment(int(decoded["generation"]), ops))
+            segment, cursor = _parse_delta_record(self._mmap, cursor, end)
+            segments.append(segment)
         return segments
+
+    def salvage_scan(self) -> DeltaScan:
+        """Tolerant scan of the whole delta region (for crash recovery)."""
+        return scan_delta_region(self._mmap, self.header, len(self._mmap))
 
     def total_delta_ops(self) -> int:
         return sum(len(segment.ops) for segment in self.delta_segments())

@@ -1,0 +1,160 @@
+"""Durable-write primitives: policy-gated fsync barriers + crash points.
+
+Every byte the persistence layer puts on disk flows through the four
+guarded primitives in this module.  They do two jobs at once:
+
+1. **Durability discipline.**  ``EngineConfig.fsync_policy``
+   (``REPRO_FSYNC``) decides which barriers actually reach the platters:
+
+   ``always``
+       fsync at every barrier, plus the parent directory after renames —
+       the full power-loss story.
+   ``batch`` (default)
+       only the *ordering-critical* barriers: the delta record before the
+       header that claims it, the temp file before its ``os.replace``,
+       and the directory entry after the replace.  Trailing hardening
+       syncs (the in-place header rewrite) are skipped — losing them
+       costs at most the delta tail, which recovery salvages or truncates.
+   ``never``
+       no fsync at all.  Write *ordering* through the page cache is still
+       preserved, so a SIGKILLed process can never corrupt the pair; the
+       bet is purely against power loss.
+
+2. **Deterministic crash points.**  The ``io.write`` / ``io.fsync`` /
+   ``io.replace`` / ``io.truncate`` injection points of
+   :mod:`repro.resilience.faults` fire here.  A matching rule SIGKILLs the
+   process at exactly that syscall boundary — after persisting the leading
+   ``offset=`` bytes for ``io.write``, simulating a torn write.  Each call
+   site passes a distinct ``stage=`` label, so a fault plan can stop a
+   writer between any two durability steps and the kill-torture harness
+   can enumerate every window exhaustively.
+
+The crash is a real ``SIGKILL`` (no atexit, no finally blocks), which is
+the whole point: whatever the primitives managed to push past the kernel
+boundary is what recovery gets to work with.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+from typing import Optional
+
+from ..config import DEFAULT_FSYNC_POLICY, ENV_FSYNC, FSYNC_POLICIES, env_str
+from ..resilience.faults import FaultPlan, resolve_fault_plan
+
+__all__ = [
+    "guarded_write",
+    "guarded_fsync",
+    "guarded_replace",
+    "guarded_truncate",
+    "fsync_dir",
+    "resolve_fsync_policy",
+    "resolve_io_plan",
+]
+
+
+def resolve_fsync_policy(policy: Optional[str] = None) -> str:
+    """Resolve the fsync discipline: explicit arg > ``REPRO_FSYNC`` > default.
+
+    The environment path degrades unknown names to the default (the shared
+    robustness contract of env knobs); explicit bad arguments were already
+    rejected by ``EngineConfig`` validation, so this never raises.
+    """
+    if policy in FSYNC_POLICIES:
+        return policy
+    raw = env_str(ENV_FSYNC).strip().lower()
+    return raw if raw in FSYNC_POLICIES else DEFAULT_FSYNC_POLICY
+
+
+def resolve_io_plan(plan=None) -> FaultPlan:
+    """Resolve a fault plan for one persistence operation.
+
+    Accepts an already-parsed (stateful) :class:`FaultPlan` — the caller
+    that owns a whole save threads one object through every primitive so
+    ``times=`` countdowns span the operation — or a spec string / ``None``
+    (→ ``REPRO_FAULT_PLAN``), for direct, engine-less calls.
+    """
+    return resolve_fault_plan(plan)
+
+
+def _crash() -> None:  # pragma: no cover - only runs in torture subprocesses
+    """Die as if SIGKILLed at this instant (tests monkeypatch this)."""
+    os.kill(os.getpid(), signal.SIGKILL)
+    # SIGKILL is not maskable; if we are somehow still alive (a test
+    # monkeypatched os.kill away without replacing _crash), hard-exit.
+    os._exit(137)
+
+
+def guarded_write(out, data: bytes, *, stage: str, plan: FaultPlan) -> None:
+    """Write *data* to *out*, honouring scripted torn-write crashes.
+
+    A matching ``io.write`` rule persists only the first ``offset`` bytes
+    (flushed so they actually reach the kernel) and then kills the process.
+    """
+    rule = plan.fire("io.write", stage=stage)
+    if rule is not None:
+        out.write(data[: max(0, rule.offset)])
+        out.flush()
+        _crash()
+    out.write(data)
+
+
+def guarded_fsync(
+    out, *, stage: str, plan: FaultPlan, policy: str, critical: bool = True
+) -> None:
+    """Flush *out* and, policy permitting, fsync it.
+
+    The flush always happens — it moves Python's userspace buffer to the
+    kernel, which is what preserves write *ordering* even under
+    ``never``.  The fsync itself runs under ``always`` unconditionally
+    and under ``batch`` only when the barrier is ``critical`` (ordering
+    matters, not just tail freshness).  A matching ``io.fsync`` rule
+    kills the process just before the sync — the data sits in the page
+    cache, exactly the state a crash in this window leaves behind.
+    """
+    if plan.fire("io.fsync", stage=stage) is not None:
+        out.flush()
+        _crash()
+    out.flush()
+    if policy == "always" or (policy == "batch" and critical):
+        os.fsync(out.fileno())
+
+
+def guarded_replace(src, dst, *, stage: str, plan: FaultPlan) -> None:
+    """``os.replace`` with a scripted crash just before the rename."""
+    if plan.fire("io.replace", stage=stage) is not None:
+        _crash()
+    os.replace(src, dst)
+
+
+def guarded_truncate(out, size: int, *, stage: str, plan: FaultPlan) -> None:
+    """``ftruncate`` with a scripted crash just before the truncate."""
+    if plan.fire("io.truncate", stage=stage) is not None:
+        _crash()
+    out.truncate(size)
+
+
+def fsync_dir(path, *, stage: str, plan: FaultPlan, policy: str) -> None:
+    """fsync the directory containing *path*, making its renames durable.
+
+    Runs under ``always`` and ``batch`` (a rename that evaporates on power
+    loss would undo an otherwise-complete save); ``never`` skips it.
+    Platforms that refuse ``open(dir)`` (some filesystems/containers) are
+    tolerated — the discipline degrades, it does not crash the save.
+    """
+    if plan.fire("io.fsync", stage=stage) is not None:
+        _crash()
+    if policy == "never":
+        return
+    parent = os.path.dirname(os.path.abspath(os.fspath(path))) or "."
+    try:
+        fd = os.open(parent, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-dependent
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform-dependent
+        pass
+    finally:
+        os.close(fd)

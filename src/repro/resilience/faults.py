@@ -15,7 +15,24 @@ point                     what firing it simulates
 ``worker.crash``          the worker process dies mid-task (``os._exit``)
 ``worker.hang``           the worker stops responding (sleeps ``seconds``)
 ``chunk.result``          the task computes but its result delivery fails
+``io.write``              the process dies mid-write (``offset=`` bytes land)
+``io.fsync``              the process dies just before an fsync barrier
+``io.replace``            the process dies just before an ``os.replace``
+``io.truncate``           the process dies just before an ``ftruncate``
 ========================  ====================================================
+
+The four ``io.*`` points are the crash-consistency half of the registry:
+they fire inside :mod:`repro.perf.durability`'s guarded I/O primitives and
+kill the process with ``SIGKILL`` at exactly that syscall boundary —
+``io.write`` first persists the leading ``offset=`` bytes of the pending
+buffer, simulating a torn write.  Each persistence call site carries a
+distinct ``stage=`` label (``delta.record``, ``delta.header``,
+``text.tmp``, ``text.replace``, ``sidecar.tmp``, ``sidecar.replace``,
+``sidecar.dir``, ``text.dir``, ``scrub.header``, ``scrub.truncate``), so a
+plan can stop a writer between any two durability steps deterministically.
+The kill-torture harness (``tests/test_crash_torture.py``) SIGKILLs a
+writer subprocess at every one of these points and asserts the recovery
+invariant: reopening always yields the old or the new consistent state.
 
 Plans are written as a spec string — ``EngineConfig.fault_plan`` or the
 ``REPRO_FAULT_PLAN`` environment variable — of ``;``-separated rules::
@@ -46,14 +63,26 @@ from typing import Optional, Tuple
 from ..config import ENV_FAULT_PLAN, env_str
 from ..errors import ReproError
 
-#: Every injection point a plan may name.
-INJECTION_POINTS = (
+#: Injection points of the supervised-pool paths (the original registry).
+POOL_POINTS = (
     "pickle.engine",
     "pool.spawn",
     "worker.crash",
     "worker.hang",
     "chunk.result",
 )
+
+#: Injection points of the durable-persistence write paths: firing one
+#: SIGKILLs the process at that syscall boundary (see repro.perf.durability).
+IO_POINTS = (
+    "io.write",
+    "io.fsync",
+    "io.replace",
+    "io.truncate",
+)
+
+#: Every injection point a plan may name.
+INJECTION_POINTS = POOL_POINTS + IO_POINTS
 
 #: Injection points that fire *inside* a worker process (the supervisor
 #: attaches them to the task payload as a directive).
@@ -81,6 +110,9 @@ class FaultRule:
     stage: Optional[str] = None
     times: Optional[int] = 1
     seconds: float = DEFAULT_HANG_SECONDS
+    #: For ``io.write``: bytes of the pending buffer persisted before the
+    #: simulated crash (0 = nothing lands, the pure ordering case).
+    offset: int = 0
 
     def matches(self, point: str, task: Optional[int], stage: Optional[str]) -> bool:
         if self.point != point:
@@ -149,6 +181,10 @@ class FaultPlan:
                     rule.stage = value
                 elif key == "seconds":
                     rule.seconds = float(value)
+                elif key == "offset":
+                    rule.offset = int(value)
+                    if rule.offset < 0:
+                        raise ValueError("offset must be >= 0")
                 else:
                     raise ValueError(f"unknown fault rule key {key!r} in {rule_spec!r}")
             rules.append(rule)
@@ -195,9 +231,13 @@ def random_spec(seed: int) -> str:
 
     Deterministic in *seed* (which CI prints), so any chaos failure is
     reproducible with ``REPRO_FAULT_PLAN="$(python -c ...random_spec(seed))"``.
+    Draws only from :data:`POOL_POINTS`: an ambient ``io.*`` rule would
+    SIGKILL the test process itself mid-save — those belong to the
+    kill-torture harness, which scripts them into writer *subprocesses*
+    (see :func:`random_io_spec`).
     """
     rng = random.Random(seed)
-    point = rng.choice(INJECTION_POINTS)
+    point = rng.choice(POOL_POINTS)
     parts = [point]
     if point in WORKER_POINTS and rng.random() < 0.5:
         parts.append(f"task={rng.randrange(3)}")
@@ -205,4 +245,42 @@ def random_spec(seed: int) -> str:
     if point == "worker.hang":
         # Hang "forever" relative to the chaos leg's REPRO_TASK_TIMEOUT.
         parts.append("seconds=30")
+    return ":".join(parts)
+
+
+#: ``(point, stage)`` pairs reachable on a normal ``save_index`` (the
+#: delta-append path); the torture harness enumerates these exhaustively
+#: and :func:`random_io_spec` samples them for the crash-torture CI leg.
+IO_SAVE_SITES = (
+    ("io.fsync", "text.tmp"),
+    ("io.replace", "text.replace"),
+    ("io.fsync", "text.dir"),
+    ("io.write", "delta.record"),
+    ("io.fsync", "delta.record"),
+    ("io.write", "delta.header"),
+    ("io.fsync", "delta.header"),
+)
+
+#: Additional sites of the full-rewrite (compacting) save path.
+IO_REWRITE_SITES = (
+    ("io.write", "sidecar.header"),
+    ("io.fsync", "sidecar.tmp"),
+    ("io.replace", "sidecar.replace"),
+    ("io.fsync", "sidecar.dir"),
+)
+
+
+def random_io_spec(seed: int) -> str:
+    """One random crash-point spec for the kill-torture CI leg.
+
+    Deterministic in *seed* (which CI prints).  Picks a ``(point, stage)``
+    site that a delta-append or compacting save actually reaches, plus a
+    random torn-write offset for ``io.write`` points, so every draw kills
+    the torture writer somewhere real.
+    """
+    rng = random.Random(seed)
+    point, stage = rng.choice(IO_SAVE_SITES + IO_REWRITE_SITES)
+    parts = [point, f"stage={stage}", "times=1"]
+    if point == "io.write":
+        parts.append(f"offset={rng.randrange(0, 24)}")
     return ":".join(parts)

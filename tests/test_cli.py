@@ -231,3 +231,38 @@ class TestIndexSidecar:
     def test_inspect_missing_sidecar_errors(self, corpus_file, capsys):
         assert main(["index", "inspect", str(corpus_file)]) == 1
         assert "error:" in capsys.readouterr().err
+
+
+class TestIndexScrub:
+    def test_scrub_clean(self, db_file, capsys):
+        assert main(["index", "scrub", str(db_file)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_scrub_detects_torn_tail_without_touching(self, db_file, capsys):
+        sidecar = db_file.parent / "db.segos.segosx"
+        clean = sidecar.read_bytes()
+        sidecar.write_bytes(clean + b"\x00garbage\x00")
+        assert main(["index", "scrub", str(db_file)]) == 1
+        out = capsys.readouterr().out
+        assert "torn byte" in out and "--repair" in out
+        assert sidecar.read_bytes() != clean  # audit-only: file untouched
+
+    def test_scrub_repair_truncates_and_reloads(self, db_file, capsys):
+        sidecar = db_file.parent / "db.segos.segosx"
+        clean = sidecar.read_bytes()
+        sidecar.write_bytes(clean + b"\x00garbage\x00")
+        assert main(["index", "scrub", str(db_file), "--repair"]) == 0
+        assert "repaired in place" in capsys.readouterr().out
+        assert sidecar.read_bytes() == clean
+        assert main(["index", "scrub", str(db_file)]) == 0
+
+    def test_scrub_fatal_damage_points_at_rebuild(self, db_file, capsys):
+        sidecar = db_file.parent / "db.segos.segosx"
+        raw = bytearray(sidecar.read_bytes())
+        raw[8] ^= 0xFF  # inside the header CRC field
+        sidecar.write_bytes(bytes(raw))
+        assert main(["index", "scrub", str(db_file), "--repair"]) == 1
+        assert "rebuild" in capsys.readouterr().out
+
+    def test_scrub_missing_sidecar_errors(self, corpus_file, capsys):
+        assert main(["index", "scrub", str(corpus_file)]) == 1

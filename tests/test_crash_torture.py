@@ -1,0 +1,177 @@
+"""Kill-torture: SIGKILL a real writer at every I/O fault point.
+
+Each round spawns a fresh Python subprocess that loads a saved database,
+removes one graph, and saves — with a ``REPRO_FAULT_PLAN`` that SIGKILLs
+it at one specific ``(point, stage)`` site of the write path.  The parent
+then reopens the pair and asserts the recovery invariant:
+
+* ``load_index`` always succeeds and answers **byte-identically** to a
+  forced rebuild of whatever text survived;
+* the surviving graph set is the *old* state or the *new* state, never a
+  mix — degrading to a rebuild is allowed, wrong answers never are;
+* ``repro index scrub --repair`` leaves a state that still loads
+  consistently (and, for the orphan-record window, restores a mappable
+  sidecar without a rebuild).
+
+Unlike ``tests/test_durability.py`` (which simulates crashes in-process),
+these are real ``SIGKILL``s: no ``finally`` blocks, no interpreter
+shutdown, exactly what a power-cut-to-the-process looks like.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+import repro
+from repro.core.persistence import load_index, save_index
+from repro.core.engine import SegosIndex
+from repro.datasets import aids_like
+from repro.perf.diskcat import read_header, scrub_sidecar
+from repro.resilience.faults import (
+    IO_REWRITE_SITES,
+    IO_SAVE_SITES,
+    FaultPlan,
+    random_io_spec,
+)
+
+SRC_DIR = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+
+#: The subprocess body: load, mutate, save — and prove it died mid-save.
+WRITER = """
+import sys
+from repro.core.persistence import load_index, save_index
+path, mode = sys.argv[1], sys.argv[2]
+engine = load_index(path, mmap=(mode == "delta"))
+engine.remove(sorted(engine.gids())[0])
+save_index(engine, path)
+print("SURVIVED")
+"""
+
+
+@pytest.fixture(autouse=True)
+def _clean_fault_env(monkeypatch):
+    """The parent's own loads/saves must never trip an ambient plan."""
+    monkeypatch.delenv("REPRO_FAULT_PLAN", raising=False)
+
+
+def build_pair(tmp_path):
+    """A saved pair with one delta segment (so appends have a baseline)."""
+    data = aids_like(12, seed=7, mean_order=8, stddev=2)
+    engine = SegosIndex(data.graphs)
+    path = tmp_path / "db.segos"
+    save_index(engine, path)
+    engine.remove(sorted(engine.gids())[0])
+    save_index(engine, path)
+    return path, sorted(engine.gids())
+
+
+def run_writer(path, spec, mode):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR
+    env["REPRO_FAULT_PLAN"] = spec
+    return subprocess.run(
+        [sys.executable, "-c", WRITER, str(path), mode],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+
+
+def assert_old_or_new(path, old_gids, removed_gid, context):
+    """The core invariant: consistent old-or-new state, never a mix."""
+    loaded = load_index(path)
+    rebuilt = load_index(path, mmap=False)
+    got = sorted(str(g) for g in loaded.gids())
+    assert got == sorted(str(g) for g in rebuilt.gids()), context
+    old = sorted(old_gids)
+    new = sorted(set(old_gids) - {removed_gid})
+    assert got in (old, new), f"{context}: mixed state {got}"
+    query = rebuilt.graph(got[0])
+    a = loaded.range_query(query, tau=2, verify="exact")
+    b = rebuilt.range_query(query, tau=2, verify="exact")
+    assert list(a.candidates) == list(b.candidates), context
+    assert sorted(a.matches) == sorted(b.matches), context
+    return loaded
+
+
+def torture_round(tmp_path, spec, mode):
+    path, old_gids = build_pair(tmp_path)
+    removed = old_gids[0]
+    context = f"plan={spec!r} mode={mode}"
+    proc = run_writer(path, spec, mode)
+    assert proc.returncode == -9, (
+        f"{context}: writer survived its own crash point "
+        f"(rc={proc.returncode}, out={proc.stdout!r}, err={proc.stderr!r})"
+    )
+    assert "SURVIVED" not in proc.stdout, context
+    assert_old_or_new(path, old_gids, removed, context)
+    # Scrub must cope with whatever the crash left; after a repair the
+    # pair must still satisfy the same invariant.
+    report = scrub_sidecar(str(path) + ".segosx", repair=True)
+    assert_old_or_new(path, old_gids, removed, f"{context} post-scrub")
+    return report
+
+
+def _spec(point, stage, offset=None):
+    spec = f"{point}:stage={stage}:times=1"
+    if offset is not None:
+        spec += f":offset={offset}"
+    return spec
+
+
+class TestKillAtEverySite:
+    @pytest.mark.parametrize("point,stage", IO_SAVE_SITES)
+    def test_delta_append_path(self, tmp_path, point, stage):
+        torture_round(tmp_path, _spec(point, stage), "delta")
+
+    @pytest.mark.parametrize("point,stage", IO_REWRITE_SITES)
+    def test_full_rewrite_path(self, tmp_path, point, stage):
+        torture_round(tmp_path, _spec(point, stage), "rewrite")
+
+    @pytest.mark.parametrize(
+        "stage,offset",
+        [("delta.record", 7), ("delta.header", 7), ("delta.header", 0)],
+    )
+    def test_torn_write_offsets(self, tmp_path, stage, offset):
+        torture_round(tmp_path, _spec("io.write", stage, offset), "delta")
+
+
+class TestRecoveryQuality:
+    def test_orphan_record_window_salvages_without_rebuild(self, tmp_path):
+        """The acceptance bar: a crash after the record barrier but before
+        the header rewrite must NOT force a full rebuild — load salvages,
+        and scrub --repair makes the sidecar self-consistent again."""
+        path, old_gids = build_pair(tmp_path)
+        before = read_header(str(path) + ".segosx")
+        # io.write at delta.header with the default offset=0: the record is
+        # durable (fsync barrier already crossed) but no header byte lands.
+        proc = run_writer(path, _spec("io.write", "delta.header"), "delta")
+        assert proc.returncode == -9
+        loaded = load_index(path)
+        handle = loaded.disk_handle()
+        assert handle is not None, "orphan-record crash forced a rebuild"
+        assert handle.disk_generation == before.generation + 1
+        assert sorted(loaded.gids()) == sorted(old_gids[1:])
+        report = scrub_sidecar(str(path) + ".segosx", repair=True)
+        assert report.repaired and not report.fatal
+        after = read_header(str(path) + ".segosx")
+        assert after.generation == before.generation + 1
+        assert after.delta_count == before.delta_count + 1
+        assert load_index(path).disk_handle() is not None
+        assert scrub_sidecar(str(path) + ".segosx").clean
+
+    def test_seeded_random_plan(self, tmp_path):
+        """The crash-torture CI leg's entry point: one random site drawn
+        from a printed seed, reproducible as
+        ``REPRO_TORTURE_SEED=<seed> pytest tests/test_crash_torture.py``."""
+        seed = int(os.environ.get("REPRO_TORTURE_SEED", "20260808"))
+        spec = random_io_spec(seed)
+        rule = FaultPlan.parse(spec).rules[0]
+        mode = "rewrite" if rule.stage.startswith("sidecar.") else "delta"
+        print(f"torture seed={seed} plan={spec!r} mode={mode}")
+        torture_round(tmp_path, spec, mode)

@@ -1,0 +1,426 @@
+"""Durability tests: fsync policy, guarded I/O, torn files, scrub, salvage.
+
+The in-process "crashes" here monkeypatch ``durability._crash`` to raise
+instead of SIGKILLing, which leaves the on-disk state exactly as a real
+kill would (Python's buffered writes flush on close; SIGKILL loses only
+what never reached the kernel) while keeping pytest alive.  The real
+SIGKILL matrix lives in ``tests/test_crash_torture.py``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.config import DEFAULT_FSYNC_POLICY, ENV_FSYNC, EngineConfig
+from repro.core.engine import SegosIndex
+from repro.core.persistence import load_index, save_index
+from repro.datasets import aids_like, sample_queries
+from repro.errors import SidecarError
+from repro.graphs import io as gio
+from repro.perf import diskcat, durability
+from repro.perf.diskcat import (
+    DiskCatalog,
+    SidecarHeader,
+    read_header,
+    scrub_sidecar,
+)
+from repro.resilience.faults import EMPTY_PLAN, FaultPlan
+
+
+class SimulatedCrash(BaseException):
+    """Stands in for SIGKILL: nothing downstream of the crash point runs."""
+
+
+@pytest.fixture
+def crashes(monkeypatch):
+    """Make scripted crash points raise instead of killing pytest."""
+    def _crash():
+        raise SimulatedCrash
+    monkeypatch.setattr(durability, "_crash", _crash)
+    monkeypatch.delenv("REPRO_FAULT_PLAN", raising=False)
+    return _crash
+
+
+def build_pair(tmp_path, n=16, deltas=1):
+    """A saved (text, sidecar) pair with *deltas* journal segments."""
+    data = aids_like(n, seed=7, mean_order=8, stddev=2)
+    engine = SegosIndex(data.graphs)
+    path = tmp_path / "db.segos"
+    save_index(engine, path)
+    removed = []
+    for gid in sorted(engine.gids())[:deltas]:
+        engine.remove(gid)
+        removed.append(gid)
+        save_index(engine, path)
+    return data, engine, path, removed
+
+
+def answers(engine, data, tau=2):
+    queries = sample_queries(data, 2, seed=11)
+    return [
+        (list(r.candidates), sorted(r.matches))
+        for r in (engine.range_query(q, tau=tau, verify="exact") for q in queries)
+    ]
+
+
+# ---------------------------------------------------------------------------
+# fsync policy plumbing
+# ---------------------------------------------------------------------------
+
+class TestFsyncPolicy:
+    def test_explicit_arg_wins(self, monkeypatch):
+        monkeypatch.setenv(ENV_FSYNC, "never")
+        assert durability.resolve_fsync_policy("always") == "always"
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv(ENV_FSYNC, "ALWAYS")
+        assert durability.resolve_fsync_policy() == "always"
+
+    def test_unknown_env_degrades_to_default(self, monkeypatch):
+        monkeypatch.setenv(ENV_FSYNC, "paranoid")
+        assert durability.resolve_fsync_policy() == DEFAULT_FSYNC_POLICY
+
+    def test_config_rejects_unknown_policy(self):
+        with pytest.raises(ValueError, match="fsync_policy"):
+            EngineConfig(fsync_policy="paranoid")
+
+    def test_config_env_knob(self, monkeypatch):
+        monkeypatch.setenv(ENV_FSYNC, "never")
+        assert EngineConfig.from_env().fsync_policy == "never"
+
+    @pytest.mark.parametrize(
+        "policy,critical,expect",
+        [
+            ("always", True, 1),
+            ("always", False, 1),
+            ("batch", True, 1),
+            ("batch", False, 0),
+            ("never", True, 0),
+            ("never", False, 0),
+        ],
+    )
+    def test_barrier_matrix(self, tmp_path, monkeypatch, policy, critical, expect):
+        calls = []
+        real_fsync = os.fsync
+        monkeypatch.setattr(
+            os, "fsync", lambda fd: (calls.append(fd), real_fsync(fd))[1]
+        )
+        with open(tmp_path / "f", "wb") as out:
+            out.write(b"x")
+            durability.guarded_fsync(
+                out,
+                stage="t",
+                plan=durability.resolve_io_plan(""),
+                policy=policy,
+                critical=critical,
+            )
+        assert len(calls) == expect
+
+    @pytest.mark.parametrize("policy", ["always", "batch", "never"])
+    def test_save_load_identical_under_every_policy(self, tmp_path, policy):
+        data = aids_like(12, seed=3)
+        engine = SegosIndex(data.graphs, fsync_policy=policy)
+        path = tmp_path / f"{policy}.segos"
+        save_index(engine, path)
+        reloaded = load_index(path)
+        assert reloaded.disk_handle() is not None
+        assert answers(reloaded, data) == answers(engine, data)
+
+
+# ---------------------------------------------------------------------------
+# Guarded primitives
+# ---------------------------------------------------------------------------
+
+class TestGuardedPrimitives:
+    def test_torn_write_persists_offset_prefix(self, tmp_path, crashes):
+        plan = FaultPlan.parse("io.write:stage=t:offset=3")
+        target = tmp_path / "f"
+        with pytest.raises(SimulatedCrash):
+            with open(target, "wb") as out:
+                durability.guarded_write(out, b"abcdef", stage="t", plan=plan)
+        assert target.read_bytes() == b"abc"
+
+    def test_write_without_rule_is_transparent(self, tmp_path):
+        target = tmp_path / "f"
+        with open(target, "wb") as out:
+            durability.guarded_write(out, b"abcdef", stage="t", plan=EMPTY_PLAN)
+        assert target.read_bytes() == b"abcdef"
+
+    def test_fsync_crash_leaves_flushed_data(self, tmp_path, crashes):
+        plan = FaultPlan.parse("io.fsync:stage=t")
+        target = tmp_path / "f"
+        with pytest.raises(SimulatedCrash):
+            with open(target, "wb") as out:
+                out.write(b"payload")
+                durability.guarded_fsync(
+                    out, stage="t", plan=plan, policy="always", critical=True
+                )
+        # flush happened before the crash: the bytes reached the kernel.
+        assert target.read_bytes() == b"payload"
+
+    def test_replace_crash_keeps_old_file(self, tmp_path, crashes):
+        src, dst = tmp_path / "new", tmp_path / "old"
+        src.write_bytes(b"new")
+        dst.write_bytes(b"old")
+        plan = FaultPlan.parse("io.replace:stage=t")
+        with pytest.raises(SimulatedCrash):
+            durability.guarded_replace(src, dst, stage="t", plan=plan)
+        assert dst.read_bytes() == b"old"
+
+    def test_stage_mismatch_never_fires(self, tmp_path):
+        plan = FaultPlan.parse("io.replace:stage=other")
+        src, dst = tmp_path / "new", tmp_path / "old"
+        src.write_bytes(b"new")
+        durability.guarded_replace(src, dst, stage="t", plan=plan)
+        assert dst.read_bytes() == b"new"
+
+
+# ---------------------------------------------------------------------------
+# Bounds checks (short / corrupt files raise SidecarError, not struct.error)
+# ---------------------------------------------------------------------------
+
+class TestBoundsChecks:
+    @pytest.mark.parametrize("region", ["meta", "table", "delta"])
+    def test_header_claim_past_eof_rejected(self, tmp_path, region):
+        _, _, path, _ = build_pair(tmp_path, deltas=1)
+        sidecar = str(path) + ".segosx"
+        header = read_header(sidecar)
+        raw = bytearray(open(sidecar, "rb").read())
+        if region == "meta":
+            header.meta_len = len(raw) + 1
+        elif region == "table":
+            header.section_count = 10_000
+        else:
+            header.delta_bytes = len(raw)
+        raw[: len(header.pack())] = header.pack()
+        open(sidecar, "wb").write(bytes(raw))
+        with pytest.raises(SidecarError):
+            DiskCatalog(sidecar)
+
+    def test_truncated_files_never_raise_struct_error(self, tmp_path):
+        _, _, path, _ = build_pair(tmp_path, deltas=2)
+        sidecar = str(path) + ".segosx"
+        raw = open(sidecar, "rb").read()
+        header = read_header(sidecar)
+        # A spread of cut points across every region of the file.
+        cuts = sorted(
+            {
+                0, 1, 100, 255, 256,
+                header.meta_off + 1,
+                header.table_off + 3,
+                header.delta_off - 1,
+                header.delta_off,
+                header.delta_off + 5,
+                len(raw) - 1,
+            }
+        )
+        for cut in cuts:
+            open(sidecar, "wb").write(raw[:cut])
+            try:
+                disk = DiskCatalog(sidecar)
+            except SidecarError:
+                continue
+            try:
+                disk.delta_segments()
+            except SidecarError:
+                pass
+            finally:
+                disk.close()
+
+
+# ---------------------------------------------------------------------------
+# Truncation sweep: every byte offset of the delta region (satellite)
+# ---------------------------------------------------------------------------
+
+class TestTruncationSweep:
+    def test_every_delta_truncation_loads_or_degrades(self, tmp_path):
+        data, engine, path, _ = build_pair(tmp_path, deltas=2)
+        sidecar = str(path) + ".segosx"
+        raw = open(sidecar, "rb").read()
+        header = read_header(sidecar)
+        assert header.delta_count == 2 and header.delta_off + header.delta_bytes == len(raw)
+        expected = answers(engine, data)
+        sampled = set(
+            range(header.delta_off, len(raw), max(1, header.delta_bytes // 8))
+        )
+        for cut in range(header.delta_off, len(raw)):
+            open(sidecar, "wb").write(raw[:cut])
+            # Direct open: clean SidecarError, never a raw struct.error.
+            try:
+                disk = DiskCatalog(sidecar)
+            except SidecarError:
+                disk = None
+            if disk is not None:
+                try:
+                    disk.delta_segments()
+                except SidecarError:
+                    pass
+                finally:
+                    disk.close()
+            # load_index always succeeds (salvage or rebuild), same answers.
+            loaded = load_index(path)
+            assert sorted(loaded.gids()) == sorted(engine.gids()), cut
+            if cut in sampled:
+                assert answers(loaded, data) == expected, cut
+        open(sidecar, "wb").write(raw)
+        assert answers(load_index(path), data) == expected
+
+
+# ---------------------------------------------------------------------------
+# Scrub
+# ---------------------------------------------------------------------------
+
+class TestScrub:
+    def test_clean_sidecar(self, tmp_path):
+        _, _, path, _ = build_pair(tmp_path, deltas=1)
+        report = scrub_sidecar(str(path) + ".segosx")
+        assert report.clean and not report.fatal
+
+    def test_garbage_tail_detected_and_truncated(self, tmp_path):
+        data, engine, path, _ = build_pair(tmp_path, deltas=1)
+        sidecar = str(path) + ".segosx"
+        size = os.path.getsize(sidecar)
+        with open(sidecar, "ab") as out:
+            out.write(b"\xde\xad\xbe\xef" * 5)
+        report = scrub_sidecar(sidecar)
+        assert not report.clean and not report.repaired
+        assert any("torn byte" in p for p in report.problems)
+        report = scrub_sidecar(sidecar, repair=True)
+        assert report.repaired
+        assert os.path.getsize(sidecar) == size
+        assert scrub_sidecar(sidecar).clean
+        loaded = load_index(path)
+        assert loaded.disk_handle() is not None
+        assert answers(loaded, data) == answers(engine, data)
+
+    def test_orphan_record_adopted_into_header(self, tmp_path, crashes):
+        data, engine, path, _ = build_pair(tmp_path, deltas=1)
+        sidecar = str(path) + ".segosx"
+        before = read_header(sidecar)
+        gid = sorted(engine.gids())[0]
+        engine.remove(gid)
+        engine.config = engine.config.override(fault_plan="io.write:stage=delta.header:times=1")
+        with pytest.raises(SimulatedCrash):
+            save_index(engine, path)
+        # Record durable beyond the header, header untouched.
+        assert read_header(sidecar).generation == before.generation
+        report = scrub_sidecar(sidecar, repair=True)
+        assert report.repaired
+        assert any("adopt" in a for a in report.actions)
+        after = read_header(sidecar)
+        assert after.generation == before.generation + 1
+        assert after.delta_count == before.delta_count + 1
+        loaded = load_index(path)
+        handle = loaded.disk_handle()
+        assert handle is not None and handle.disk_generation == after.generation
+        assert gid not in loaded.gids()
+
+    def test_reverts_header_claiming_torn_bytes(self, tmp_path):
+        data, engine, path, _ = build_pair(tmp_path, deltas=1)
+        sidecar = str(path) + ".segosx"
+        good = read_header(sidecar)
+        # Simulate a power-loss reorder: the header vouches for record
+        # bytes that never hit the disk (garbage landed instead).
+        raw = bytearray(open(sidecar, "rb").read())
+        torn = b"\x00" * 40
+        bad = read_header(sidecar)
+        bad.generation = good.generation + 1
+        bad.delta_count = good.delta_count + 1
+        bad.delta_bytes = good.delta_bytes + len(torn)
+        raw[: len(bad.pack())] = bad.pack()
+        raw += torn
+        open(sidecar, "wb").write(bytes(raw))
+        assert load_index(path).disk_handle() is None  # degraded, not wrong
+        report = scrub_sidecar(sidecar, repair=True)
+        assert report.repaired
+        assert any("revert" in a for a in report.actions)
+        after = read_header(sidecar)
+        assert after.generation == good.generation
+        assert after.delta_count == good.delta_count
+        # The acceptance bar: repaired sidecar mmap-attaches, no rebuild.
+        loaded = load_index(path)
+        assert loaded.disk_handle() is not None
+        assert answers(loaded, data) == answers(engine, data)
+
+    def test_corrupt_section_is_fatal(self, tmp_path):
+        _, _, path, _ = build_pair(tmp_path, deltas=0)
+        sidecar = str(path) + ".segosx"
+        disk = DiskCatalog(sidecar)
+        offset, length, _ = next(iter(disk._sections.values()))
+        disk.close()
+        with open(sidecar, "r+b") as out:
+            out.seek(offset)
+            chunk = out.read(4)
+            out.seek(offset)
+            out.write(bytes(b ^ 0xFF for b in chunk))
+        report = scrub_sidecar(sidecar, repair=True)
+        assert report.fatal and not report.repaired
+
+    def test_missing_file(self, tmp_path):
+        report = scrub_sidecar(tmp_path / "absent.segosx")
+        assert report.fatal
+
+    def test_repair_is_idempotent(self, tmp_path):
+        _, _, path, _ = build_pair(tmp_path, deltas=1)
+        sidecar = str(path) + ".segosx"
+        with open(sidecar, "ab") as out:
+            out.write(b"junk")
+        assert scrub_sidecar(sidecar, repair=True).repaired
+        assert scrub_sidecar(sidecar, repair=True).clean
+
+
+# ---------------------------------------------------------------------------
+# Forward salvage in load_index
+# ---------------------------------------------------------------------------
+
+class TestLoadSalvage:
+    def test_crash_before_header_rewrite_salvages(self, tmp_path, crashes):
+        data, engine, path, _ = build_pair(tmp_path, deltas=1)
+        sidecar = str(path) + ".segosx"
+        before = read_header(sidecar)
+        gid = sorted(engine.gids())[0]
+        engine.remove(gid)
+        # Crash before any header byte lands: the record (already past its
+        # fsync barrier) is the orphan that salvage must adopt.
+        engine.config = engine.config.override(
+            fault_plan="io.write:stage=delta.header:times=1"
+        )
+        with pytest.raises(SimulatedCrash):
+            save_index(engine, path)
+        loaded = load_index(path)
+        handle = loaded.disk_handle()
+        assert handle is not None, "salvage should mmap-attach, not rebuild"
+        assert handle.disk_generation == before.generation + 1
+        assert handle.delta_count == before.delta_count + 1
+        assert gid not in loaded.gids()
+        rebuilt = load_index(path, mmap=False)
+        assert answers(loaded, data) == answers(rebuilt, data)
+
+    def test_salvaged_pair_saves_cleanly_afterwards(self, tmp_path, crashes):
+        data, engine, path, _ = build_pair(tmp_path, deltas=1)
+        engine.remove(sorted(engine.gids())[0])
+        engine.config = engine.config.override(fault_plan="io.write:stage=delta.header:times=1")
+        with pytest.raises(SimulatedCrash):
+            save_index(engine, path)
+        loaded = load_index(path)
+        assert loaded.disk_handle() is not None
+        loaded.remove(sorted(loaded.gids())[0])
+        save_index(loaded, path)  # baseline mismatch -> clean full save
+        final = load_index(path)
+        assert final.disk_handle() is not None
+        assert scrub_sidecar(str(path) + ".segosx").clean
+        assert sorted(final.gids()) == sorted(loaded.gids())
+
+    def test_partial_record_does_not_salvage_wrong(self, tmp_path, crashes):
+        data, engine, path, _ = build_pair(tmp_path, deltas=1)
+        old_gids = sorted(engine.gids())
+        engine.remove(old_gids[0])
+        engine.config = engine.config.override(fault_plan="io.write:stage=delta.record:offset=9:times=1")
+        with pytest.raises(SimulatedCrash):
+            save_index(engine, path)
+        # 9 torn bytes of record, text already new: degrade to rebuild.
+        loaded = load_index(path)
+        assert loaded.disk_handle() is None
+        assert sorted(loaded.gids()) == old_gids[1:]

@@ -116,6 +116,39 @@ class TestFaultPlan:
             plan = FaultPlan.parse(spec)
             assert plan and plan.rules[0].point in INJECTION_POINTS
 
+    def test_random_spec_never_draws_io_points(self):
+        # An ambient io.* rule would SIGKILL the chaos leg's own pytest
+        # process mid-save; those sites belong to random_io_spec.
+        from repro.resilience.faults import POOL_POINTS
+
+        for seed in range(200):
+            point = random_spec(seed).split(":", 1)[0]
+            assert point in POOL_POINTS
+
+    def test_offset_key_parsed_for_torn_writes(self):
+        plan = FaultPlan.parse("io.write:stage=delta.record:offset=17")
+        rule = plan.fire("io.write", stage="delta.record")
+        assert rule is not None and rule.offset == 17
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(ValueError, match="offset"):
+            FaultPlan.parse("io.write:offset=-1")
+
+    def test_random_io_spec_deterministic_and_hits_real_sites(self):
+        from repro.resilience.faults import (
+            IO_REWRITE_SITES,
+            IO_SAVE_SITES,
+            random_io_spec,
+        )
+
+        sites = set(IO_SAVE_SITES + IO_REWRITE_SITES)
+        for seed in range(50):
+            spec = random_io_spec(seed)
+            assert spec == random_io_spec(seed)
+            rule = FaultPlan.parse(spec).rules[0]
+            assert (rule.point, rule.stage) in sites
+            assert rule.times == 1
+
     def test_fault_injected_is_a_repro_error(self):
         assert issubclass(FaultInjected, ReproError)
 
